@@ -1,0 +1,122 @@
+package vnetp_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"vnetp"
+)
+
+// The public facade must support the full quickstart flow: nodes,
+// endpoints, links, routes, traffic, control scripts.
+func TestFacadeOverlayFlow(t *testing.T) {
+	nodeA, err := vnetp.NewNode("a", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+	nodeB, err := vnetp.NewNode("b", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Close()
+
+	macA, macB := vnetp.LocalMAC(1), vnetp.LocalMAC(2)
+	epA, err := nodeA.AttachEndpoint("nic0", macA, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := nodeB.AttachEndpoint("nic0", macB, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Configure one direction via the API, the other via a control
+	// script.
+	if err := nodeA.AddLink("to-b", nodeB.Addr(), "udp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodeA.AddRoute(vnetp.Route{
+		DstMAC: macB, DstQual: vnetp.QualExact, SrcQual: vnetp.QualAny,
+		Dest: vnetp.Destination{Type: vnetp.DestLink, ID: "to-b"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	script := "ADD LINK to-a REMOTE " + nodeA.Addr() + "\n" +
+		"ADD ROUTE " + macA.String() + " any link to-a\n"
+	if err := vnetp.ApplyConfig(nodeB, strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := epA.Send(&vnetp.Frame{Dst: macB, Src: macA, Type: 0x88b5, Payload: []byte("ping")}); err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := epB.Recv(2 * time.Second); !ok || string(f.Payload) != "ping" {
+		t.Fatal("facade overlay lost the frame")
+	}
+	if err := epB.Send(&vnetp.Frame{Dst: macA, Src: macB, Type: 0x88b5, Payload: []byte("pong")}); err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := epA.Recv(2 * time.Second); !ok || string(f.Payload) != "pong" {
+		t.Fatal("facade overlay lost the reply")
+	}
+}
+
+func TestFacadeSimulationFlow(t *testing.T) {
+	eng := vnetp.NewSimEngine()
+	tb := vnetp.NewVNETPTestbed(eng, vnetp.ClusterConfig{
+		Dev: vnetp.Eth10G, N: 2, Params: vnetp.DefaultParams(),
+	})
+	if len(tb.Stacks) != 2 {
+		t.Fatalf("%d stacks", len(tb.Stacks))
+	}
+	eng.Close()
+
+	eng2 := vnetp.NewSimEngine()
+	nat := vnetp.NewNativeTestbed(eng2, vnetp.Eth1G, 3)
+	if len(nat.Stacks) != 3 {
+		t.Fatalf("%d native stacks", len(nat.Stacks))
+	}
+	eng2.Close()
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range vnetp.Experiments() {
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"fig8", "fig14", "vnetp-plus", "table1"} {
+		if !ids[want] {
+			t.Errorf("experiment %q missing from facade listing", want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := vnetp.RunExperiment("table1", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "adaptive") {
+		t.Fatal("table1 output wrong through facade")
+	}
+	if err := vnetp.RunExperiment("bogus", &buf); err == nil {
+		t.Fatal("bogus experiment id accepted")
+	}
+}
+
+func TestFacadeRoutingTable(t *testing.T) {
+	tbl := vnetp.NewRoutingTable()
+	mac := vnetp.LocalMAC(7)
+	tbl.AddRoute(vnetp.Route{DstMAC: mac, DstQual: vnetp.QualExact, SrcQual: vnetp.QualAny,
+		Dest: vnetp.Destination{Type: vnetp.DestInterface, ID: "nic0"}})
+	dests, _, err := tbl.Lookup(vnetp.LocalMAC(1), mac)
+	if err != nil || dests[0].ID != "nic0" {
+		t.Fatalf("lookup = %v, %v", dests, err)
+	}
+	if _, err := vnetp.ParseMAC(mac.String()); err != nil {
+		t.Fatal(err)
+	}
+	if !vnetp.Broadcast.IsBroadcast() {
+		t.Fatal("broadcast constant wrong")
+	}
+}

@@ -1,0 +1,77 @@
+// Command vnetctl speaks the VNET/U-compatible control language to a
+// running vnetpd's control console.
+//
+// Usage:
+//
+//	vnetctl -server 127.0.0.1:7778 ADD LINK to-b REMOTE 10.0.0.2:7777
+//	vnetctl -server 127.0.0.1:7778 LIST ROUTES
+//	vnetctl -server 127.0.0.1:7778 -script overlay.conf
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:7778", "control console address")
+	script := flag.String("script", "", "send every line of this file")
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *server)
+	if err != nil {
+		log.Fatalf("vnetctl: %v", err)
+	}
+	defer conn.Close()
+	rd := bufio.NewReader(conn)
+
+	send := func(line string) bool {
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			return true
+		}
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			log.Fatalf("vnetctl: %v", err)
+		}
+		ok := true
+		for {
+			resp, err := rd.ReadString('\n')
+			if err != nil {
+				log.Fatalf("vnetctl: %v", err)
+			}
+			resp = strings.TrimRight(resp, "\n")
+			fmt.Println(resp)
+			if resp == "OK" {
+				return ok
+			}
+			if strings.HasPrefix(resp, "ERR") {
+				return false
+			}
+		}
+	}
+
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			log.Fatalf("vnetctl: %v", err)
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			if !send(sc.Text()) {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		log.Fatal("vnetctl: no command given (and no -script)")
+	}
+	if !send(strings.Join(flag.Args(), " ")) {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,95 @@
+// Command vnettopo generates the control-language scripts that build (or
+// tear down) a whole overlay topology across a set of vnetpd nodes — the
+// wholesale-topology-construction tooling of the VNET model.
+//
+// Usage:
+//
+//	vnettopo -topology mesh \
+//	    -host "a/10.0.0.1:7777/02:56:00:00:00:01" \
+//	    -host "b/10.0.0.2:7777/02:56:00:00:00:02,02:56:00:00:00:03"
+//
+// Each -host is name/dataAddr/mac[,mac...]. The output is one script
+// section per host, ready to pipe into `vnetctl -script` against that
+// host's control console. With -teardown the inverse scripts are emitted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"vnetp/internal/ethernet"
+	"vnetp/internal/topo"
+)
+
+type hostFlags []string
+
+func (h *hostFlags) String() string     { return strings.Join(*h, ";") }
+func (h *hostFlags) Set(v string) error { *h = append(*h, v); return nil }
+
+func main() {
+	var hostSpecs hostFlags
+	kindName := flag.String("topology", "mesh", "mesh, star, or ring")
+	hub := flag.Int("hub", 0, "hub host index for -topology star")
+	proto := flag.String("proto", "udp", "link protocol: udp or tcp")
+	teardown := flag.Bool("teardown", false, "emit teardown scripts instead")
+	flag.Var(&hostSpecs, "host", "host spec name/dataAddr/mac[,mac...] (repeatable)")
+	flag.Parse()
+
+	var kind topo.Kind
+	switch strings.ToLower(*kindName) {
+	case "mesh":
+		kind = topo.Mesh
+	case "star":
+		kind = topo.Star
+	case "ring":
+		kind = topo.Ring
+	default:
+		log.Fatalf("vnettopo: unknown topology %q", *kindName)
+	}
+
+	hosts := make([]topo.Host, 0, len(hostSpecs))
+	for _, spec := range hostSpecs {
+		parts := strings.SplitN(spec, "/", 3)
+		if len(parts) < 2 {
+			log.Fatalf("vnettopo: bad -host %q (want name/addr/mac,...)", spec)
+		}
+		h := topo.Host{Name: parts[0], Addr: parts[1]}
+		if len(parts) == 3 && parts[2] != "" {
+			for _, ms := range strings.Split(parts[2], ",") {
+				mac, err := ethernet.ParseMAC(strings.TrimSpace(ms))
+				if err != nil {
+					log.Fatalf("vnettopo: %v", err)
+				}
+				h.MACs = append(h.MACs, mac)
+			}
+		}
+		hosts = append(hosts, h)
+	}
+
+	var scripts map[string][]string
+	var err error
+	if *teardown {
+		scripts, err = topo.Teardown(kind, hosts, *hub)
+	} else {
+		scripts, err = topo.Scripts(kind, hosts, *hub, *proto)
+	}
+	if err != nil {
+		log.Fatalf("vnettopo: %v", err)
+	}
+	names := make([]string, 0, len(scripts))
+	for name := range scripts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(os.Stdout, "# ---- host %s ----\n", name)
+		for _, line := range scripts[name] {
+			fmt.Println(line)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,192 @@
+package vnetp_test
+
+// End-to-end test of the CLI tools: build vnetpd and vnetctl, bring up a
+// two-daemon overlay over loopback, configure it through the control
+// console, and verify the echo endpoint reflects frames across the
+// overlay (driven by an in-process node speaking the same wire format).
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"vnetp"
+)
+
+func buildTool(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// freePort reserves an ephemeral TCP port number.
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	return ln.Addr().(*net.TCPAddr).Port
+}
+
+func waitForTCP(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c, err := net.Dial("tcp", addr); err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("daemon never listened on %s", addr)
+}
+
+func TestCLIOverlayEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	vnetpd := buildTool(t, dir, "./cmd/vnetpd")
+	vnetctl := buildTool(t, dir, "./cmd/vnetctl")
+
+	dataPort := freePort(t)
+	ctrlPort := freePort(t)
+	echoMAC := "02:56:00:00:00:aa"
+	daemon := exec.Command(vnetpd,
+		"-name", "echo-host",
+		"-bind", fmt.Sprintf("127.0.0.1:%d", dataPort),
+		"-control", fmt.Sprintf("127.0.0.1:%d", ctrlPort),
+		"-echo", "nic0:"+echoMAC,
+	)
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+	ctrlAddr := fmt.Sprintf("127.0.0.1:%d", ctrlPort)
+	waitForTCP(t, ctrlAddr)
+
+	// An in-process node plays the remote side.
+	local, err := vnetp.NewNode("local", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	myMAC := vnetp.LocalMAC(5)
+	ep, err := local.AttachEndpoint("nic0", myMAC, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := local.AddLink("to-echo", fmt.Sprintf("127.0.0.1:%d", dataPort), "udp"); err != nil {
+		t.Fatal(err)
+	}
+	mac, _ := vnetp.ParseMAC(echoMAC)
+	local.AddRoute(vnetp.Route{DstMAC: mac, DstQual: vnetp.QualExact, SrcQual: vnetp.QualAny,
+		Dest: vnetp.Destination{Type: vnetp.DestLink, ID: "to-echo"}})
+
+	// Configure the daemon's return path through vnetctl.
+	run := func(args ...string) string {
+		out, err := exec.Command(vnetctl, append([]string{"-server", ctrlAddr}, args...)...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("vnetctl %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+	run("ADD", "LINK", "back", "REMOTE", local.Addr())
+	run("ADD", "ROUTE", myMAC.String(), "any", "link", "back")
+	if out := run("LIST", "ROUTES"); !strings.Contains(out, myMAC.String()) {
+		t.Fatalf("LIST ROUTES missing route:\n%s", out)
+	}
+	if out := run("LIST", "INTERFACES"); !strings.Contains(out, "nic0") {
+		t.Fatalf("LIST INTERFACES missing echo endpoint:\n%s", out)
+	}
+
+	// Send a frame to the echo endpoint; it must come back with the MACs
+	// swapped.
+	payload := []byte("cli round trip")
+	if err := ep.Send(&vnetp.Frame{Dst: mac, Src: myMAC, Type: 0x88b5, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ep.Recv(5 * time.Second)
+	if !ok {
+		t.Fatal("echo reply never arrived through the daemon")
+	}
+	if string(got.Payload) != string(payload) || got.Src != mac {
+		t.Fatalf("echo reply mangled: %v %q", got, got.Payload)
+	}
+}
+
+func TestCLIVnetctlScript(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	vnetpd := buildTool(t, dir, "./cmd/vnetpd")
+	vnetctl := buildTool(t, dir, "./cmd/vnetctl")
+
+	dataPort := freePort(t)
+	ctrlPort := freePort(t)
+	daemon := exec.Command(vnetpd,
+		"-bind", fmt.Sprintf("127.0.0.1:%d", dataPort),
+		"-control", fmt.Sprintf("127.0.0.1:%d", ctrlPort))
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+	ctrlAddr := fmt.Sprintf("127.0.0.1:%d", ctrlPort)
+	waitForTCP(t, ctrlAddr)
+
+	script := filepath.Join(dir, "setup.conf")
+	content := `# test script
+ADD LINK l1 REMOTE 127.0.0.1:19999
+ADD ROUTE 02:56:00:00:00:01 any link l1
+ADD ROUTE any any link l1
+`
+	if err := os.WriteFile(script, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(vnetctl, "-server", ctrlAddr, "-script", script).CombinedOutput()
+	if err != nil {
+		t.Fatalf("vnetctl -script: %v\n%s", err, out)
+	}
+	if strings.Count(string(out), "OK") != 3 {
+		t.Fatalf("want 3 OKs:\n%s", out)
+	}
+	// A failing script exits nonzero.
+	bad := filepath.Join(dir, "bad.conf")
+	os.WriteFile(bad, []byte("DEL LINK nothere\n"), 0o644)
+	if err := exec.Command(vnetctl, "-server", ctrlAddr, "-script", bad).Run(); err == nil {
+		t.Fatal("vnetctl succeeded on a failing script")
+	}
+
+	// Verify through a fresh TCP session that config persisted.
+	conn, err := net.Dial("tcp", ctrlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintln(conn, "LIST LINKS")
+	line, _ := bufio.NewReader(conn).ReadString('\n')
+	if !strings.Contains(line, "l1") {
+		t.Fatalf("link not persisted: %q", line)
+	}
+}

@@ -1,0 +1,97 @@
+// Migration: the VNET property the paper builds on — location
+// independence. A "VM" (endpoint) holds a TCP-of-sorts conversation with
+// a peer, migrates from one overlay node to another mid-conversation, and
+// after a route update on the peer's node the conversation continues: the
+// guest kept its MAC and needed no reconfiguration.
+//
+//	go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"vnetp"
+)
+
+func main() {
+	// Three overlay nodes: the peer's home, and two hosts the mobile VM
+	// migrates between.
+	home, err := vnetp.NewNode("home", "127.0.0.1:0")
+	check(err)
+	defer home.Close()
+	hostB, err := vnetp.NewNode("host-b", "127.0.0.1:0")
+	check(err)
+	defer hostB.Close()
+	hostC, err := vnetp.NewNode("host-c", "127.0.0.1:0")
+	check(err)
+	defer hostC.Close()
+
+	macPeer, macVM := vnetp.LocalMAC(10), vnetp.LocalMAC(20)
+	peer, err := home.AttachEndpoint("nic0", macPeer, 1500)
+	check(err)
+
+	// Configure the mesh with the control language, exactly as external
+	// VNET/U tooling would.
+	check(vnetp.ApplyConfig(home, strings.NewReader(fmt.Sprintf(`
+ADD LINK to-b REMOTE %s
+ADD LINK to-c REMOTE %s
+ADD ROUTE %s any link to-b
+`, hostB.Addr(), hostC.Addr(), macVM))))
+	check(vnetp.ApplyConfig(hostB, strings.NewReader(fmt.Sprintf(
+		"ADD LINK to-home REMOTE %s\nADD ROUTE %s any link to-home\n", home.Addr(), macPeer))))
+	check(vnetp.ApplyConfig(hostC, strings.NewReader(fmt.Sprintf(
+		"ADD LINK to-home REMOTE %s\nADD ROUTE %s any link to-home\n", home.Addr(), macPeer))))
+
+	// The VM starts life on host B.
+	vm, err := hostB.AttachEndpoint("vmnic", macVM, 1500)
+	check(err)
+
+	exchange := func(n int) {
+		check(peer.Send(&vnetp.Frame{Dst: macVM, Src: macPeer, Type: 0x88b5,
+			Payload: []byte(fmt.Sprintf("msg-%d", n))}))
+		f, ok := vm.Recv(2 * time.Second)
+		if !ok {
+			log.Fatalf("msg-%d lost", n)
+		}
+		check(vm.Send(&vnetp.Frame{Dst: macPeer, Src: macVM, Type: 0x88b5,
+			Payload: append([]byte("ack-"), f.Payload...)}))
+		if _, ok := peer.Recv(2 * time.Second); !ok {
+			log.Fatalf("ack-%d lost", n)
+		}
+		fmt.Printf("exchange %d ok (VM on %s)\n", n, currentHost(hostB, hostC))
+	}
+
+	exchange(1)
+	exchange(2)
+
+	// --- Migrate: detach at B, attach at C with the SAME MAC; update the
+	// peer's route. The guest sees nothing change. ---
+	fmt.Println("migrating VM from host-b to host-c ...")
+	hostB.DetachEndpoint("vmnic")
+	vm, err = hostC.AttachEndpoint("vmnic", macVM, 1500)
+	check(err)
+	check(home.DelRoute(vnetp.Route{DstMAC: macVM, DstQual: vnetp.QualExact, SrcQual: vnetp.QualAny,
+		Dest: vnetp.Destination{Type: vnetp.DestLink, ID: "to-b"}}))
+	check(home.AddRoute(vnetp.Route{DstMAC: macVM, DstQual: vnetp.QualExact, SrcQual: vnetp.QualAny,
+		Dest: vnetp.Destination{Type: vnetp.DestLink, ID: "to-c"}}))
+
+	exchange(3)
+	exchange(4)
+	fmt.Println("connectivity survived the migration")
+}
+
+func currentHost(b, c *vnetp.Node) string {
+	if len(b.Interfaces()) > 0 {
+		return b.Name()
+	}
+	return c.Name()
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

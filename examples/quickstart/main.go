@@ -1,0 +1,77 @@
+// Quickstart: two VNET/P overlay nodes on this machine, connected over
+// real UDP sockets. An endpoint ("guest NIC") attaches to each node; the
+// overlay makes them look like neighbors on one Ethernet LAN, and we
+// bounce a greeting across it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vnetp"
+)
+
+func main() {
+	// Two overlay nodes: in production these run on different hosts
+	// (cmd/vnetpd); here both bind to loopback.
+	nodeA, err := vnetp.NewNode("cloud-host", "127.0.0.1:0")
+	check(err)
+	defer nodeA.Close()
+	nodeB, err := vnetp.NewNode("hpc-host", "127.0.0.1:0")
+	check(err)
+	defer nodeB.Close()
+
+	// One guest endpoint per node, each with its own MAC.
+	macA, macB := vnetp.LocalMAC(1), vnetp.LocalMAC(2)
+	guestA, err := nodeA.AttachEndpoint("nic0", macA, 9000)
+	check(err)
+	guestB, err := nodeB.AttachEndpoint("nic0", macB, 9000)
+	check(err)
+
+	// Overlay links (UDP paths) and per-MAC routes: A knows B's frames
+	// travel over to-b, and vice versa.
+	check(nodeA.AddLink("to-b", nodeB.Addr(), "udp"))
+	check(nodeB.AddLink("to-a", nodeA.Addr(), "udp"))
+	check(nodeA.AddRoute(vnetp.Route{
+		DstMAC: macB, DstQual: vnetp.QualExact, SrcQual: vnetp.QualAny,
+		Dest: vnetp.Destination{Type: vnetp.DestLink, ID: "to-b"},
+	}))
+	check(nodeB.AddRoute(vnetp.Route{
+		DstMAC: macA, DstQual: vnetp.QualExact, SrcQual: vnetp.QualAny,
+		Dest: vnetp.Destination{Type: vnetp.DestLink, ID: "to-a"},
+	}))
+
+	// Guest A sends an Ethernet frame to guest B as if they shared a LAN.
+	check(guestA.Send(&vnetp.Frame{
+		Dst: macB, Src: macA, Type: 0x88b5,
+		Payload: []byte("hello from the cloud side"),
+	}))
+	f, ok := guestB.Recv(2 * time.Second)
+	if !ok {
+		log.Fatal("frame lost")
+	}
+	fmt.Printf("guest B got %q from %s\n", f.Payload, f.Src)
+
+	// And back.
+	check(guestB.Send(&vnetp.Frame{
+		Dst: macA, Src: macB, Type: 0x88b5,
+		Payload: []byte("hello from the HPC side"),
+	}))
+	f, ok = guestA.Recv(2 * time.Second)
+	if !ok {
+		log.Fatal("reply lost")
+	}
+	fmt.Printf("guest A got %q from %s\n", f.Payload, f.Src)
+
+	fmt.Printf("overlay stats: node A sent %d encapsulated packets, node B sent %d\n",
+		nodeA.EncapSent.Load(), nodeB.EncapSent.Load())
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module vnetp
+
+go 1.22

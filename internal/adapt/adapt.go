@@ -1,0 +1,164 @@
+// Package adapt implements the adaptation loop the VNET model exists to
+// enable (paper Sect. 3, the Virtuoso/VADAPT line of work): observe the
+// application's communication through the overlay's per-flow accounting,
+// identify the heavy MAC pairs, and reconfigure the overlay — adding
+// direct "shortcut" links and per-MAC routes so that heavy flows stop
+// transiting intermediate nodes — using only the same control-language
+// operations an operator would.
+package adapt
+
+import (
+	"fmt"
+	"sort"
+
+	"vnetp/internal/core"
+	"vnetp/internal/ethernet"
+)
+
+// Placement says where each guest MAC currently lives.
+type Placement struct {
+	// HostOf maps a MAC to the overlay node (by name) hosting it.
+	HostOf map[ethernet.MAC]string
+	// AddrOf maps a node name to its encapsulation address.
+	AddrOf map[string]string
+}
+
+// Shortcut is one planned topology change: a direct link between two
+// nodes plus the routes steering the flow's MACs onto it.
+type Shortcut struct {
+	// A and B are the node names to connect directly.
+	A, B string
+	// AMACs/BMACs are the guest MACs at each end whose routes move onto
+	// the new link.
+	AMACs, BMACs []ethernet.MAC
+	// Bytes is the observed volume motivating the shortcut.
+	Bytes uint64
+}
+
+// linkID names a shortcut link deterministically.
+func linkID(to string) string { return "adapt-to-" + to }
+
+// Plan inspects the merged flow observations and proposes up to maxNew
+// shortcuts for the heaviest inter-node flows that lack a direct link.
+// hasLink reports whether a direct link already exists between two nodes
+// (in either direction).
+func Plan(flows []core.Flow, pl Placement, hasLink func(a, b string) bool, maxNew int) []Shortcut {
+	// Aggregate flow volume per unordered node pair.
+	type pairKey struct{ a, b string }
+	type pairAgg struct {
+		bytes uint64
+		aMACs map[ethernet.MAC]bool
+		bMACs map[ethernet.MAC]bool
+	}
+	pairs := make(map[pairKey]*pairAgg)
+	for _, f := range flows {
+		ha, okA := pl.HostOf[f.Src]
+		hb, okB := pl.HostOf[f.Dst]
+		if !okA || !okB || ha == hb {
+			continue
+		}
+		a, b := ha, hb
+		srcAtA := true
+		if b < a {
+			a, b = b, a
+			srcAtA = false
+		}
+		k := pairKey{a, b}
+		agg := pairs[k]
+		if agg == nil {
+			agg = &pairAgg{aMACs: map[ethernet.MAC]bool{}, bMACs: map[ethernet.MAC]bool{}}
+			pairs[k] = agg
+		}
+		agg.bytes += f.Bytes
+		if srcAtA {
+			agg.aMACs[f.Src] = true
+			agg.bMACs[f.Dst] = true
+		} else {
+			agg.bMACs[f.Src] = true
+			agg.aMACs[f.Dst] = true
+		}
+	}
+	var out []Shortcut
+	for k, agg := range pairs {
+		if hasLink != nil && hasLink(k.a, k.b) {
+			continue
+		}
+		out = append(out, Shortcut{
+			A: k.a, B: k.b,
+			AMACs: macSet(agg.aMACs), BMACs: macSet(agg.bMACs),
+			Bytes: agg.bytes,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].A+out[i].B < out[j].A+out[j].B
+	})
+	if maxNew > 0 && len(out) > maxNew {
+		out = out[:maxNew]
+	}
+	return out
+}
+
+func macSet(m map[ethernet.MAC]bool) []ethernet.MAC {
+	out := make([]ethernet.MAC, 0, len(m))
+	for mac := range m {
+		out = append(out, mac)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Commands renders a shortcut as per-node control-language scripts
+// (keyed by node name): the new link on each side, and route updates
+// steering the peer's MACs onto it. Because VNET routing picks the most
+// specific match and the old and new per-MAC routes are equally
+// specific, the old route must be removed; the caller supplies
+// oldRouteOf to name it (nil emits only the additions).
+func Commands(sc Shortcut, pl Placement, oldRouteOf func(node string, mac ethernet.MAC) (core.Route, bool)) map[string][]string {
+	out := make(map[string][]string, 2)
+	emit := func(node, peer string, peerMACs []ethernet.MAC) {
+		lines := []string{
+			fmt.Sprintf("ADD LINK %s REMOTE %s udp", linkID(peer), pl.AddrOf[peer]),
+		}
+		for _, mac := range peerMACs {
+			if oldRouteOf != nil {
+				if r, ok := oldRouteOf(node, mac); ok {
+					lines = append(lines, "DEL ROUTE "+formatRouteArgs(r))
+				}
+			}
+			lines = append(lines, fmt.Sprintf("ADD ROUTE %s any link %s", mac, linkID(peer)))
+		}
+		out[node] = lines
+	}
+	emit(sc.A, sc.B, sc.BMACs)
+	emit(sc.B, sc.A, sc.AMACs)
+	return out
+}
+
+// formatRouteArgs renders a route in control-language argument order.
+func formatRouteArgs(r core.Route) string {
+	spec := func(m ethernet.MAC, q core.Qualifier) string {
+		switch q {
+		case core.QualAny:
+			return "any"
+		case core.QualNot:
+			return "not-" + m.String()
+		default:
+			return m.String()
+		}
+	}
+	kind := "interface"
+	if r.Dest.Type == core.DestLink {
+		kind = "link"
+	}
+	return fmt.Sprintf("%s %s %s %s", spec(r.DstMAC, r.DstQual), spec(r.SrcMAC, r.SrcQual), kind, r.Dest.ID)
+}

@@ -1,0 +1,223 @@
+// Package bridge implements the VNET/P bridge (paper Sect. 4.5): the
+// host-kernel component that encapsulates routed Ethernet frames in UDP
+// (or hands them to the local network raw), fragments encapsulated packets
+// that exceed the physical MTU, and reassembles on receive.
+//
+// codec.go is the pure wire format, shared by the simulated bridge
+// (bridge.go) and the real-socket overlay (internal/overlay).
+package bridge
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"vnetp/internal/ethernet"
+)
+
+// Encapsulation header layout (12 bytes), VNET/U-compatible in spirit:
+//
+//	magic(2) | version(1) | flags(1) | id(4) | fragOff(2) | totalLen(2)
+//
+// followed by a slice of the marshalled inner Ethernet frame.
+const (
+	EncapMagic     = 0x564e // "VN"
+	EncapVersion   = 1
+	EncapHeaderLen = 12
+
+	flagMoreFrags = 0x01
+)
+
+// EncapHeader describes one encapsulation fragment.
+type EncapHeader struct {
+	ID        uint32 // per-sender packet id, shared by all fragments
+	FragOff   uint16 // byte offset of this fragment's payload
+	TotalLen  uint16 // total inner-frame length
+	MoreFrags bool
+}
+
+var (
+	ErrBadMagic   = errors.New("bridge: bad encapsulation magic")
+	ErrBadVersion = errors.New("bridge: unsupported encapsulation version")
+	ErrTruncated  = errors.New("bridge: truncated encapsulation header")
+	ErrFragBounds = errors.New("bridge: fragment outside packet bounds")
+)
+
+// Marshal appends the header to b.
+func (h *EncapHeader) Marshal(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, EncapMagic)
+	flags := byte(0)
+	if h.MoreFrags {
+		flags |= flagMoreFrags
+	}
+	b = append(b, EncapVersion, flags)
+	b = binary.BigEndian.AppendUint32(b, h.ID)
+	b = binary.BigEndian.AppendUint16(b, h.FragOff)
+	b = binary.BigEndian.AppendUint16(b, h.TotalLen)
+	return b
+}
+
+// ParseEncap splits an encapsulated datagram into header and fragment
+// payload (aliasing b).
+func ParseEncap(b []byte) (*EncapHeader, []byte, error) {
+	if len(b) < EncapHeaderLen {
+		return nil, nil, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(b) != EncapMagic {
+		return nil, nil, ErrBadMagic
+	}
+	if b[2] != EncapVersion {
+		return nil, nil, ErrBadVersion
+	}
+	h := &EncapHeader{
+		MoreFrags: b[3]&flagMoreFrags != 0,
+		ID:        binary.BigEndian.Uint32(b[4:]),
+		FragOff:   binary.BigEndian.Uint16(b[8:]),
+		TotalLen:  binary.BigEndian.Uint16(b[10:]),
+	}
+	payload := b[EncapHeaderLen:]
+	if int(h.FragOff)+len(payload) > int(h.TotalLen) {
+		return nil, nil, ErrFragBounds
+	}
+	return h, payload, nil
+}
+
+// Encapsulate marshals f and splits it into UDP-payload-sized datagrams,
+// each at most maxPayload bytes (header included). It returns the ready
+// UDP payloads. maxPayload <= EncapHeaderLen panics: no forward progress
+// would be possible.
+func Encapsulate(f *ethernet.Frame, id uint32, maxPayload int) ([][]byte, error) {
+	if maxPayload <= EncapHeaderLen {
+		panic(fmt.Sprintf("bridge: maxPayload %d leaves no room for data", maxPayload))
+	}
+	inner, err := f.Marshal(nil)
+	if err != nil {
+		return nil, err
+	}
+	chunk := maxPayload - EncapHeaderLen
+	var out [][]byte
+	for off := 0; off < len(inner); off += chunk {
+		end := off + chunk
+		if end > len(inner) {
+			end = len(inner)
+		}
+		h := EncapHeader{
+			ID:        id,
+			FragOff:   uint16(off),
+			TotalLen:  uint16(len(inner)),
+			MoreFrags: end < len(inner),
+		}
+		buf := make([]byte, 0, EncapHeaderLen+end-off)
+		buf = h.Marshal(buf)
+		buf = append(buf, inner[off:end]...)
+		out = append(out, buf)
+	}
+	if out == nil { // zero-length inner frame cannot happen (header >= 14) but be safe
+		h := EncapHeader{ID: id}
+		out = [][]byte{h.Marshal(nil)}
+	}
+	return out, nil
+}
+
+// FragmentCount reports how many datagrams Encapsulate would produce for
+// an inner frame of innerLen bytes. Used by the simulated bridge, which
+// fragments by size accounting without materializing bytes.
+func FragmentCount(innerLen, maxPayload int) int {
+	chunk := maxPayload - EncapHeaderLen
+	if chunk <= 0 {
+		panic("bridge: maxPayload leaves no room for data")
+	}
+	n := (innerLen + chunk - 1) / chunk
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// partial accumulates fragments of one inner frame.
+type partial struct {
+	buf      []byte
+	received int
+	total    int
+	sawLast  bool
+}
+
+// Reassembler reconstructs inner Ethernet frames from encapsulation
+// fragments. Fragments may arrive in any order; packets are keyed by
+// (sender key, id). Stale partial packets are evicted by generation
+// sweeps (EvictStale) rather than wall-clock timers so the type works in
+// both simulated and real time.
+type Reassembler struct {
+	partials map[string]*partial
+	gen      map[string]uint64
+	curGen   uint64
+
+	// Reassembled counts completed frames; Dropped counts evictions.
+	Reassembled, Dropped uint64
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{partials: make(map[string]*partial), gen: make(map[string]uint64)}
+}
+
+func key(sender string, id uint32) string { return fmt.Sprintf("%s/%d", sender, id) }
+
+// Add processes one encapsulated datagram from sender. When the datagram
+// completes an inner frame, the frame is parsed and returned; otherwise
+// (more fragments pending) it returns (nil, nil).
+func (r *Reassembler) Add(sender string, datagram []byte) (*ethernet.Frame, error) {
+	h, payload, err := ParseEncap(datagram)
+	if err != nil {
+		return nil, err
+	}
+	// Fast path: unfragmented packet.
+	if h.FragOff == 0 && !h.MoreFrags {
+		if len(payload) != int(h.TotalLen) {
+			return nil, ErrFragBounds
+		}
+		return ethernet.Unmarshal(payload)
+	}
+	k := key(sender, h.ID)
+	p := r.partials[k]
+	if p == nil {
+		p = &partial{buf: make([]byte, h.TotalLen), total: int(h.TotalLen)}
+		r.partials[k] = p
+	}
+	if p.total != int(h.TotalLen) {
+		delete(r.partials, k)
+		return nil, ErrFragBounds
+	}
+	copy(p.buf[h.FragOff:], payload)
+	p.received += len(payload)
+	if !h.MoreFrags {
+		p.sawLast = true
+	}
+	r.gen[k] = r.curGen
+	if p.sawLast && p.received >= p.total {
+		delete(r.partials, k)
+		delete(r.gen, k)
+		r.Reassembled++
+		return ethernet.Unmarshal(p.buf)
+	}
+	return nil, nil
+}
+
+// EvictStale drops partial packets not touched since the previous call.
+// Call it periodically (e.g. once per second of real or simulated time).
+func (r *Reassembler) EvictStale() int {
+	evicted := 0
+	for k, g := range r.gen {
+		if g < r.curGen {
+			delete(r.partials, k)
+			delete(r.gen, k)
+			evicted++
+			r.Dropped++
+		}
+	}
+	r.curGen++
+	return evicted
+}
+
+// Pending reports the number of partially reassembled packets.
+func (r *Reassembler) Pending() int { return len(r.partials) }

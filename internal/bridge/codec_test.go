@@ -1,0 +1,216 @@
+package bridge
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"vnetp/internal/ethernet"
+)
+
+func testFrame(payload int) *ethernet.Frame {
+	return &ethernet.Frame{
+		Dst:     ethernet.LocalMAC(2),
+		Src:     ethernet.LocalMAC(1),
+		Type:    ethernet.TypeIPv4,
+		Payload: bytes.Repeat([]byte{0xab}, payload),
+	}
+}
+
+func TestEncapHeaderRoundTrip(t *testing.T) {
+	h := EncapHeader{ID: 0xdeadbeef, FragOff: 100, TotalLen: 500, MoreFrags: true}
+	b := h.Marshal(nil)
+	b = append(b, make([]byte, 400)...)
+	g, payload, err := ParseEncap(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *g != h || len(payload) != 400 {
+		t.Fatalf("round trip %+v payload %d", g, len(payload))
+	}
+}
+
+func TestParseEncapErrors(t *testing.T) {
+	if _, _, err := ParseEncap(make([]byte, 5)); err != ErrTruncated {
+		t.Fatalf("short: %v", err)
+	}
+	h := EncapHeader{TotalLen: 10}
+	b := h.Marshal(nil)
+	b[0] = 0
+	if _, _, err := ParseEncap(b); err != ErrBadMagic {
+		t.Fatalf("magic: %v", err)
+	}
+	b = h.Marshal(nil)
+	b[2] = 99
+	if _, _, err := ParseEncap(b); err != ErrBadVersion {
+		t.Fatalf("version: %v", err)
+	}
+	// Fragment exceeding TotalLen.
+	bad := EncapHeader{FragOff: 8, TotalLen: 10}
+	b = bad.Marshal(nil)
+	b = append(b, make([]byte, 5)...)
+	if _, _, err := ParseEncap(b); err != ErrFragBounds {
+		t.Fatalf("bounds: %v", err)
+	}
+}
+
+func TestEncapsulateSingleDatagram(t *testing.T) {
+	f := testFrame(100)
+	ds, err := Encapsulate(f, 7, 1472)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 {
+		t.Fatalf("%d datagrams, want 1", len(ds))
+	}
+	r := NewReassembler()
+	g, err := r.Add("peer", ds[0])
+	if err != nil || g == nil {
+		t.Fatalf("reassemble: %v %v", g, err)
+	}
+	if g.Dst != f.Dst || !bytes.Equal(g.Payload, f.Payload) {
+		t.Fatal("frame mismatch")
+	}
+}
+
+func TestEncapsulateFragmented(t *testing.T) {
+	f := testFrame(4000) // inner 4014 bytes
+	const maxPayload = 1472
+	ds, err := Encapsulate(f, 9, maxPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FragmentCount(f.Len(), maxPayload)
+	if len(ds) != want || want < 3 {
+		t.Fatalf("%d datagrams, want %d (>=3)", len(ds), want)
+	}
+	for _, d := range ds {
+		if len(d) > maxPayload {
+			t.Fatalf("datagram %d exceeds maxPayload", len(d))
+		}
+	}
+	r := NewReassembler()
+	var got *ethernet.Frame
+	for i, d := range ds {
+		g, err := r.Add("peer", d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != nil && i != len(ds)-1 {
+			t.Fatal("completed before last fragment")
+		}
+		if g != nil {
+			got = g
+		}
+	}
+	if got == nil || !bytes.Equal(got.Payload, f.Payload) {
+		t.Fatal("reassembly mismatch")
+	}
+	if r.Pending() != 0 || r.Reassembled != 1 {
+		t.Fatalf("pending=%d reassembled=%d", r.Pending(), r.Reassembled)
+	}
+}
+
+func TestReassemblyOutOfOrder(t *testing.T) {
+	f := testFrame(3000)
+	ds, _ := Encapsulate(f, 1, 1472)
+	r := NewReassembler()
+	// Deliver in reverse order.
+	var got *ethernet.Frame
+	for i := len(ds) - 1; i >= 0; i-- {
+		g, err := r.Add("peer", ds[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != nil {
+			got = g
+		}
+	}
+	if got == nil || !bytes.Equal(got.Payload, f.Payload) {
+		t.Fatal("out-of-order reassembly failed")
+	}
+}
+
+func TestReassemblerSenderIsolation(t *testing.T) {
+	// Same packet ID from two senders must not collide.
+	fa, fb := testFrame(2000), testFrame(2500)
+	da, _ := Encapsulate(fa, 42, 1000)
+	db, _ := Encapsulate(fb, 42, 1000)
+	r := NewReassembler()
+	for i := range da {
+		r.Add("a", da[i])
+	}
+	var got *ethernet.Frame
+	for i := range db {
+		if g, _ := r.Add("b", db[i]); g != nil {
+			got = g
+		}
+	}
+	if got == nil || !bytes.Equal(got.Payload, fb.Payload) {
+		t.Fatal("cross-sender collision")
+	}
+}
+
+func TestEvictStale(t *testing.T) {
+	f := testFrame(3000)
+	ds, _ := Encapsulate(f, 5, 1000)
+	r := NewReassembler()
+	r.Add("peer", ds[0]) // partial
+	if r.Pending() != 1 {
+		t.Fatal("no partial")
+	}
+	if n := r.EvictStale(); n != 0 {
+		t.Fatalf("first sweep evicted %d", n) // same generation: survives one sweep
+	}
+	if n := r.EvictStale(); n != 1 {
+		t.Fatalf("second sweep evicted %d, want 1", n)
+	}
+	if r.Pending() != 0 || r.Dropped != 1 {
+		t.Fatalf("pending=%d dropped=%d", r.Pending(), r.Dropped)
+	}
+}
+
+func TestFragmentCount(t *testing.T) {
+	cases := []struct{ inner, max, want int }{
+		{100, 1472, 1},
+		{1460, 1472, 1},
+		{1461, 1472, 2},
+		{4014, 1472, 3},
+		{0, 100, 1},
+	}
+	for _, c := range cases {
+		if got := FragmentCount(c.inner, c.max); got != c.want {
+			t.Errorf("FragmentCount(%d,%d) = %d, want %d", c.inner, c.max, got, c.want)
+		}
+	}
+}
+
+func TestEncapsulateRoundTripProperty(t *testing.T) {
+	prop := func(payload []byte, maxP uint16, id uint32) bool {
+		if len(payload) > 9000 {
+			payload = payload[:9000]
+		}
+		maxPayload := int(maxP)%2000 + EncapHeaderLen + 1
+		f := &ethernet.Frame{Dst: ethernet.LocalMAC(9), Src: ethernet.LocalMAC(8), Type: ethernet.TypeTest, Payload: payload}
+		ds, err := Encapsulate(f, id, maxPayload)
+		if err != nil {
+			return false
+		}
+		r := NewReassembler()
+		var got *ethernet.Frame
+		for _, d := range ds {
+			g, err := r.Add("x", d)
+			if err != nil {
+				return false
+			}
+			if g != nil {
+				got = g
+			}
+		}
+		return got != nil && got.Dst == f.Dst && got.Src == f.Src &&
+			got.Type == f.Type && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,319 @@
+// Package control implements VNET/P's control plane (paper Sect. 4.6): a
+// VNET/U-compatible, line-oriented configuration language for links,
+// interfaces and routing rules, and a TCP daemon ("configuration
+// console") that applies commands to a running overlay node, so existing
+// VNET/U tooling can drive VNET/P.
+package control
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+
+	"vnetp/internal/core"
+	"vnetp/internal/ethernet"
+)
+
+// Target is the overlay node being configured.
+type Target interface {
+	AddLink(id, remote string, proto string) error
+	DelLink(id string) error
+	AddRoute(r core.Route) error
+	DelRoute(r core.Route) error
+	Routes() []core.Route
+	Links() []string
+	Interfaces() []string
+}
+
+// StatsProvider is an optional Target extension: nodes that implement it
+// answer LIST STATS with counter lines (the monitoring hook the Virtuoso
+// adaptation work built on).
+type StatsProvider interface {
+	Stats() []string
+}
+
+// Command is one parsed control command.
+type Command struct {
+	Verb string // ADD, DEL, LIST
+	Kind string // LINK, ROUTE, INTERFACES, LINKS, ROUTES
+
+	// Link fields.
+	LinkID string
+	Remote string
+	Proto  string
+
+	// Route fields.
+	Route core.Route
+}
+
+// Parse errors.
+var (
+	ErrEmpty  = errors.New("control: empty command")
+	ErrSyntax = errors.New("control: syntax error")
+)
+
+// parseMACSpec parses a route endpoint spec: "any", "not-<mac>", or a MAC.
+func parseMACSpec(s string) (ethernet.MAC, core.Qualifier, error) {
+	switch {
+	case strings.EqualFold(s, "any"):
+		return ethernet.MAC{}, core.QualAny, nil
+	case strings.HasPrefix(strings.ToLower(s), "not-"):
+		m, err := ethernet.ParseMAC(s[4:])
+		if err != nil {
+			return ethernet.MAC{}, 0, err
+		}
+		return m, core.QualNot, nil
+	default:
+		m, err := ethernet.ParseMAC(s)
+		if err != nil {
+			return ethernet.MAC{}, 0, err
+		}
+		return m, core.QualExact, nil
+	}
+}
+
+// formatMACSpec is the inverse of parseMACSpec.
+func formatMACSpec(m ethernet.MAC, q core.Qualifier) string {
+	switch q {
+	case core.QualAny:
+		return "any"
+	case core.QualNot:
+		return "not-" + m.String()
+	default:
+		return m.String()
+	}
+}
+
+// Parse parses one command line. The grammar:
+//
+//	ADD LINK <id> REMOTE <host:port> [UDP|TCP]
+//	DEL LINK <id>
+//	ADD ROUTE <dst-spec> <src-spec> {interface|link} <dest-id>
+//	DEL ROUTE <dst-spec> <src-spec> {interface|link} <dest-id>
+//	LIST {ROUTES|LINKS|INTERFACES}
+//
+// where a spec is "any", "not-<mac>", or "<mac>".
+func Parse(line string) (*Command, error) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+		return nil, ErrEmpty
+	}
+	verb := strings.ToUpper(fields[0])
+	switch verb {
+	case "LIST":
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%w: LIST needs one of ROUTES|LINKS|INTERFACES|STATS", ErrSyntax)
+		}
+		kind := strings.ToUpper(fields[1])
+		switch kind {
+		case "ROUTES", "LINKS", "INTERFACES", "STATS":
+			return &Command{Verb: verb, Kind: kind}, nil
+		}
+		return nil, fmt.Errorf("%w: unknown LIST target %q", ErrSyntax, fields[1])
+	case "ADD", "DEL":
+	default:
+		return nil, fmt.Errorf("%w: unknown verb %q", ErrSyntax, fields[0])
+	}
+	if len(fields) < 2 {
+		return nil, ErrSyntax
+	}
+	kind := strings.ToUpper(fields[1])
+	switch kind {
+	case "LINK":
+		cmd := &Command{Verb: verb, Kind: kind}
+		switch {
+		case verb == "DEL" && len(fields) == 3:
+			cmd.LinkID = fields[2]
+			return cmd, nil
+		case verb == "ADD" && (len(fields) == 5 || len(fields) == 6) && strings.EqualFold(fields[3], "REMOTE"):
+			cmd.LinkID = fields[2]
+			cmd.Remote = fields[4]
+			cmd.Proto = "udp"
+			if len(fields) == 6 {
+				p := strings.ToLower(fields[5])
+				if p != "udp" && p != "tcp" {
+					return nil, fmt.Errorf("%w: bad protocol %q", ErrSyntax, fields[5])
+				}
+				cmd.Proto = p
+			}
+			return cmd, nil
+		}
+		return nil, fmt.Errorf("%w: bad LINK command", ErrSyntax)
+	case "ROUTE":
+		if len(fields) != 6 {
+			return nil, fmt.Errorf("%w: ROUTE needs dst src {interface|link} id", ErrSyntax)
+		}
+		dstMAC, dstQ, err := parseMACSpec(fields[2])
+		if err != nil {
+			return nil, err
+		}
+		srcMAC, srcQ, err := parseMACSpec(fields[3])
+		if err != nil {
+			return nil, err
+		}
+		var dt core.DestType
+		switch strings.ToLower(fields[4]) {
+		case "interface":
+			dt = core.DestInterface
+		case "link":
+			dt = core.DestLink
+		default:
+			return nil, fmt.Errorf("%w: bad destination type %q", ErrSyntax, fields[4])
+		}
+		return &Command{
+			Verb: verb, Kind: kind,
+			Route: core.Route{
+				DstMAC: dstMAC, DstQual: dstQ,
+				SrcMAC: srcMAC, SrcQual: srcQ,
+				Dest: core.Destination{Type: dt, ID: fields[5]},
+			},
+		}, nil
+	}
+	return nil, fmt.Errorf("%w: unknown object %q", ErrSyntax, fields[1])
+}
+
+// FormatRoute renders a route in the language's ROUTE argument form.
+func FormatRoute(r core.Route) string {
+	return fmt.Sprintf("%s %s %s %s",
+		formatMACSpec(r.DstMAC, r.DstQual),
+		formatMACSpec(r.SrcMAC, r.SrcQual),
+		strings.ToLower(r.Dest.Type.String()),
+		r.Dest.ID)
+}
+
+// Apply executes a parsed command against a target, returning the
+// response lines (without the OK/ERR status).
+func Apply(t Target, cmd *Command) ([]string, error) {
+	switch cmd.Verb + " " + cmd.Kind {
+	case "ADD LINK":
+		return nil, t.AddLink(cmd.LinkID, cmd.Remote, cmd.Proto)
+	case "DEL LINK":
+		return nil, t.DelLink(cmd.LinkID)
+	case "ADD ROUTE":
+		return nil, t.AddRoute(cmd.Route)
+	case "DEL ROUTE":
+		return nil, t.DelRoute(cmd.Route)
+	case "LIST ROUTES":
+		var out []string
+		for _, r := range t.Routes() {
+			out = append(out, FormatRoute(r))
+		}
+		return out, nil
+	case "LIST LINKS":
+		return t.Links(), nil
+	case "LIST INTERFACES":
+		return t.Interfaces(), nil
+	case "LIST STATS":
+		if sp, ok := t.(StatsProvider); ok {
+			return sp.Stats(), nil
+		}
+		return nil, fmt.Errorf("control: target does not export statistics")
+	}
+	return nil, fmt.Errorf("control: unsupported command %s %s", cmd.Verb, cmd.Kind)
+}
+
+// RunScript applies a newline-separated batch of commands (e.g. a config
+// file), ignoring blank lines and comments.
+func RunScript(t Target, r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		cmd, err := Parse(sc.Text())
+		if errors.Is(err, ErrEmpty) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if _, err := Apply(t, cmd); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	return sc.Err()
+}
+
+// Daemon is the TCP control console: one command per line, responses are
+// zero or more payload lines followed by "OK" or "ERR <message>".
+type Daemon struct {
+	target Target
+	ln     net.Listener
+	mu     sync.Mutex
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewDaemon starts a control daemon listening on addr (e.g.
+// "127.0.0.1:0").
+func NewDaemon(target Target, addr string) (*Daemon, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{target: target, ln: ln}
+	d.wg.Add(1)
+	go d.acceptLoop()
+	return d, nil
+}
+
+// Addr reports the daemon's listen address.
+func (d *Daemon) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the daemon and waits for its goroutines.
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	err := d.ln.Close()
+	d.wg.Wait()
+	return err
+}
+
+func (d *Daemon) acceptLoop() {
+	defer d.wg.Done()
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			return
+		}
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			defer conn.Close()
+			d.serve(conn)
+		}()
+	}
+}
+
+func (d *Daemon) serve(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := sc.Text()
+		cmd, err := Parse(line)
+		if errors.Is(err, ErrEmpty) {
+			continue
+		}
+		var payload []string
+		if err == nil {
+			d.mu.Lock()
+			payload, err = Apply(d.target, cmd)
+			d.mu.Unlock()
+		}
+		for _, l := range payload {
+			fmt.Fprintln(w, l)
+		}
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+		} else {
+			fmt.Fprintln(w, "OK")
+		}
+		if w.Flush() != nil {
+			return
+		}
+	}
+}

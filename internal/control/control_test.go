@@ -1,0 +1,250 @@
+package control
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"vnetp/internal/core"
+	"vnetp/internal/ethernet"
+)
+
+// fakeTarget records applied configuration.
+type fakeTarget struct {
+	links  map[string]string
+	routes []core.Route
+	ifaces []string
+	failOn string
+}
+
+func newFake() *fakeTarget {
+	return &fakeTarget{links: map[string]string{}, ifaces: []string{"nic0"}}
+}
+
+func (f *fakeTarget) AddLink(id, remote, proto string) error {
+	if f.failOn == "addlink" {
+		return errors.New("boom")
+	}
+	f.links[id] = remote + "/" + proto
+	return nil
+}
+func (f *fakeTarget) DelLink(id string) error {
+	if _, ok := f.links[id]; !ok {
+		return errors.New("no link")
+	}
+	delete(f.links, id)
+	return nil
+}
+func (f *fakeTarget) AddRoute(r core.Route) error { f.routes = append(f.routes, r); return nil }
+func (f *fakeTarget) DelRoute(r core.Route) error {
+	for i, have := range f.routes {
+		if have == r {
+			f.routes = append(f.routes[:i], f.routes[i+1:]...)
+			return nil
+		}
+	}
+	return errors.New("no route")
+}
+func (f *fakeTarget) Routes() []core.Route { return f.routes }
+func (f *fakeTarget) Links() []string {
+	var out []string
+	for id := range f.links {
+		out = append(out, id)
+	}
+	return out
+}
+func (f *fakeTarget) Interfaces() []string { return f.ifaces }
+
+func TestParseAddLink(t *testing.T) {
+	cmd, err := Parse("ADD LINK to-b REMOTE 10.0.0.2:7777 udp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Verb != "ADD" || cmd.Kind != "LINK" || cmd.LinkID != "to-b" ||
+		cmd.Remote != "10.0.0.2:7777" || cmd.Proto != "udp" {
+		t.Fatalf("cmd = %+v", cmd)
+	}
+	// Default proto.
+	cmd, err = Parse("add link l1 remote host:1")
+	if err != nil || cmd.Proto != "udp" {
+		t.Fatalf("default proto: %+v %v", cmd, err)
+	}
+	cmd, _ = Parse("ADD LINK l2 REMOTE h:2 TCP")
+	if cmd.Proto != "tcp" {
+		t.Fatalf("tcp proto: %+v", cmd)
+	}
+}
+
+func TestParseRoute(t *testing.T) {
+	mac := ethernet.LocalMAC(5)
+	cmd, err := Parse(fmt.Sprintf("ADD ROUTE %s any link to-b", mac))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := cmd.Route
+	if r.DstMAC != mac || r.DstQual != core.QualExact || r.SrcQual != core.QualAny ||
+		r.Dest != (core.Destination{Type: core.DestLink, ID: "to-b"}) {
+		t.Fatalf("route = %+v", r)
+	}
+	cmd, err = Parse(fmt.Sprintf("ADD ROUTE not-%s %s interface nic0", mac, mac))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Route.DstQual != core.QualNot || cmd.Route.SrcQual != core.QualExact {
+		t.Fatalf("quals = %+v", cmd.Route)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"FROB LINK x",
+		"ADD LINK",
+		"ADD LINK x REMOTE",
+		"ADD LINK x REMOTE a:1 SCTP",
+		"ADD ROUTE any any nowhere x",
+		"ADD ROUTE zz any link x",
+		"LIST",
+		"LIST NOTHING",
+		"ADD WIDGET x",
+	}
+	for _, line := range bad {
+		if _, err := Parse(line); err == nil {
+			t.Errorf("Parse(%q) succeeded", line)
+		}
+	}
+	for _, line := range []string{"", "   ", "# comment"} {
+		if _, err := Parse(line); !errors.Is(err, ErrEmpty) {
+			t.Errorf("Parse(%q) = %v, want ErrEmpty", line, err)
+		}
+	}
+}
+
+func TestFormatRouteRoundTrip(t *testing.T) {
+	routes := []core.Route{
+		{DstMAC: ethernet.LocalMAC(1), DstQual: core.QualExact, SrcQual: core.QualAny,
+			Dest: core.Destination{Type: core.DestLink, ID: "l1"}},
+		{DstQual: core.QualAny, SrcMAC: ethernet.LocalMAC(2), SrcQual: core.QualNot,
+			Dest: core.Destination{Type: core.DestInterface, ID: "nic0"}},
+	}
+	for _, r := range routes {
+		line := "ADD ROUTE " + FormatRoute(r)
+		cmd, err := Parse(line)
+		if err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+		if cmd.Route != r {
+			t.Fatalf("round trip: %+v vs %+v", cmd.Route, r)
+		}
+	}
+}
+
+func TestRunScript(t *testing.T) {
+	f := newFake()
+	script := `
+# build a two-link overlay
+ADD LINK to-b REMOTE 127.0.0.1:9001
+ADD LINK to-c REMOTE 127.0.0.1:9002 tcp
+
+ADD ROUTE 02:56:00:00:00:02 any link to-b
+ADD ROUTE 02:56:00:00:00:03 any link to-c
+`
+	if err := RunScript(f, strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.links) != 2 || len(f.routes) != 2 {
+		t.Fatalf("links=%v routes=%v", f.links, f.routes)
+	}
+	// Script with a bad line reports the line number.
+	err := RunScript(f, strings.NewReader("ADD LINK ok REMOTE a:1\nGARBAGE\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	f := newFake()
+	d, err := NewDaemon(f, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	conn, err := net.Dial("tcp", d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rd := bufio.NewReader(conn)
+	send := func(line string) []string {
+		fmt.Fprintln(conn, line)
+		var out []string
+		for {
+			resp, err := rd.ReadString('\n')
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp = strings.TrimSpace(resp)
+			out = append(out, resp)
+			if resp == "OK" || strings.HasPrefix(resp, "ERR") {
+				return out
+			}
+		}
+	}
+
+	if got := send("ADD LINK to-b REMOTE 127.0.0.1:9999"); got[len(got)-1] != "OK" {
+		t.Fatalf("ADD LINK: %v", got)
+	}
+	if got := send("ADD ROUTE 02:56:00:00:00:02 any link to-b"); got[len(got)-1] != "OK" {
+		t.Fatalf("ADD ROUTE: %v", got)
+	}
+	got := send("LIST ROUTES")
+	if len(got) != 2 || !strings.Contains(got[0], "02:56:00:00:00:02") {
+		t.Fatalf("LIST ROUTES: %v", got)
+	}
+	got = send("LIST LINKS")
+	if len(got) != 2 || got[0] != "to-b" {
+		t.Fatalf("LIST LINKS: %v", got)
+	}
+	got = send("LIST INTERFACES")
+	if got[0] != "nic0" {
+		t.Fatalf("LIST INTERFACES: %v", got)
+	}
+	if got := send("DEL LINK nothere"); !strings.HasPrefix(got[len(got)-1], "ERR") {
+		t.Fatalf("DEL missing link: %v", got)
+	}
+	if got := send("BOGUS"); !strings.HasPrefix(got[len(got)-1], "ERR") {
+		t.Fatalf("bogus command: %v", got)
+	}
+	if got := send("DEL ROUTE 02:56:00:00:00:02 any link to-b"); got[len(got)-1] != "OK" {
+		t.Fatalf("DEL ROUTE: %v", got)
+	}
+	if len(f.routes) != 0 {
+		t.Fatalf("routes remain: %v", f.routes)
+	}
+	// fakeTarget has no stats: LIST STATS must error, not crash.
+	if got := send("LIST STATS"); !strings.HasPrefix(got[len(got)-1], "ERR") {
+		t.Fatalf("LIST STATS on statless target: %v", got)
+	}
+}
+
+// statsTarget adds the optional StatsProvider extension.
+type statsTarget struct{ *fakeTarget }
+
+func (statsTarget) Stats() []string { return []string{"frames 42"} }
+
+func TestListStats(t *testing.T) {
+	cmd, err := Parse("LIST STATS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Apply(statsTarget{newFake()}, cmd)
+	if err != nil || len(out) != 1 || out[0] != "frames 42" {
+		t.Fatalf("stats = %v, %v", out, err)
+	}
+	if _, err := Apply(newFake(), cmd); err == nil {
+		t.Fatal("statless target accepted LIST STATS")
+	}
+}

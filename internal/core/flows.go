@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"vnetp/internal/ethernet"
+)
+
+// Flow is one observed (source, destination) MAC pair with its traffic
+// volume — the raw material of the VNET model's adaptation loop (paper
+// Sect. 3: "monitor application communication ... and address such
+// problems through VM migration and overlay network control").
+type Flow struct {
+	Src, Dst ethernet.MAC
+	Bytes    uint64
+	Packets  uint64
+}
+
+// flowKey identifies a directed flow.
+type flowKey struct{ src, dst ethernet.MAC }
+
+// maxTrackedFlows bounds the accounting table; when full, the smallest
+// flow is evicted to admit a new one (heavy flows, the ones adaptation
+// cares about, stay).
+const maxTrackedFlows = 4096
+
+// FlowStats accumulates per-flow traffic counters. Safe for concurrent
+// use (the real-socket overlay records from socket goroutines).
+type FlowStats struct {
+	mu    sync.Mutex
+	flows map[flowKey]*Flow
+}
+
+// NewFlowStats returns an empty accounting table.
+func NewFlowStats() *FlowStats {
+	return &FlowStats{flows: make(map[flowKey]*Flow)}
+}
+
+// Record adds one packet of n bytes to the flow.
+func (fs *FlowStats) Record(src, dst ethernet.MAC, n int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	k := flowKey{src, dst}
+	f := fs.flows[k]
+	if f == nil {
+		if len(fs.flows) >= maxTrackedFlows {
+			fs.evictSmallestLocked()
+		}
+		f = &Flow{Src: src, Dst: dst}
+		fs.flows[k] = f
+	}
+	f.Bytes += uint64(n)
+	f.Packets++
+}
+
+func (fs *FlowStats) evictSmallestLocked() {
+	var victim flowKey
+	min := ^uint64(0)
+	for k, f := range fs.flows {
+		if f.Bytes < min {
+			min = f.Bytes
+			victim = k
+		}
+	}
+	delete(fs.flows, victim)
+}
+
+// Top returns the k largest flows by bytes, descending (ties broken by
+// MAC order for determinism).
+func (fs *FlowStats) Top(k int) []Flow {
+	fs.mu.Lock()
+	out := make([]Flow, 0, len(fs.flows))
+	for _, f := range fs.flows {
+		out = append(out, *f)
+	}
+	fs.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		if out[i].Src != out[j].Src {
+			return lessMAC(out[i].Src, out[j].Src)
+		}
+		return lessMAC(out[i].Dst, out[j].Dst)
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+func lessMAC(a, b ethernet.MAC) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Reset clears the counters (start of a new observation window).
+func (fs *FlowStats) Reset() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.flows = make(map[flowKey]*Flow)
+}
+
+// Len reports the number of tracked flows.
+func (fs *FlowStats) Len() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.flows)
+}

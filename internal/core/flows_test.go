@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vnetp/internal/ethernet"
+)
+
+func TestFlowStatsAccumulates(t *testing.T) {
+	fs := NewFlowStats()
+	a, b := ethernet.LocalMAC(1), ethernet.LocalMAC(2)
+	fs.Record(a, b, 100)
+	fs.Record(a, b, 200)
+	fs.Record(b, a, 50)
+	top := fs.Top(0)
+	if len(top) != 2 {
+		t.Fatalf("flows = %v", top)
+	}
+	if top[0].Src != a || top[0].Bytes != 300 || top[0].Packets != 2 {
+		t.Fatalf("top flow = %+v", top[0])
+	}
+	if top[1].Bytes != 50 {
+		t.Fatalf("second flow = %+v", top[1])
+	}
+}
+
+func TestFlowStatsTopK(t *testing.T) {
+	fs := NewFlowStats()
+	for i := 0; i < 10; i++ {
+		fs.Record(ethernet.LocalMAC(uint32(i)), ethernet.LocalMAC(99), 100*(i+1))
+	}
+	top := fs.Top(3)
+	if len(top) != 3 {
+		t.Fatalf("top(3) = %d entries", len(top))
+	}
+	if top[0].Bytes != 1000 || top[2].Bytes != 800 {
+		t.Fatalf("top = %v", top)
+	}
+}
+
+func TestFlowStatsEviction(t *testing.T) {
+	fs := NewFlowStats()
+	// One giant flow, then overflow the table with singletons: the giant
+	// must survive.
+	big := ethernet.LocalMAC(1)
+	fs.Record(big, ethernet.LocalMAC(2), 1<<30)
+	for i := 0; i < maxTrackedFlows+100; i++ {
+		fs.Record(ethernet.LocalMAC(uint32(1000+i)), ethernet.LocalMAC(3), 1)
+	}
+	if fs.Len() > maxTrackedFlows {
+		t.Fatalf("len = %d, cap %d", fs.Len(), maxTrackedFlows)
+	}
+	top := fs.Top(1)
+	if top[0].Src != big {
+		t.Fatal("heavy flow evicted")
+	}
+}
+
+func TestFlowStatsReset(t *testing.T) {
+	fs := NewFlowStats()
+	fs.Record(ethernet.LocalMAC(1), ethernet.LocalMAC(2), 10)
+	fs.Reset()
+	if fs.Len() != 0 || len(fs.Top(0)) != 0 {
+		t.Fatal("reset left data")
+	}
+}
+
+// Property: Top is totally ordered by bytes descending, and total bytes
+// across flows equals total recorded.
+func TestFlowStatsOrderProperty(t *testing.T) {
+	prop := func(records []struct {
+		S, D uint8
+		N    uint16
+	}) bool {
+		fs := NewFlowStats()
+		var total uint64
+		for _, r := range records {
+			n := int(r.N) + 1
+			fs.Record(ethernet.LocalMAC(uint32(r.S)), ethernet.LocalMAC(uint32(r.D)), n)
+			total += uint64(n)
+		}
+		top := fs.Top(0)
+		var sum uint64
+		for i, f := range top {
+			sum += f.Bytes
+			if i > 0 && f.Bytes > top[i-1].Bytes {
+				return false
+			}
+		}
+		return sum == total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

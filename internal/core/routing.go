@@ -1,0 +1,283 @@
+// Package core implements the VNET/P core, the paper's primary
+// contribution (Sect. 4.3): MAC-address routing of raw Ethernet frames
+// between virtual NICs and overlay links, performed by packet dispatchers
+// that run in guest-driven, VMM-driven, or adaptive mode.
+//
+// The routing logic in this file is pure (no simulation dependencies) and
+// is shared by the simulated datapath (vnetp.go) and the real-socket
+// overlay (internal/overlay).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"vnetp/internal/ethernet"
+)
+
+// Qualifier restricts how a route's MAC field matches, following the
+// VNET/U configuration language ("any" and "not" qualifiers).
+type Qualifier int
+
+const (
+	// QualExact matches the exact MAC address.
+	QualExact Qualifier = iota
+	// QualAny matches every MAC address.
+	QualAny
+	// QualNot matches every MAC address except the given one.
+	QualNot
+)
+
+func (q Qualifier) String() string {
+	switch q {
+	case QualExact:
+		return "exact"
+	case QualAny:
+		return "any"
+	case QualNot:
+		return "not"
+	default:
+		return "unknown"
+	}
+}
+
+// DestType says whether a route's destination is a local virtual NIC or an
+// overlay link to a remote VNET node.
+type DestType int
+
+const (
+	// DestInterface delivers to a local virtual NIC.
+	DestInterface DestType = iota
+	// DestLink forwards through the bridge to a remote VNET/P core, a
+	// VNET/U daemon, or the local physical network.
+	DestLink
+)
+
+func (d DestType) String() string {
+	if d == DestInterface {
+		return "interface"
+	}
+	return "link"
+}
+
+// Destination is where a matched packet goes.
+type Destination struct {
+	Type DestType
+	// ID names the interface or link.
+	ID string
+}
+
+func (d Destination) String() string { return fmt.Sprintf("%s:%s", d.Type, d.ID) }
+
+// Route is one routing-table entry: a (source, destination) MAC pattern
+// mapping to a destination.
+type Route struct {
+	DstMAC  ethernet.MAC
+	DstQual Qualifier
+	SrcMAC  ethernet.MAC
+	SrcQual Qualifier
+	Dest    Destination
+}
+
+// matches reports whether the route matches the packet addresses, and the
+// specificity score used to pick the best match (exact beats not beats
+// any; destination specificity beats source specificity).
+func (r *Route) matches(src, dst ethernet.MAC) (bool, int) {
+	score := 0
+	switch r.DstQual {
+	case QualExact:
+		if r.DstMAC != dst {
+			return false, 0
+		}
+		score += 8
+	case QualNot:
+		if r.DstMAC == dst {
+			return false, 0
+		}
+		score += 4
+	case QualAny:
+	}
+	switch r.SrcQual {
+	case QualExact:
+		if r.SrcMAC != src {
+			return false, 0
+		}
+		score += 2
+	case QualNot:
+		if r.SrcMAC == src {
+			return false, 0
+		}
+		score++
+	case QualAny:
+	}
+	return true, score
+}
+
+func (r *Route) String() string {
+	q := func(m ethernet.MAC, qu Qualifier) string {
+		switch qu {
+		case QualAny:
+			return "any"
+		case QualNot:
+			return "not-" + m.String()
+		default:
+			return m.String()
+		}
+	}
+	return fmt.Sprintf("src=%s dst=%s -> %s", q(r.SrcMAC, r.SrcQual), q(r.DstMAC, r.DstQual), r.Dest)
+}
+
+// ErrNoRoute is returned when no routing entry matches a packet.
+var ErrNoRoute = errors.New("core: no matching route")
+
+type cacheKey struct {
+	src, dst ethernet.MAC
+}
+
+// Table is the VNET/P routing table: a linear-scan rule list indexed by
+// source and destination MAC, with a hash routing cache layered on top so
+// the common case is a constant-time lookup (paper Sect. 4.3). Table is
+// safe for concurrent use; the real-socket overlay calls it from multiple
+// goroutines, while the simulation is single-threaded.
+type Table struct {
+	mu     sync.RWMutex
+	routes []*Route
+	cache  map[cacheKey][]Destination
+
+	// CacheEnabled can be cleared to measure the cache's contribution
+	// (ablation benchmark). Enabled by default.
+	CacheEnabled bool
+
+	// Stats
+	Hits, Misses uint64
+}
+
+// NewTable returns an empty routing table with the cache enabled.
+func NewTable() *Table {
+	return &Table{cache: make(map[cacheKey][]Destination), CacheEnabled: true}
+}
+
+// AddRoute appends a route and invalidates the routing cache.
+func (t *Table) AddRoute(r Route) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rc := r
+	t.routes = append(t.routes, &rc)
+	t.cache = make(map[cacheKey][]Destination)
+}
+
+// RemoveRoute removes the first route exactly equal to r, reporting
+// whether one was found. The cache is invalidated on success.
+func (t *Table) RemoveRoute(r Route) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, have := range t.routes {
+		if *have == r {
+			t.routes = append(t.routes[:i], t.routes[i+1:]...)
+			t.cache = make(map[cacheKey][]Destination)
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveByDest removes all routes pointing at dest, returning how many
+// were removed (used when a link or interface is torn down).
+func (t *Table) RemoveByDest(dest Destination) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.routes[:0]
+	removed := 0
+	for _, r := range t.routes {
+		if r.Dest == dest {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.routes = kept
+	if removed > 0 {
+		t.cache = make(map[cacheKey][]Destination)
+	}
+	return removed
+}
+
+// Len reports the number of routes.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.routes)
+}
+
+// Routes returns a snapshot of the table.
+func (t *Table) Routes() []Route {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Route, len(t.routes))
+	for i, r := range t.routes {
+		out[i] = *r
+	}
+	return out
+}
+
+// CacheStats reports the routing cache's hit and miss counts.
+func (t *Table) CacheStats() (hits, misses uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.Hits, t.Misses
+}
+
+// Lookup resolves the destinations for a packet. Unicast packets get the
+// single best (most specific) match; broadcast/multicast packets get every
+// distinct matching destination except ones that would loop the frame back
+// to its source interface (the caller excludes that by name). The second
+// result reports whether the answer came from the routing cache, so the
+// simulated datapath can charge the linear-scan cost only on misses.
+func (t *Table) Lookup(src, dst ethernet.MAC) ([]Destination, bool, error) {
+	key := cacheKey{src, dst}
+	t.mu.RLock()
+	if t.CacheEnabled {
+		if dests, ok := t.cache[key]; ok {
+			t.mu.RUnlock()
+			t.mu.Lock()
+			t.Hits++
+			t.mu.Unlock()
+			return dests, true, nil
+		}
+	}
+	t.mu.RUnlock()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Misses++
+	var dests []Destination
+	if dst.IsBroadcast() || dst.IsMulticast() {
+		seen := make(map[Destination]bool)
+		for _, r := range t.routes {
+			if ok, _ := r.matches(src, dst); ok && !seen[r.Dest] {
+				seen[r.Dest] = true
+				dests = append(dests, r.Dest)
+			}
+		}
+	} else {
+		best := -1
+		var bestDest Destination
+		for _, r := range t.routes {
+			if ok, score := r.matches(src, dst); ok && score > best {
+				best = score
+				bestDest = r.Dest
+			}
+		}
+		if best >= 0 {
+			dests = []Destination{bestDest}
+		}
+	}
+	if len(dests) == 0 {
+		return nil, false, ErrNoRoute
+	}
+	if t.CacheEnabled {
+		t.cache[key] = dests
+	}
+	return dests, false, nil
+}

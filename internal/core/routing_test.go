@@ -1,0 +1,243 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vnetp/internal/ethernet"
+)
+
+var (
+	macA = ethernet.LocalMAC(1)
+	macB = ethernet.LocalMAC(2)
+	macC = ethernet.LocalMAC(3)
+)
+
+func ifaceDest(id string) Destination { return Destination{Type: DestInterface, ID: id} }
+func linkDest(id string) Destination  { return Destination{Type: DestLink, ID: id} }
+
+func TestLookupExact(t *testing.T) {
+	tb := NewTable()
+	tb.AddRoute(Route{DstMAC: macB, DstQual: QualExact, SrcQual: QualAny, Dest: linkDest("l1")})
+	dests, hit, err := tb.Lookup(macA, macB)
+	if err != nil || hit || len(dests) != 1 || dests[0] != linkDest("l1") {
+		t.Fatalf("lookup = %v hit=%v err=%v", dests, hit, err)
+	}
+	// Second lookup hits the cache.
+	dests, hit, err = tb.Lookup(macA, macB)
+	if err != nil || !hit || dests[0] != linkDest("l1") {
+		t.Fatalf("cached lookup = %v hit=%v err=%v", dests, hit, err)
+	}
+	if tb.Hits != 1 || tb.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", tb.Hits, tb.Misses)
+	}
+}
+
+func TestLookupNoRoute(t *testing.T) {
+	tb := NewTable()
+	if _, _, err := tb.Lookup(macA, macB); err != ErrNoRoute {
+		t.Fatalf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestLookupSpecificityOrdering(t *testing.T) {
+	tb := NewTable()
+	tb.AddRoute(Route{DstQual: QualAny, SrcQual: QualAny, Dest: linkDest("default")})
+	tb.AddRoute(Route{DstMAC: macB, DstQual: QualExact, SrcQual: QualAny, Dest: linkDest("to-b")})
+	tb.AddRoute(Route{DstMAC: macB, DstQual: QualExact, SrcMAC: macA, SrcQual: QualExact, Dest: linkDest("a-to-b")})
+
+	dests, _, err := tb.Lookup(macA, macB)
+	if err != nil || dests[0] != linkDest("a-to-b") {
+		t.Fatalf("most specific: %v %v", dests, err)
+	}
+	dests, _, _ = tb.Lookup(macC, macB)
+	if dests[0] != linkDest("to-b") {
+		t.Fatalf("dst-exact: %v", dests)
+	}
+	dests, _, _ = tb.Lookup(macA, macC)
+	if dests[0] != linkDest("default") {
+		t.Fatalf("default: %v", dests)
+	}
+}
+
+func TestLookupNotQualifier(t *testing.T) {
+	tb := NewTable()
+	tb.AddRoute(Route{DstMAC: macB, DstQual: QualNot, SrcQual: QualAny, Dest: linkDest("not-b")})
+	if dests, _, err := tb.Lookup(macA, macC); err != nil || dests[0] != linkDest("not-b") {
+		t.Fatalf("not-b should match C: %v %v", dests, err)
+	}
+	if _, _, err := tb.Lookup(macA, macB); err != ErrNoRoute {
+		t.Fatalf("not-b must not match B: %v", err)
+	}
+}
+
+func TestBroadcastFanout(t *testing.T) {
+	tb := NewTable()
+	tb.AddRoute(Route{DstQual: QualAny, SrcQual: QualAny, Dest: ifaceDest("if0")})
+	tb.AddRoute(Route{DstQual: QualAny, SrcQual: QualAny, Dest: ifaceDest("if1")})
+	tb.AddRoute(Route{DstQual: QualAny, SrcQual: QualAny, Dest: linkDest("l1")})
+	tb.AddRoute(Route{DstMAC: macB, DstQual: QualExact, SrcQual: QualAny, Dest: linkDest("l1")}) // duplicate dest
+
+	dests, _, err := tb.Lookup(macA, ethernet.Broadcast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dests) != 3 {
+		t.Fatalf("broadcast fanout = %v, want 3 distinct destinations", dests)
+	}
+}
+
+func TestCacheInvalidationOnAdd(t *testing.T) {
+	tb := NewTable()
+	tb.AddRoute(Route{DstQual: QualAny, SrcQual: QualAny, Dest: linkDest("old")})
+	tb.Lookup(macA, macB) // populate cache
+	tb.AddRoute(Route{DstMAC: macB, DstQual: QualExact, SrcQual: QualAny, Dest: linkDest("new")})
+	dests, hit, _ := tb.Lookup(macA, macB)
+	if hit || dests[0] != linkDest("new") {
+		t.Fatalf("stale cache after AddRoute: %v hit=%v", dests, hit)
+	}
+}
+
+func TestRemoveRoute(t *testing.T) {
+	tb := NewTable()
+	r := Route{DstMAC: macB, DstQual: QualExact, SrcQual: QualAny, Dest: linkDest("l1")}
+	tb.AddRoute(r)
+	tb.Lookup(macA, macB)
+	if !tb.RemoveRoute(r) {
+		t.Fatal("RemoveRoute failed")
+	}
+	if tb.RemoveRoute(r) {
+		t.Fatal("double remove succeeded")
+	}
+	if _, _, err := tb.Lookup(macA, macB); err != ErrNoRoute {
+		t.Fatalf("route still resolves after removal: %v", err)
+	}
+}
+
+func TestRemoveByDest(t *testing.T) {
+	tb := NewTable()
+	tb.AddRoute(Route{DstMAC: macB, DstQual: QualExact, SrcQual: QualAny, Dest: linkDest("l1")})
+	tb.AddRoute(Route{DstMAC: macC, DstQual: QualExact, SrcQual: QualAny, Dest: linkDest("l1")})
+	tb.AddRoute(Route{DstMAC: macA, DstQual: QualExact, SrcQual: QualAny, Dest: ifaceDest("if0")})
+	if n := tb.RemoveByDest(linkDest("l1")); n != 2 {
+		t.Fatalf("removed %d, want 2", n)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("len = %d, want 1", tb.Len())
+	}
+	if n := tb.RemoveByDest(linkDest("nope")); n != 0 {
+		t.Fatalf("removed %d for missing dest", n)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	tb := NewTable()
+	tb.CacheEnabled = false
+	tb.AddRoute(Route{DstQual: QualAny, SrcQual: QualAny, Dest: linkDest("l")})
+	for i := 0; i < 3; i++ {
+		if _, hit, _ := tb.Lookup(macA, macB); hit {
+			t.Fatal("cache hit with cache disabled")
+		}
+	}
+	if tb.Hits != 0 || tb.Misses != 3 {
+		t.Fatalf("hits=%d misses=%d", tb.Hits, tb.Misses)
+	}
+}
+
+func TestRoutesSnapshot(t *testing.T) {
+	tb := NewTable()
+	r := Route{DstMAC: macB, DstQual: QualExact, SrcQual: QualAny, Dest: linkDest("l1")}
+	tb.AddRoute(r)
+	snap := tb.Routes()
+	if len(snap) != 1 || snap[0] != r {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	snap[0].Dest = linkDest("mutated")
+	if tb.Routes()[0].Dest != linkDest("l1") {
+		t.Fatal("snapshot mutation affected table")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	r := Route{DstMAC: macB, DstQual: QualExact, SrcQual: QualAny, Dest: linkDest("l1")}
+	if r.String() == "" || ifaceDest("x").String() != "interface:x" || linkDest("y").String() != "link:y" {
+		t.Fatal("stringers broken")
+	}
+	if QualExact.String() != "exact" || QualAny.String() != "any" || QualNot.String() != "not" || Qualifier(9).String() != "unknown" {
+		t.Fatal("qualifier strings")
+	}
+	if DestInterface.String() != "interface" || DestLink.String() != "link" {
+		t.Fatal("dest type strings")
+	}
+	nr := Route{DstQual: QualNot, DstMAC: macB, SrcQual: QualNot, SrcMAC: macA, Dest: linkDest("z")}
+	if nr.String() == "" {
+		t.Fatal("not-qualified route string empty")
+	}
+}
+
+// Property: cached lookups always agree with uncached lookups.
+func TestCacheCoherenceProperty(t *testing.T) {
+	prop := func(seedRoutes []uint8, srcIdx, dstIdx uint8) bool {
+		macs := []ethernet.MAC{macA, macB, macC, ethernet.LocalMAC(4)}
+		cached, plain := NewTable(), NewTable()
+		plain.CacheEnabled = false
+		for _, s := range seedRoutes {
+			r := Route{
+				DstMAC:  macs[int(s)%len(macs)],
+				DstQual: Qualifier(int(s/4) % 3),
+				SrcMAC:  macs[int(s/2)%len(macs)],
+				SrcQual: Qualifier(int(s/8) % 3),
+				Dest:    linkDest(string(rune('a' + s%5))),
+			}
+			cached.AddRoute(r)
+			plain.AddRoute(r)
+		}
+		src := macs[int(srcIdx)%len(macs)]
+		dst := macs[int(dstIdx)%len(macs)]
+		// Query twice so the second cached query is a genuine cache hit.
+		cached.Lookup(src, dst)
+		d1, _, e1 := cached.Lookup(src, dst)
+		d2, _, e2 := plain.Lookup(src, dst)
+		if (e1 == nil) != (e2 == nil) || len(d1) != len(d2) {
+			return false
+		}
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultParamsMatchTable1(t *testing.T) {
+	p := DefaultParams()
+	if p.Mode != Adaptive {
+		t.Error("Table 1: mode must be adaptive")
+	}
+	if p.AlphaL != 1e3 || p.AlphaU != 1e4 {
+		t.Errorf("Table 1: alpha_l=%v alpha_u=%v", p.AlphaL, p.AlphaU)
+	}
+	if p.Omega.Milliseconds() != 5 {
+		t.Errorf("Table 1: omega = %v", p.Omega)
+	}
+	if p.NDispatchers != 1 {
+		t.Errorf("Table 1: n_dispatchers = %d", p.NDispatchers)
+	}
+	if p.Yield.String() != "immediate" {
+		t.Errorf("Table 1: yield = %v", p.Yield)
+	}
+	if p.AlphaU <= p.AlphaL {
+		t.Error("hysteresis requires alpha_u > alpha_l")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if GuestDriven.String() != "guest-driven" || VMMDriven.String() != "VMM-driven" ||
+		Adaptive.String() != "adaptive" || Mode(42).String() != "unknown" {
+		t.Fatal("mode strings")
+	}
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The whole evaluation is a deterministic simulation: running an
+// experiment twice must produce byte-identical output. This is the
+// macro-level guarantee that makes EXPERIMENTS.md reproducible.
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, id := range []string{"fig9", "fig5", "kitten", "ablation-modes"} {
+		var a, b bytes.Buffer
+		if err := Run(id, &a); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if err := Run(id, &b); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("%s: two runs differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", id, a.String(), b.String())
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "gemini", "kitten", "vnetu", "table1", "vnetp-plus", "trace", "jitter", "collectives",
+		"ablation-modes", "ablation-cache", "ablation-yield", "ablation-mtu",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+}
+
+func TestUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", &buf); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+// Each experiment runs and produces plausible output. The heavyweight
+// ones are covered by the repository benchmarks; here we spot-check the
+// fast ones plus the structure of the output.
+func TestFastExperimentsProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, id := range []string{"table1", "vnetu", "gemini", "kitten", "fig5", "fig7", "trace", "jitter", "ablation-cache"} {
+		var buf bytes.Buffer
+		if err := Run(id, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		out := buf.String()
+		if len(out) < 40 {
+			t.Errorf("%s: suspiciously short output:\n%s", id, out)
+		}
+		if !strings.Contains(out, "==") {
+			t.Errorf("%s: missing header", id)
+		}
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("table1", &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"adaptive", "1000 packets/s", "10000 packets/s", "5ms", "immediate"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("table1 output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestKittenShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var buf bytes.Buffer
+	if err := Run("kitten", &buf); err != nil {
+		t.Fatal(err)
+	}
+	t.Log(buf.String())
+	// Both lines present; VNET/P below native.
+	if !strings.Contains(buf.String(), "Kitten VNET/P") || !strings.Contains(buf.String(), "Native IPoIB") {
+		t.Fatal("missing rows")
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vnetp/internal/microbench"
+	"vnetp/internal/phys"
+)
+
+func init() {
+	register("fig7", "per-stage latency budget of the VNET/P datapath (Sect. 4.7)", runFig7)
+}
+
+// runFig7 prints the cost-model budget for one small packet crossing the
+// full VNET/P datapath (the stages of the paper's Fig. 7), then validates
+// the sum against the simulated one-way ping time.
+func runFig7(w io.Writer) error {
+	m := phys.DefaultModel()
+	dev := phys.Eth10G
+	const pkt = 124 // 56B ICMP body + transport header + Ethernet header
+	wire := pkt + 54
+
+	cp := func(n int) time.Duration {
+		return time.Duration(float64(n) / m.CopyBytesPerSec * 1e9)
+	}
+	type stage struct {
+		name string
+		cost time.Duration
+	}
+	tx := []stage{
+		{"guest stack + driver", m.GuestPerPacket + m.HostStackPerPacket + cp(pkt)},
+		{"kick: VM exit/entry", m.VMExitEntry},
+		{"packet dispatcher (route cache hit)", m.DispatchPerPacket},
+		{"staging copy TXQ->bridge", cp(pkt)},
+		{"bridge: encapsulation + bookkeeping", m.EncapPerPacket + m.BridgePerPacket},
+		{"host stack send", m.HostStackPerPacket},
+		{"DMA to NIC", cp(wire)},
+		{"wire: serialize + propagate", dev.TxTime(wire)*2 + dev.BaseLatency},
+	}
+	rx := []stage{
+		{"NIC interrupt", m.NICInterrupt},
+		{"bridge: host stack + decapsulation", m.HostStackPerPacket + m.BridgePerPacket + m.EncapPerPacket},
+		{"DMA from NIC", cp(pkt)},
+		{"packet dispatcher", m.DispatchPerPacket},
+		{"copy into RXQ", cp(pkt)},
+		{"interrupt injection", m.InterruptInject},
+		{"guest IRQ path (exit-amplified)", m.VMExitEntry + m.GuestIRQPath},
+		{"guest driver + stack", m.GuestPerPacket + cp(pkt)},
+	}
+	var total time.Duration
+	fmt.Fprintln(w, "transmission (paper Fig. 7 left):")
+	for _, s := range tx {
+		fmt.Fprintf(w, "  %-38s %8.2fus\n", s.name, us(s.cost))
+		total += s.cost
+	}
+	fmt.Fprintln(w, "reception (paper Fig. 7 right):")
+	for _, s := range rx {
+		fmt.Fprintf(w, "  %-38s %8.2fus\n", s.name, us(s.cost))
+		total += s.cost
+	}
+	fmt.Fprintf(w, "model one-way budget: %.1fus\n", us(total))
+
+	measured := microbench.PingRTT(vnetpPair(dev), 0, 1, 56, 10) / 2
+	fmt.Fprintf(w, "simulated one-way (ping RTT/2): %.1fus\n", us(measured))
+
+	nat := []stage{
+		{"host stack + copy", m.HostStackPerPacket + cp(pkt)},
+		{"wire", dev.TxTime(pkt+14)*2 + dev.BaseLatency},
+		{"NIC interrupt + receive", m.NICInterrupt + cp(pkt)},
+	}
+	var natTotal time.Duration
+	for _, s := range nat {
+		natTotal += s.cost
+	}
+	fmt.Fprintf(w, "native one-way budget for comparison: %.1fus\n", us(natTotal))
+	return nil
+}

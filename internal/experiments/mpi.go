@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"vnetp/internal/hpcc"
+	"vnetp/internal/lab"
+	"vnetp/internal/netstack"
+	"vnetp/internal/npb"
+	"vnetp/internal/phys"
+	"vnetp/internal/sim"
+)
+
+func init() {
+	register("fig10", "Intel MPI PingPong one-way latency (10G)", runFig10)
+	register("fig11", "Intel MPI PingPong / SendRecv bandwidth (10G)", runFig11)
+	register("fig12", "HPCC latency-bandwidth, 8-24 processes, 1G & 10G", runFig12)
+	register("fig13", "HPCC MPIRandomAccess and MPIFFT (10G)", runFig13)
+	register("fig14", "NAS Parallel Benchmarks Mop/s table", runFig14)
+}
+
+// mpiStacks builds per-rank stacks: hosts x ranksPerVM in order, either
+// virtualized or native, over dev.
+func mpiStacks(eng *sim.Engine, dev phys.Device, hosts, ranksPerVM int, virtualized bool) []*netstack.Stack {
+	var base []*netstack.Stack
+	if virtualized {
+		base = lab.NewVNETPTestbed(eng, lab.Config{Dev: dev, N: hosts, Params: defaultParams()}).Stacks
+	} else {
+		base = lab.NewNativeTestbed(eng, dev, hosts).Stacks
+	}
+	var out []*netstack.Stack
+	for i := 0; i < hosts; i++ {
+		for k := 0; k < ranksPerVM; k++ {
+			out = append(out, base[i])
+		}
+	}
+	return out
+}
+
+func runFig10(w io.Writer) error {
+	sizes := []int{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}
+	engN := sim.New()
+	nat := hpcc.PingPong(engN, mpiStacks(engN, phys.Eth10G, 2, 1, false), sizes, 5)
+	engV := sim.New()
+	vnp := hpcc.PingPong(engV, mpiStacks(engV, phys.Eth10G, 2, 1, true), sizes, 5)
+	fmt.Fprintf(w, "%-10s %14s %14s %8s\n", "bytes", "Native", "VNET/P", "ratio")
+	for i := range sizes {
+		fmt.Fprintf(w, "%-10d %11.1fus %11.1fus %7.2fx\n",
+			sizes[i], us(nat[i].OneWay), us(vnp[i].OneWay),
+			float64(vnp[i].OneWay)/float64(nat[i].OneWay))
+	}
+	return nil
+}
+
+func runFig11(w io.Writer) error {
+	sizes := []int{4096, 65536, 262144, 1 << 20, 4 << 20}
+	engN := sim.New()
+	nat := hpcc.PingPong(engN, mpiStacks(engN, phys.Eth10G, 2, 1, false), sizes, 3)
+	engV := sim.New()
+	vnp := hpcc.PingPong(engV, mpiStacks(engV, phys.Eth10G, 2, 1, true), sizes, 3)
+	fmt.Fprintln(w, "(a) PingPong one-way bandwidth")
+	fmt.Fprintf(w, "%-10s %12s %12s %8s\n", "bytes", "Native", "VNET/P", "ratio")
+	for i := range sizes {
+		fmt.Fprintf(w, "%-10d %7.0f MB/s %7.0f MB/s %7.0f%%\n",
+			sizes[i], mbps(nat[i].BwBps), mbps(vnp[i].BwBps),
+			100*vnp[i].BwBps/nat[i].BwBps)
+	}
+	engN2 := sim.New()
+	natB := hpcc.SendRecvBench(engN2, mpiStacks(engN2, phys.Eth10G, 2, 1, false), sizes, 3)
+	engV2 := sim.New()
+	vnpB := hpcc.SendRecvBench(engV2, mpiStacks(engV2, phys.Eth10G, 2, 1, true), sizes, 3)
+	fmt.Fprintln(w, "(b) SendRecv bidirectional bandwidth")
+	fmt.Fprintf(w, "%-10s %12s %12s %8s\n", "bytes", "Native", "VNET/P", "ratio")
+	for i := range sizes {
+		fmt.Fprintf(w, "%-10d %7.0f MB/s %7.0f MB/s %7.0f%%\n",
+			sizes[i], mbps(natB[i].BiBps), mbps(vnpB[i].BiBps),
+			100*vnpB[i].BiBps/natB[i].BiBps)
+	}
+	return nil
+}
+
+func runFig12(w io.Writer) error {
+	for _, dev := range []phys.Device{phys.Eth1G, phys.Eth10G} {
+		fmt.Fprintf(w, "-- %s --\n", dev.Name)
+		fmt.Fprintf(w, "%-6s | %22s | %26s | %26s\n",
+			"procs", "pingpong lat/bw", "natural ring lat/bw", "random ring lat/bw")
+		for _, hosts := range []int{2, 3, 4, 5, 6} {
+			procs := hosts * 4
+			engN := sim.New()
+			nat := hpcc.LatBw(engN, mpiStacks(engN, dev, hosts, 4, false), 42)
+			engV := sim.New()
+			vnp := hpcc.LatBw(engV, mpiStacks(engV, dev, hosts, 4, true), 42)
+			fmt.Fprintf(w, "%-6d | N %6.1fus %6.0fMB/s | N %6.1fus %8.0fMB/s | N %6.1fus %8.0fMB/s\n",
+				procs, us(nat.PingPongLat), mbps(nat.PingPongBwBps),
+				us(nat.NaturalRingLat), mbps(nat.NaturalRingBw),
+				us(nat.RandomRingLat), mbps(nat.RandomRingBw))
+			fmt.Fprintf(w, "%-6s | V %6.1fus %6.0fMB/s | V %6.1fus %8.0fMB/s | V %6.1fus %8.0fMB/s\n",
+				"", us(vnp.PingPongLat), mbps(vnp.PingPongBwBps),
+				us(vnp.NaturalRingLat), mbps(vnp.NaturalRingBw),
+				us(vnp.RandomRingLat), mbps(vnp.RandomRingBw))
+		}
+	}
+	return nil
+}
+
+func runFig13(w io.Writer) error {
+	fmt.Fprintln(w, "(a) MPIRandomAccess")
+	fmt.Fprintf(w, "%-6s %12s %12s %8s\n", "procs", "Native GUPs", "VNET/P GUPs", "ratio")
+	for _, hosts := range []int{2, 3, 4, 5, 6} {
+		engN := sim.New()
+		nat := hpcc.RandomAccess(engN, mpiStacks(engN, phys.Eth10G, hosts, 4, false))
+		engV := sim.New()
+		vnp := hpcc.RandomAccess(engV, mpiStacks(engV, phys.Eth10G, hosts, 4, true))
+		fmt.Fprintf(w, "%-6d %12.4f %12.4f %7.0f%%\n",
+			hosts*4, nat.GUPs, vnp.GUPs, 100*vnp.GUPs/nat.GUPs)
+	}
+	fmt.Fprintln(w, "(b) MPIFFT")
+	fmt.Fprintf(w, "%-6s %12s %12s %8s\n", "procs", "Native GF/s", "VNET/P GF/s", "ratio")
+	for _, hosts := range []int{2, 3, 4, 5, 6} {
+		engN := sim.New()
+		nat := hpcc.FFT(engN, mpiStacks(engN, phys.Eth10G, hosts, 4, false))
+		engV := sim.New()
+		vnp := hpcc.FFT(engV, mpiStacks(engV, phys.Eth10G, hosts, 4, true))
+		fmt.Fprintf(w, "%-6d %12.2f %12.2f %7.0f%%\n",
+			hosts*4, nat.GFlops, vnp.GFlops, 100*vnp.GFlops/nat.GFlops)
+	}
+	return nil
+}
+
+func runFig14(w io.Writer) error {
+	fmt.Fprintf(w, "%-9s %10s %10s %7s %11s %11s %7s\n",
+		"Mop/s", "Native-1G", "VNET/P-1G", "%", "Native-10G", "VNET/P-10G", "%")
+	for _, r := range npb.Table() {
+		fmt.Fprintf(w, "%-9s %10.2f %10.2f %6.1f%% %11.2f %11.2f %6.1f%%\n",
+			r.ID, r.Native1G, r.VNETP1G, 100*r.Ratio1G,
+			r.Native10G, r.VNETP10G, 100*r.Ratio10G)
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package hpcc
+
+import (
+	"math/rand"
+	"time"
+
+	"vnetp/internal/mpi"
+	"vnetp/internal/netstack"
+	"vnetp/internal/sim"
+)
+
+// MPIRandomAccess (Fig. 13a): each rank generates random 8-byte updates
+// to a table distributed over all ranks, buffering updates per
+// destination and flushing buckets as they fill — the HPCC GUPs workload.
+// Update volumes are scaled down from the real run (documented in
+// EXPERIMENTS.md); GUPs is a rate, so the scaling only trims the
+// measurement window.
+type RandomAccessResult struct {
+	Procs   int
+	Updates int
+	GUPs    float64
+}
+
+// randomAccess tuning: bucket of updates per destination before a flush,
+// local CPU cost per table update, updates per rank.
+const (
+	raBucket        = 1024
+	raUpdateCost    = 10 * time.Nanosecond
+	raUpdatesPerPE  = 20000
+	raLookaheadTags = 300
+)
+
+// RandomAccess runs the GUPs benchmark over the given stacks.
+func RandomAccess(eng *sim.Engine, stacks []*netstack.Stack) RandomAccessResult {
+	n := len(stacks)
+	w := mpi.NewWorld(eng, stacks)
+	var start, end sim.Time
+	totalUpdates := n * raUpdatesPerPE
+	w.Launch(func(p *sim.Proc, r *mpi.Rank) {
+		rng := rand.New(rand.NewSource(int64(1 + r.ID())))
+		r.Barrier(p)
+		if r.ID() == 0 {
+			start = p.Now()
+		}
+		// Receiver helper: applies incoming buckets until a zero-size stop
+		// marker has arrived from each peer. It matches only the
+		// RandomAccess tag so concurrent collectives are untouched.
+		stops := 0
+		recvDone := sim.NewChan[struct{}](eng)
+		eng.Go("ra-recv", func(hp *sim.Proc) {
+			for stops < n-1 {
+				_, _, size := r.Recv(hp, mpi.AnySource, raLookaheadTags)
+				if size == 0 {
+					stops++
+					continue
+				}
+				// Apply updates: size/8 of them.
+				hp.Sleep(time.Duration(size/8) * raUpdateCost)
+			}
+			recvDone.Send(struct{}{})
+		})
+		// Generate and send updates.
+		buckets := make([]int, n)
+		flush := func(dst int) {
+			if buckets[dst] == 0 {
+				return
+			}
+			r.Send(p, dst, raLookaheadTags, buckets[dst]*8)
+			buckets[dst] = 0
+		}
+		for u := 0; u < raUpdatesPerPE; u++ {
+			dst := rng.Intn(n)
+			if dst == r.ID() {
+				p.Sleep(raUpdateCost) // local update
+				continue
+			}
+			buckets[dst]++
+			if buckets[dst] >= raBucket {
+				flush(dst)
+			}
+		}
+		for d := 0; d < n; d++ {
+			if d != r.ID() {
+				flush(d)
+				r.Send(p, d, raLookaheadTags, 0) // zero-size stop marker
+			}
+		}
+		recvDone.Recv(p)
+		r.Barrier(p)
+		if r.ID() == 0 {
+			end = p.Now()
+		}
+	})
+	eng.Go("await", func(p *sim.Proc) { w.AwaitAll(p) })
+	eng.Run()
+	eng.Close()
+	el := end.Sub(start).Seconds()
+	if el <= 0 {
+		return RandomAccessResult{Procs: n}
+	}
+	return RandomAccessResult{
+		Procs:   n,
+		Updates: totalUpdates,
+		GUPs:    float64(totalUpdates) / el / 1e9,
+	}
+}
+
+// MPIFFT (Fig. 13b): a double-precision complex 1-D DFT distributed over
+// the ranks. Each of the three passes does local FFT work and a global
+// transpose (all-to-all), the communication that dominates the benchmark.
+type FFTResult struct {
+	Procs   int
+	Points  int
+	GFlops  float64
+	Elapsed time.Duration
+}
+
+// fft tuning: problem size per rank (complex points, scaled down from the
+// HPCC run), local compute rate, iterations.
+const (
+	fftPointsPerPE = 1 << 17 // 128K complex points per process
+	fftFlopRate    = 2.0e9   // per-rank sustained flop/s for FFT kernels
+	fftIters       = 3
+)
+
+// FFT runs the MPIFFT benchmark over the given stacks.
+func FFT(eng *sim.Engine, stacks []*netstack.Stack) FFTResult {
+	n := len(stacks)
+	w := mpi.NewWorld(eng, stacks)
+	var start, end sim.Time
+	points := fftPointsPerPE * n
+	// 5*N*log2(N) flops per full FFT, one forward + inverse check per
+	// iteration as HPCC does.
+	log2N := 0
+	for 1<<log2N < points {
+		log2N++
+	}
+	flopsPerFFT := 5 * float64(points) * float64(log2N)
+	w.Launch(func(p *sim.Proc, r *mpi.Rank) {
+		r.Barrier(p)
+		if r.ID() == 0 {
+			start = p.Now()
+		}
+		// Per-rank local compute per pass.
+		localFlops := flopsPerFFT / float64(n) / 3
+		block := fftPointsPerPE / n * 16 // bytes per destination per transpose
+		for it := 0; it < fftIters; it++ {
+			for pass := 0; pass < 3; pass++ {
+				p.Sleep(time.Duration(localFlops / fftFlopRate * 1e9))
+				r.Alltoall(p, block)
+			}
+		}
+		r.Barrier(p)
+		if r.ID() == 0 {
+			end = p.Now()
+		}
+	})
+	eng.Go("await", func(p *sim.Proc) { w.AwaitAll(p) })
+	eng.Run()
+	eng.Close()
+	el := end.Sub(start)
+	if el <= 0 {
+		return FFTResult{Procs: n, Points: points}
+	}
+	return FFTResult{
+		Procs:   n,
+		Points:  points,
+		GFlops:  float64(fftIters) * flopsPerFFT / el.Seconds() / 1e9,
+		Elapsed: el,
+	}
+}

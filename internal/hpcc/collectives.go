@@ -1,0 +1,60 @@
+package hpcc
+
+import (
+	"time"
+
+	"vnetp/internal/mpi"
+	"vnetp/internal/netstack"
+	"vnetp/internal/sim"
+)
+
+// CollectiveResult is one IMB-style collective timing: the average
+// completion time of the operation across repetitions (max over ranks,
+// as IMB reports).
+type CollectiveResult struct {
+	Op    string
+	Size  int
+	Procs int
+	PerOp time.Duration
+}
+
+// Collectives measures the barrier/bcast/allreduce/alltoall completion
+// times that drive the NAS benchmarks' sensitivity to the overlay. It
+// runs each operation reps times on an n-rank world over the given
+// stacks.
+func Collectives(eng *sim.Engine, stacks []*netstack.Stack, size, reps int) []CollectiveResult {
+	n := len(stacks)
+	w := mpi.NewWorld(eng, stacks)
+	ops := []struct {
+		name string
+		run  func(p *sim.Proc, r *mpi.Rank)
+	}{
+		{"barrier", func(p *sim.Proc, r *mpi.Rank) { r.Barrier(p) }},
+		{"bcast", func(p *sim.Proc, r *mpi.Rank) { r.Bcast(p, 0, size) }},
+		{"allreduce", func(p *sim.Proc, r *mpi.Rank) { r.Allreduce(p, size) }},
+		{"alltoall", func(p *sim.Proc, r *mpi.Rank) { r.Alltoall(p, size) }},
+		{"allgather", func(p *sim.Proc, r *mpi.Rank) { r.Allgather(p, size) }},
+	}
+	results := make([]CollectiveResult, len(ops))
+	w.Launch(func(p *sim.Proc, r *mpi.Rank) {
+		for i, op := range ops {
+			op.run(p, r) // warm up
+			r.Barrier(p)
+			start := p.Now()
+			for k := 0; k < reps; k++ {
+				op.run(p, r)
+			}
+			r.Barrier(p)
+			if r.ID() == 0 {
+				results[i] = CollectiveResult{
+					Op: op.name, Size: size, Procs: n,
+					PerOp: p.Now().Sub(start) / time.Duration(reps),
+				}
+			}
+		}
+	})
+	eng.Go("await", func(p *sim.Proc) { w.AwaitAll(p) })
+	eng.Run()
+	eng.Close()
+	return results
+}

@@ -1,0 +1,114 @@
+package hpcc_test
+
+import (
+	"testing"
+	"time"
+
+	"math/rand"
+
+	"vnetp/internal/hpcc"
+	"vnetp/internal/lab"
+	"vnetp/internal/mpi"
+	"vnetp/internal/netstack"
+	"vnetp/internal/phys"
+	"vnetp/internal/sim"
+)
+
+func TestDebugRandomAccessNative(t *testing.T) {
+	for _, cfg := range []struct{ hosts, per int }{{2, 1}, {2, 4}} {
+		eng := sim.New()
+		st := nativeStacks(eng, phys.Eth10G, cfg.hosts, cfg.per)
+		res := hpcc.RandomAccess(eng, st)
+		t.Logf("native %dx%d: GUPs=%.4f drops=%d/%d sent=%d/%d",
+			cfg.hosts, cfg.per, res.GUPs,
+			st[0].AsyncDrops, st[len(st)-1].AsyncDrops,
+			st[0].SentFrames, st[len(st)-1].SentFrames)
+	}
+}
+
+func TestDebugRATimeline(t *testing.T) {
+	eng := sim.New()
+	stacks := nativeStacks(eng, phys.Eth10G, 2, 4)
+	n := len(stacks)
+	w := mpi.NewWorld(eng, stacks)
+	w.Launch(func(p *sim.Proc, r *mpi.Rank) {
+		r.Barrier(p)
+		t0 := p.Now()
+		stops := 0
+		recvDone := sim.NewChan[struct{}](eng)
+		eng.Go("ra-recv", func(hp *sim.Proc) {
+			for stops < n-1 {
+				_, _, size := r.Recv(hp, mpi.AnySource, 300)
+				if size == 0 {
+					stops++
+					continue
+				}
+				hp.Sleep(time.Duration(size/8) * 10 * time.Nanosecond)
+			}
+			recvDone.Send(struct{}{})
+		})
+		rng := rand.New(rand.NewSource(int64(1 + r.ID())))
+		buckets := make([]int, n)
+		for u := 0; u < 20000; u++ {
+			dst := rng.Intn(n)
+			if dst == r.ID() {
+				p.Sleep(10 * time.Nanosecond)
+				continue
+			}
+			buckets[dst]++
+			if buckets[dst] >= 512 {
+				r.Send(p, dst, 300, buckets[dst]*8)
+				buckets[dst] = 0
+			}
+		}
+		tGen := p.Now()
+		for d := 0; d < n; d++ {
+			if d != r.ID() {
+				if buckets[d] > 0 {
+					r.Send(p, d, 300, buckets[d]*8)
+				}
+				r.Send(p, d, 300, 0)
+			}
+		}
+		tFlush := p.Now()
+		recvDone.Recv(p)
+		tRecv := p.Now()
+		r.Barrier(p)
+		t.Logf("rank %d: gen=%v flush=%v recvwait=%v total=%v",
+			r.ID(), tGen.Sub(t0), tFlush.Sub(tGen), tRecv.Sub(tFlush), p.Now().Sub(t0))
+	})
+	eng.Go("await", func(p *sim.Proc) { w.AwaitAll(p) })
+	eng.Run()
+	eng.Close()
+}
+
+func TestDebugTwoStreamsOneHostPair(t *testing.T) {
+	// Minimal repro attempt: two rank pairs across one host pair, bulk
+	// exchange both ways.
+	eng := sim.New()
+	tb := lab.NewNativeTestbed(eng, phys.Eth10G, 2)
+	stacks := []*netstack.Stack{tb.Stacks[0], tb.Stacks[0], tb.Stacks[1], tb.Stacks[1]}
+	w := mpi.NewWorld(eng, stacks)
+	var start, end sim.Time
+	w.Launch(func(p *sim.Proc, r *mpi.Rank) {
+		r.Barrier(p)
+		if r.ID() == 0 {
+			start = p.Now()
+		}
+		peer := (r.ID() + 2) % 4
+		for i := 0; i < 10; i++ {
+			r.SendRecv(p, peer, 9, 4096, peer, 9)
+		}
+		r.Barrier(p)
+		if r.ID() == 0 {
+			end = p.Now()
+		}
+	})
+	eng.Go("await", func(p *sim.Proc) { w.AwaitAll(p) })
+	eng.Run()
+	eng.Close()
+	t.Logf("elapsed %v for 10 rounds of 4KB sendrecv x2 pairs", end.Sub(start))
+	if end.Sub(start) > 5*time.Millisecond {
+		t.Errorf("suspiciously slow: %v", end.Sub(start))
+	}
+}

@@ -1,0 +1,246 @@
+// Package hpcc implements the MPI benchmark workloads of the paper's
+// evaluation: the Intel MPI Benchmarks point-to-point tests (Fig. 10, 11),
+// the HPCC latency-bandwidth suite (Fig. 12, 15), and the HPCC
+// MPIRandomAccess and MPIFFT application benchmarks (Fig. 13, 16).
+package hpcc
+
+import (
+	"math/rand"
+	"time"
+
+	"vnetp/internal/mpi"
+	"vnetp/internal/netstack"
+	"vnetp/internal/sim"
+)
+
+// PingPongResult is one IMB PingPong sample.
+type PingPongResult struct {
+	Size   int
+	OneWay time.Duration // application-level one-way latency
+	BwBps  float64       // one-way bandwidth
+}
+
+// PingPong runs the Intel MPI Benchmarks PingPong between ranks 0 and 1
+// of a fresh 2-rank world for each message size: rank 0 sends, rank 1
+// echoes; one-way latency is half the round trip (Fig. 10/11a).
+func PingPong(eng *sim.Engine, stacks []*netstack.Stack, sizes []int, reps int) []PingPongResult {
+	w := mpi.NewWorld(eng, stacks[:2])
+	results := make([]PingPongResult, 0, len(sizes))
+	w.Launch(func(p *sim.Proc, r *mpi.Rank) {
+		peer := 1 - r.ID()
+		for _, size := range sizes {
+			// Warm up once per size.
+			if r.ID() == 0 {
+				r.Send(p, peer, 0, size)
+				r.Recv(p, peer, 0)
+			} else {
+				r.Recv(p, peer, 0)
+				r.Send(p, peer, 0, size)
+			}
+			start := p.Now()
+			for i := 0; i < reps; i++ {
+				if r.ID() == 0 {
+					r.Send(p, peer, 1, size)
+					r.Recv(p, peer, 1)
+				} else {
+					r.Recv(p, peer, 1)
+					r.Send(p, peer, 1, size)
+				}
+			}
+			if r.ID() == 0 {
+				elapsed := p.Now().Sub(start)
+				oneWay := elapsed / time.Duration(2*reps)
+				results = append(results, PingPongResult{
+					Size:   size,
+					OneWay: oneWay,
+					BwBps:  float64(size) / oneWay.Seconds(),
+				})
+			}
+		}
+	})
+	eng.Go("await", func(p *sim.Proc) { w.AwaitAll(p) })
+	eng.Run()
+	eng.Close()
+	return results
+}
+
+// SendRecvResult is one IMB SendRecv sample (Fig. 11b).
+type SendRecvResult struct {
+	Size  int
+	BiBps float64 // aggregate bidirectional bandwidth per node pair
+}
+
+// SendRecvBench runs the IMB SendRecv test: both ranks send and receive
+// simultaneously; the reported bandwidth counts traffic in both
+// directions.
+func SendRecvBench(eng *sim.Engine, stacks []*netstack.Stack, sizes []int, reps int) []SendRecvResult {
+	w := mpi.NewWorld(eng, stacks[:2])
+	results := make([]SendRecvResult, 0, len(sizes))
+	w.Launch(func(p *sim.Proc, r *mpi.Rank) {
+		peer := 1 - r.ID()
+		for _, size := range sizes {
+			r.SendRecv(p, peer, 0, size, peer, 0) // warm up
+			r.Barrier(p)
+			start := p.Now()
+			for i := 0; i < reps; i++ {
+				r.SendRecv(p, peer, 1, size, peer, 1)
+			}
+			elapsed := p.Now().Sub(start)
+			if r.ID() == 0 {
+				per := elapsed / time.Duration(reps)
+				results = append(results, SendRecvResult{
+					Size:  size,
+					BiBps: 2 * float64(size) / per.Seconds(),
+				})
+			}
+			r.Barrier(p)
+		}
+	})
+	eng.Go("await", func(p *sim.Proc) { w.AwaitAll(p) })
+	eng.Run()
+	eng.Close()
+	return results
+}
+
+// LatBwResult holds the HPCC latency-bandwidth benchmark outputs
+// (Fig. 12): ping-pong latency/bandwidth over rank pairs plus the
+// naturally and randomly ordered ring tests. Ring bandwidths are
+// multiplied by the process count, as the paper reports them.
+type LatBwResult struct {
+	Procs          int
+	PingPongLat    time.Duration // average over sampled pairs, 8-byte messages
+	PingPongBwBps  float64       // average over sampled pairs, 2 MB messages
+	NaturalRingLat time.Duration
+	NaturalRingBw  float64 // aggregate (per-process x procs)
+	RandomRingLat  time.Duration
+	RandomRingBw   float64
+}
+
+// latency-bandwidth parameters (paper uses 8-byte latency probes and
+// ~2 MB bandwidth messages; we scale the bandwidth message down to keep
+// event counts manageable — bandwidth is rate-based so the value is
+// unaffected once well past the latency regime).
+const (
+	latMsg     = 8
+	bwMsg      = 512 << 10
+	ringLatMsg = 8
+	ringBwMsg  = 128 << 10
+	pairReps   = 4
+)
+
+// LatBw runs the HPCC latency-bandwidth suite on an n-rank world.
+func LatBw(eng *sim.Engine, stacks []*netstack.Stack, seed int64) LatBwResult {
+	n := len(stacks)
+	w := mpi.NewWorld(eng, stacks)
+	res := LatBwResult{Procs: n}
+
+	// Random ring order, fixed seed for determinism.
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	pos := make([]int, n) // rank -> position in random ring
+	for i, r := range perm {
+		pos[r] = i
+	}
+
+	w.Launch(func(p *sim.Proc, r *mpi.Rank) {
+		id := r.ID()
+
+		// Ping-pong over a sample of pairs chosen to cross hosts (the
+		// block rank layout co-locates consecutive ranks, and the paper's
+		// numbers characterize the network, not shared memory).
+		pairs := [][2]int{{0, n - 1}, {0, n / 2}, {1, n - 1}}
+		var latSum time.Duration
+		var bwSum float64
+		samples := 0
+		for pi, pair := range pairs {
+			a, b := pair[0], pair[1]
+			if a == b || (id != a && id != b) {
+				r.Barrier(p)
+				continue
+			}
+			peer := a
+			if id == a {
+				peer = b
+			}
+			tag := 100 + pi
+			// Latency: 8-byte ping-pong.
+			start := p.Now()
+			for i := 0; i < pairReps; i++ {
+				if id == a {
+					r.Send(p, peer, tag, latMsg)
+					r.Recv(p, peer, tag)
+				} else {
+					r.Recv(p, peer, tag)
+					r.Send(p, peer, tag, latMsg)
+				}
+			}
+			lat := p.Now().Sub(start) / time.Duration(2*pairReps)
+			// Bandwidth: large message one-way.
+			start = p.Now()
+			if id == a {
+				r.Send(p, peer, tag, bwMsg)
+				r.Recv(p, peer, tag) // tiny ack keeps both in lockstep
+			} else {
+				r.Recv(p, peer, tag)
+				r.Send(p, peer, tag, 0)
+			}
+			if id == a {
+				bw := float64(bwMsg) / p.Now().Sub(start).Seconds()
+				latSum += lat
+				bwSum += bw
+				samples++
+			}
+			r.Barrier(p)
+		}
+		if id == 0 && samples > 0 {
+			res.PingPongLat = latSum / time.Duration(samples)
+			res.PingPongBwBps = bwSum / float64(samples)
+		}
+
+		// Naturally ordered ring.
+		natLat, natBw := ringTest(p, r, id, (id+1)%n, (id-1+n)%n)
+		if id == 0 {
+			res.NaturalRingLat = natLat
+			res.NaturalRingBw = natBw * float64(n)
+		}
+		r.Barrier(p)
+
+		// Randomly ordered ring: neighbors in permutation order.
+		myPos := pos[id]
+		next := perm[(myPos+1)%n]
+		prev := perm[(myPos-1+n)%n]
+		rndLat, rndBw := ringTest(p, r, id, next, prev)
+		if id == 0 {
+			res.RandomRingLat = rndLat
+			res.RandomRingBw = rndBw * float64(n)
+		}
+		r.Barrier(p)
+	})
+	eng.Go("await", func(p *sim.Proc) { w.AwaitAll(p) })
+	eng.Run()
+	eng.Close()
+	return res
+}
+
+// ringTest measures ring latency (small messages both ways) and
+// per-process ring bandwidth (large messages both ways), HPCC style.
+func ringTest(p *sim.Proc, r *mpi.Rank, id, next, prev int) (time.Duration, float64) {
+	r.Barrier(p)
+	start := p.Now()
+	for i := 0; i < pairReps; i++ {
+		r.SendRecv(p, next, 200+i, ringLatMsg, prev, 200+i)
+		r.SendRecv(p, prev, 220+i, ringLatMsg, next, 220+i)
+	}
+	r.Barrier(p)
+	lat := p.Now().Sub(start) / time.Duration(2*pairReps)
+
+	r.Barrier(p)
+	start = p.Now()
+	r.SendRecv(p, next, 240, ringBwMsg, prev, 240)
+	r.SendRecv(p, prev, 241, ringBwMsg, next, 241)
+	r.Barrier(p)
+	elapsed := p.Now().Sub(start)
+	// Per-process bandwidth: total message volume / procs / max time —
+	// each process moved 2 messages of ringBwMsg.
+	bw := 2 * float64(ringBwMsg) / elapsed.Seconds()
+	return lat, bw
+}

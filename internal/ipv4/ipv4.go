@@ -1,0 +1,212 @@
+// Package ipv4 implements the minimal IPv4 and UDP header handling the
+// overlay needs: building and parsing the outer headers of encapsulated
+// VNET packets, plus the standard Internet checksum. The simulated host
+// network stack and the direct-send path both use it; the real-socket
+// overlay relies on the kernel for outer headers but uses this package's
+// size constants for goodput accounting.
+package ipv4
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Addr is an IPv4 address.
+type Addr [4]byte
+
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// AddrFrom returns the address a.b.c.d.
+func AddrFrom(a, b, c, d byte) Addr { return Addr{a, b, c, d} }
+
+// ParseAddr parses dotted-quad notation.
+func ParseAddr(s string) (Addr, error) {
+	var a Addr
+	var b [4]int
+	n, err := fmt.Sscanf(s, "%d.%d.%d.%d", &b[0], &b[1], &b[2], &b[3])
+	if err != nil || n != 4 {
+		return Addr{}, fmt.Errorf("ipv4: invalid address %q", s)
+	}
+	for i, v := range b {
+		if v < 0 || v > 255 {
+			return Addr{}, fmt.Errorf("ipv4: invalid address %q", s)
+		}
+		a[i] = byte(v)
+	}
+	return a, nil
+}
+
+// Header and protocol constants.
+const (
+	HeaderLen    = 20 // no options
+	UDPHeaderLen = 8
+	ProtoUDP     = 17
+	ProtoTCP     = 6
+	ProtoICMP    = 1
+	Version      = 4
+	defaultTTL   = 64
+)
+
+// Overhead is the total outer-header cost of one UDP encapsulation.
+const Overhead = HeaderLen + UDPHeaderLen
+
+var (
+	ErrTruncated   = errors.New("ipv4: truncated packet")
+	ErrBadVersion  = errors.New("ipv4: not an IPv4 packet")
+	ErrBadChecksum = errors.New("ipv4: header checksum mismatch")
+	ErrBadLength   = errors.New("ipv4: inconsistent length fields")
+)
+
+// Header is an IPv4 header without options.
+type Header struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8 // 3 bits: reserved, DF, MF
+	FragOff  uint16
+	TTL      uint8
+	Proto    uint8
+	Src, Dst Addr
+}
+
+// Checksum computes the RFC 1071 Internet checksum of b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Marshal appends the 20-byte wire header (with checksum) to b.
+func (h *Header) Marshal(b []byte) []byte {
+	start := len(b)
+	b = append(b,
+		Version<<4|HeaderLen/4, h.TOS, 0, 0, // version/IHL, TOS, total len
+		0, 0, 0, 0, // ID, flags/fragoff
+		h.TTL, h.Proto, 0, 0) // TTL, proto, checksum
+	b = append(b, h.Src[:]...)
+	b = append(b, h.Dst[:]...)
+	hdr := b[start:]
+	binary.BigEndian.PutUint16(hdr[2:], h.TotalLen)
+	binary.BigEndian.PutUint16(hdr[4:], h.ID)
+	binary.BigEndian.PutUint16(hdr[6:], uint16(h.Flags)<<13|h.FragOff&0x1fff)
+	if hdr[8] == 0 {
+		hdr[8] = defaultTTL
+	}
+	binary.BigEndian.PutUint16(hdr[10:], Checksum(hdr[:HeaderLen]))
+	return b
+}
+
+// ParseHeader parses and validates an IPv4 header, returning the header
+// and the payload (which aliases b).
+func ParseHeader(b []byte) (*Header, []byte, error) {
+	if len(b) < HeaderLen {
+		return nil, nil, ErrTruncated
+	}
+	if b[0]>>4 != Version {
+		return nil, nil, ErrBadVersion
+	}
+	ihl := int(b[0]&0xf) * 4
+	if ihl < HeaderLen || len(b) < ihl {
+		return nil, nil, ErrTruncated
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return nil, nil, ErrBadChecksum
+	}
+	h := &Header{
+		TOS:      b[1],
+		TotalLen: binary.BigEndian.Uint16(b[2:]),
+		ID:       binary.BigEndian.Uint16(b[4:]),
+		Flags:    b[6] >> 5,
+		FragOff:  binary.BigEndian.Uint16(b[6:]) & 0x1fff,
+		TTL:      b[8],
+		Proto:    b[9],
+	}
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	if int(h.TotalLen) < ihl || int(h.TotalLen) > len(b) {
+		return nil, nil, ErrBadLength
+	}
+	return h, b[ihl:h.TotalLen], nil
+}
+
+// UDPHeader is a UDP header. Checksum is left zero (legal for IPv4 and
+// what VNET/P's encapsulation relies on for speed).
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+	Length           uint16 // header + payload
+}
+
+// Marshal appends the 8-byte UDP header to b.
+func (u *UDPHeader) Marshal(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, u.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, u.DstPort)
+	b = binary.BigEndian.AppendUint16(b, u.Length)
+	b = binary.BigEndian.AppendUint16(b, 0)
+	return b
+}
+
+// ParseUDP parses a UDP header, returning it and the payload (aliasing b).
+func ParseUDP(b []byte) (*UDPHeader, []byte, error) {
+	if len(b) < UDPHeaderLen {
+		return nil, nil, ErrTruncated
+	}
+	u := &UDPHeader{
+		SrcPort: binary.BigEndian.Uint16(b[0:]),
+		DstPort: binary.BigEndian.Uint16(b[2:]),
+		Length:  binary.BigEndian.Uint16(b[4:]),
+	}
+	if int(u.Length) < UDPHeaderLen || int(u.Length) > len(b) {
+		return nil, nil, ErrBadLength
+	}
+	return u, b[UDPHeaderLen:u.Length], nil
+}
+
+// BuildUDP builds a complete IPv4+UDP datagram around payload.
+func BuildUDP(src, dst Addr, srcPort, dstPort uint16, id uint16, payload []byte) ([]byte, error) {
+	total := HeaderLen + UDPHeaderLen + len(payload)
+	if total > 0xffff {
+		return nil, ErrBadLength
+	}
+	h := Header{
+		TotalLen: uint16(total),
+		ID:       id,
+		TTL:      defaultTTL,
+		Proto:    ProtoUDP,
+		Src:      src,
+		Dst:      dst,
+	}
+	b := make([]byte, 0, total)
+	b = h.Marshal(b)
+	u := UDPHeader{SrcPort: srcPort, DstPort: dstPort, Length: uint16(UDPHeaderLen + len(payload))}
+	b = u.Marshal(b)
+	b = append(b, payload...)
+	return b, nil
+}
+
+// ParseUDPDatagram splits a full IPv4+UDP datagram into its headers and
+// payload.
+func ParseUDPDatagram(b []byte) (*Header, *UDPHeader, []byte, error) {
+	h, rest, err := ParseHeader(b)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if h.Proto != ProtoUDP {
+		return nil, nil, nil, fmt.Errorf("ipv4: protocol %d is not UDP", h.Proto)
+	}
+	u, payload, err := ParseUDP(rest)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return h, u, payload, nil
+}

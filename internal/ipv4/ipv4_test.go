@@ -1,0 +1,183 @@
+package ipv4
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrString(t *testing.T) {
+	a := AddrFrom(10, 0, 1, 200)
+	if a.String() != "10.0.1.200" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestParseAddr(t *testing.T) {
+	a, err := ParseAddr("192.168.0.1")
+	if err != nil || a != AddrFrom(192, 168, 0, 1) {
+		t.Fatalf("ParseAddr = %v, %v", a, err)
+	}
+	for _, s := range []string{"", "1.2.3", "256.1.1.1", "-1.2.3.4", "a.b.c.d"} {
+		if _, err := ParseAddr(s); err == nil {
+			t.Errorf("ParseAddr(%q) succeeded", s)
+		}
+	}
+}
+
+func TestAddrRoundTripProperty(t *testing.T) {
+	prop := func(a Addr) bool {
+		got, err := ParseAddr(a.String())
+		return err == nil && got == a
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example data.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != ^uint16(0xddf2) {
+		t.Fatalf("checksum = %#x, want %#x", got, ^uint16(0xddf2))
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// Trailing byte is padded with zero on the right.
+	even := Checksum([]byte{0xab, 0x00})
+	odd := Checksum([]byte{0xab})
+	if even != odd {
+		t.Fatalf("odd-length checksum %#x != padded %#x", odd, even)
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		TOS:      0x10,
+		TotalLen: 100,
+		ID:       0xbeef,
+		Flags:    2, // DF
+		FragOff:  0,
+		TTL:      32,
+		Proto:    ProtoUDP,
+		Src:      AddrFrom(10, 0, 0, 1),
+		Dst:      AddrFrom(10, 0, 0, 2),
+	}
+	b := h.Marshal(nil)
+	if len(b) != HeaderLen {
+		t.Fatalf("marshalled %d bytes", len(b))
+	}
+	// Parser needs the payload present to honor TotalLen.
+	b = append(b, make([]byte, 80)...)
+	g, payload, err := ParseHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TOS != h.TOS || g.TotalLen != h.TotalLen || g.ID != h.ID ||
+		g.Flags != h.Flags || g.TTL != h.TTL || g.Proto != h.Proto ||
+		g.Src != h.Src || g.Dst != h.Dst {
+		t.Fatalf("round trip mismatch: %+v vs %+v", g, h)
+	}
+	if len(payload) != 80 {
+		t.Fatalf("payload len = %d", len(payload))
+	}
+}
+
+func TestHeaderChecksumValidation(t *testing.T) {
+	h := Header{TotalLen: HeaderLen, TTL: 64, Proto: ProtoUDP}
+	b := h.Marshal(nil)
+	b[8] ^= 0xff // corrupt TTL
+	if _, _, err := ParseHeader(b); err != ErrBadChecksum {
+		t.Fatalf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	if _, _, err := ParseHeader(make([]byte, 10)); err != ErrTruncated {
+		t.Fatalf("short: %v", err)
+	}
+	b := (&Header{TotalLen: HeaderLen}).Marshal(nil)
+	b[0] = 6 << 4
+	if _, _, err := ParseHeader(b); err != ErrBadVersion {
+		t.Fatalf("version: %v", err)
+	}
+	// TotalLen beyond buffer.
+	h := Header{TotalLen: 1000}
+	b = h.Marshal(nil)
+	if _, _, err := ParseHeader(b); err != ErrBadLength {
+		t.Fatalf("length: %v", err)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	u := UDPHeader{SrcPort: 9000, DstPort: 9001, Length: UDPHeaderLen + 5}
+	b := u.Marshal(nil)
+	b = append(b, []byte("hello")...)
+	g, payload, err := ParseUDP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.SrcPort != 9000 || g.DstPort != 9001 || string(payload) != "hello" {
+		t.Fatalf("round trip: %+v %q", g, payload)
+	}
+}
+
+func TestBuildParseUDPDatagram(t *testing.T) {
+	payload := []byte("encapsulated ethernet frame bytes")
+	b, err := BuildUDP(AddrFrom(10, 0, 0, 1), AddrFrom(10, 0, 0, 2), 4096, 4096, 42, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != Overhead+len(payload) {
+		t.Fatalf("datagram len = %d, want %d", len(b), Overhead+len(payload))
+	}
+	h, u, got, err := ParseUDPDatagram(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Src != AddrFrom(10, 0, 0, 1) || h.Dst != AddrFrom(10, 0, 0, 2) || h.ID != 42 {
+		t.Fatalf("IP header %+v", h)
+	}
+	if u.SrcPort != 4096 || u.DstPort != 4096 {
+		t.Fatalf("UDP header %+v", u)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestBuildUDPTooLarge(t *testing.T) {
+	if _, err := BuildUDP(Addr{}, Addr{}, 1, 1, 0, make([]byte, 0x10000)); err != ErrBadLength {
+		t.Fatalf("err = %v, want ErrBadLength", err)
+	}
+}
+
+func TestParseUDPDatagramNotUDP(t *testing.T) {
+	h := Header{TotalLen: HeaderLen, Proto: ProtoTCP}
+	b := h.Marshal(nil)
+	if _, _, _, err := ParseUDPDatagram(b); err == nil {
+		t.Fatal("non-UDP datagram parsed as UDP")
+	}
+}
+
+func TestUDPDatagramRoundTripProperty(t *testing.T) {
+	prop := func(src, dst Addr, sp, dp, id uint16, payload []byte) bool {
+		if len(payload) > 0xffff-Overhead {
+			payload = payload[:0xffff-Overhead]
+		}
+		b, err := BuildUDP(src, dst, sp, dp, id, payload)
+		if err != nil {
+			return false
+		}
+		h, u, got, err := ParseUDPDatagram(b)
+		if err != nil {
+			return false
+		}
+		return h.Src == src && h.Dst == dst && u.SrcPort == sp && u.DstPort == dp &&
+			h.ID == id && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package lab
+
+import (
+	"fmt"
+
+	"vnetp/internal/ethernet"
+	"vnetp/internal/ipv4"
+	"vnetp/internal/netstack"
+	"vnetp/internal/phys"
+	"vnetp/internal/sim"
+	"vnetp/internal/virtio"
+	"vnetp/internal/vmm"
+	"vnetp/internal/vnetu"
+)
+
+// NodeIP returns the address assigned to cluster node i (10.0.0.i+1).
+func NodeIP(i int) ipv4.Addr { return ipv4.AddrFrom(10, 0, byte(i>>8), byte(i%256)+1) }
+
+// Testbed is a set of nodes with attached transport stacks, in one of the
+// three software configurations the paper compares.
+type Testbed struct {
+	Eng    *sim.Engine
+	Dev    phys.Device
+	Stacks []*netstack.Stack
+
+	// VNETP is non-nil for the VNET/P configuration.
+	VNETP *Cluster
+	// Hosts holds the physical hosts for native/VNET-U testbeds.
+	Hosts []*vmm.Host
+	// Daemons holds the VNET/U daemons (VNET/U configuration only).
+	Daemons []*vnetu.Daemon
+}
+
+// IP returns node i's address.
+func (tb *Testbed) IP(i int) ipv4.Addr { return NodeIP(i) }
+
+// AttachStacks gives every node of a VNET/P cluster a guest stack with
+// full neighbor tables, returning the testbed view.
+func AttachStacks(c *Cluster) *Testbed {
+	tb := &Testbed{Eng: c.Eng, Dev: c.Dev, VNETP: c}
+	for i, n := range c.Nodes {
+		s := netstack.NewVMStack(c.Eng, n.VM, n.Iface, NodeIP(i))
+		tb.Stacks = append(tb.Stacks, s)
+		tb.Hosts = append(tb.Hosts, n.Host)
+	}
+	for i, s := range tb.Stacks {
+		for j, n := range c.Nodes {
+			if i != j {
+				s.AddNeighbor(NodeIP(j), n.MAC())
+			}
+		}
+	}
+	return tb
+}
+
+// NewVNETPTestbed builds an n-node VNET/P testbed with stacks.
+func NewVNETPTestbed(eng *sim.Engine, cfg Config) *Testbed {
+	return AttachStacks(NewCluster(eng, cfg))
+}
+
+// NewNativeTestbed builds an n-node native testbed: stacks run directly
+// on the hosts, no VMM or overlay in the path.
+func NewNativeTestbed(eng *sim.Engine, dev phys.Device, n int) *Testbed {
+	model := phys.DefaultModel()
+	net := vmm.NewNetwork(eng, dev)
+	tb := &Testbed{Eng: eng, Dev: dev}
+	ports := make([]*netstack.NativePort, n)
+	for i := 0; i < n; i++ {
+		h := net.AddHost(hostName(i), model)
+		tb.Hosts = append(tb.Hosts, h)
+		ports[i] = netstack.NewNativePort(h, ethernet.LocalMAC(uint32(i+1)), 0)
+		tb.Stacks = append(tb.Stacks, netstack.NewNativeStack(eng, h, ports[i], NodeIP(i)))
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			ports[i].AddPeer(ethernet.LocalMAC(uint32(j+1)), hostName(j))
+			tb.Stacks[i].AddNeighbor(NodeIP(j), ethernet.LocalMAC(uint32(j+1)))
+		}
+	}
+	return tb
+}
+
+// NewVNETUTestbed builds an n-node VNET/U testbed: one VM per host
+// attached to a user-level daemon, full mesh links and routes.
+func NewVNETUTestbed(eng *sim.Engine, dev phys.Device, n int, tap vnetu.TapKind) *Testbed {
+	return NewVNETUTestbedModel(eng, dev, n, tap, phys.DefaultModel())
+}
+
+// NewVNETUTestbedModel is NewVNETUTestbed with an explicit cost model
+// (e.g. phys.ModelGSXEra for the historical measurement).
+func NewVNETUTestbedModel(eng *sim.Engine, dev phys.Device, n int, tap vnetu.TapKind, model *phys.CostModel) *Testbed {
+	net := vmm.NewNetwork(eng, dev)
+	tb := &Testbed{Eng: eng, Dev: dev}
+	ifaces := make([]*vnetu.Iface, n)
+	for i := 0; i < n; i++ {
+		h := net.AddHost(hostName(i), model)
+		tb.Hosts = append(tb.Hosts, h)
+		vm := vmm.NewVM(h, fmt.Sprintf("vm%d", i))
+		// VNET/U guests use the standard 1500-byte MTU.
+		nic := virtio.NewNIC(ethernet.LocalMAC(uint32(i+1)), ethernet.StandardMTU)
+		d := vnetu.New(h, tap)
+		tb.Daemons = append(tb.Daemons, d)
+		ifaces[i] = d.Register(IfaceName, vm, nic)
+		tb.Stacks = append(tb.Stacks, netstack.NewVMStack(eng, vm, ifaces[i], NodeIP(i)))
+	}
+	for i, d := range tb.Daemons {
+		d.Table.AddRoute(routeToIface(ethernet.LocalMAC(uint32(i+1)), IfaceName))
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d.AddLink(LinkID(j), hostName(j))
+			d.Table.AddRoute(routeToLink(ethernet.LocalMAC(uint32(j+1)), LinkID(j)))
+			tb.Stacks[i].AddNeighbor(NodeIP(j), ethernet.LocalMAC(uint32(j+1)))
+		}
+	}
+	return tb
+}

@@ -1,0 +1,122 @@
+package mpi
+
+// Collective operations, implemented with the classic algorithms the
+// paper-era OpenMPI used, so their communication patterns (and thus their
+// sensitivity to overlay latency and bandwidth) are realistic.
+
+import "vnetp/internal/sim"
+
+// Internal tag space for collectives, above user tags.
+const (
+	tagBarrier = 1 << 20
+	tagBcast   = 2 << 20
+	tagReduce  = 3 << 20
+	tagAllred  = 5 << 20
+	tagA2A     = 6 << 20
+	tagRing    = 7 << 20
+)
+
+// Barrier blocks until all ranks arrive (dissemination algorithm:
+// ceil(log2 n) rounds of small messages).
+func (r *Rank) Barrier(p *sim.Proc) {
+	n := r.Size()
+	if n == 1 {
+		return
+	}
+	for k, round := 1, 0; k < n; k, round = k<<1, round+1 {
+		dst := (r.id + k) % n
+		src := (r.id - k + n) % n
+		r.SendRecv(p, dst, tagBarrier+round, 0, src, tagBarrier+round)
+	}
+}
+
+// Bcast sends size bytes from root to every rank (binomial tree).
+func (r *Rank) Bcast(p *sim.Proc, root, size int) {
+	n := r.Size()
+	if n == 1 {
+		return
+	}
+	rel := (r.id - root + n) % n
+	// Climb: find the bit where this rank receives from its parent.
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			parent := (rel - mask + root) % n
+			r.Recv(p, parent, tagBcast)
+			break
+		}
+		mask <<= 1
+	}
+	// Descend: forward to children below the receive bit.
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			r.Send(p, (rel+mask+root)%n, tagBcast, size)
+		}
+		mask >>= 1
+	}
+}
+
+// Reduce combines size bytes from all ranks at root (binomial tree,
+// mirror of Bcast).
+func (r *Rank) Reduce(p *sim.Proc, root, size int) {
+	n := r.Size()
+	if n == 1 {
+		return
+	}
+	rel := (r.id - root + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask == 0 {
+			if child := rel | mask; child < n {
+				r.Recv(p, (child+root)%n, tagReduce)
+			}
+		} else {
+			parent := ((rel &^ mask) + root) % n
+			r.Send(p, parent, tagReduce, size)
+			return
+		}
+		mask <<= 1
+	}
+}
+
+// Allreduce combines size bytes across all ranks, leaving the result
+// everywhere (recursive doubling for powers of two, reduce+bcast
+// otherwise).
+func (r *Rank) Allreduce(p *sim.Proc, size int) {
+	n := r.Size()
+	if n == 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		for mask, round := 1, 0; mask < n; mask, round = mask<<1, round+1 {
+			partner := r.id ^ mask
+			r.SendRecv(p, partner, tagAllred+round, size, partner, tagAllred+round)
+		}
+		return
+	}
+	r.Reduce(p, 0, size)
+	r.Bcast(p, 0, size)
+}
+
+// Alltoall exchanges blockSize bytes with every other rank (pairwise
+// rounds of SendRecv).
+func (r *Rank) Alltoall(p *sim.Proc, blockSize int) {
+	n := r.Size()
+	for i := 1; i < n; i++ {
+		dst := (r.id + i) % n
+		src := (r.id - i + n) % n
+		r.SendRecv(p, dst, tagA2A+i, blockSize, src, tagA2A+i)
+	}
+}
+
+// Allgather distributes blockSize bytes from every rank to every rank
+// (ring algorithm: n-1 steps of neighbor exchange).
+func (r *Rank) Allgather(p *sim.Proc, blockSize int) {
+	n := r.Size()
+	next := (r.id + 1) % n
+	prev := (r.id - 1 + n) % n
+	for i := 0; i < n-1; i++ {
+		r.SendRecv(p, next, tagRing+i, blockSize, prev, tagRing+i)
+	}
+}

@@ -1,0 +1,266 @@
+// Package mpi implements the message-passing layer the paper's parallel
+// benchmarks (Intel MPI Benchmarks, HPCC, NAS) are written against:
+// blocking and non-blocking point-to-point operations with tag matching,
+// MPI_Sendrecv, and the collectives the workloads use, running over the
+// simulated guest network stacks.
+//
+// Ranks on different VMs exchange real segmented traffic through the full
+// overlay datapath; ranks co-located in one VM use a shared-memory
+// transport (copy cost on the guest core), as OpenMPI would.
+//
+// Message payload contents are virtual (sizes only); message envelopes and
+// matching metadata travel through an out-of-band queue while the payload
+// bytes flow through the simulated network, so timing is governed by the
+// real datapath.
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"vnetp/internal/netstack"
+	"vnetp/internal/sim"
+)
+
+// AnySource and AnyTag are the usual wildcards.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// envelope is the per-message header overhead carried on the wire: it
+// gives zero-byte messages (barriers) a real cost and small messages a
+// realistic size.
+const envelope = 64
+
+// portFor returns the listener port rank j uses for connections dialed by
+// rank i (per-pair ports make accepted streams identifiable).
+func portFor(i, j int) uint16 { return uint16(20000 + i*97 + j) }
+
+// msg is a matched (or matchable) incoming message.
+type msg struct {
+	src, tag, size int
+	arrived        *sim.Chan[struct{}] // signaled when payload fully read
+}
+
+// meta travels out-of-band alongside the payload bytes.
+type meta struct {
+	src, tag, size int
+}
+
+// World is an MPI communicator: n ranks spread over the stacks of a
+// testbed (several ranks may share one stack/VM).
+type World struct {
+	Eng   *sim.Engine
+	ranks []*Rank
+	done  int
+	fin   *sim.Cond
+}
+
+// Rank is one MPI process.
+type Rank struct {
+	w     *World
+	id    int
+	stack *netstack.Stack
+
+	// conns[j] is the stream to rank j (nil for self and same-VM peers).
+	conns []*netstack.Stream
+	// metaq[j] receives envelopes for messages from rank j.
+	metaq []*sim.Chan[meta]
+
+	matched  []msg // arrived-and-unclaimed messages
+	matchCnd *sim.Cond
+
+	// Stats
+	Sent, Received uint64
+	BytesSent      uint64
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return len(r.w.ranks) }
+
+// Stack exposes the rank's network stack.
+func (r *Rank) Stack() *netstack.Stack { return r.stack }
+
+// NewWorld creates a communicator with the given per-rank stacks
+// (stacks[i] is rank i's VM; repeat a stack to co-locate ranks).
+func NewWorld(eng *sim.Engine, stacks []*netstack.Stack) *World {
+	w := &World{Eng: eng, fin: sim.NewCond(eng)}
+	n := len(stacks)
+	for i := 0; i < n; i++ {
+		r := &Rank{
+			w: w, id: i, stack: stacks[i],
+			conns:    make([]*netstack.Stream, n),
+			metaq:    make([]*sim.Chan[meta], n),
+			matchCnd: sim.NewCond(eng),
+		}
+		for j := 0; j < n; j++ {
+			r.metaq[j] = sim.NewChan[meta](eng)
+		}
+		w.ranks = append(w.ranks, r)
+	}
+	return w
+}
+
+// Launch starts fn as rank r's program on its own simulated process. Call
+// once per rank, then run the engine. Connection setup (full mesh between
+// ranks on distinct VMs) happens before fn runs.
+func (w *World) Launch(fn func(p *sim.Proc, r *Rank)) {
+	for _, r := range w.ranks {
+		r := r
+		w.Eng.Go(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+			r.connect(p)
+			r.startReaders()
+			fn(p, r)
+			w.done++
+			if w.done == len(w.ranks) {
+				w.fin.Broadcast()
+			}
+		})
+	}
+}
+
+// AwaitAll blocks p until every launched rank's program has returned.
+func (w *World) AwaitAll(p *sim.Proc) {
+	for w.done < len(w.ranks) {
+		w.fin.Wait(p)
+	}
+}
+
+// sameVM reports whether two ranks share a stack (shared-memory path).
+func (r *Rank) sameVM(j int) bool { return r.stack == r.w.ranks[j].stack }
+
+// connect establishes the full mesh: lower rank dials, higher accepts,
+// per-pair ports.
+func (r *Rank) connect(p *sim.Proc) {
+	n := len(r.w.ranks)
+	// Listeners first so dialers always find them.
+	listeners := make(map[int]*netstack.Listener)
+	for i := 0; i < r.id; i++ {
+		if !r.sameVM(i) {
+			listeners[i] = r.stack.Listen(portFor(i, r.id))
+		}
+	}
+	p.Yield() // let every rank finish binding before anyone dials
+	for j := r.id + 1; j < n; j++ {
+		if !r.sameVM(j) {
+			r.conns[j] = r.stack.Dial(p, r.w.ranks[j].stack.IP(), portFor(r.id, j))
+		}
+	}
+	for i, l := range listeners {
+		r.conns[i] = l.Accept(p)
+	}
+}
+
+// startReaders spawns one reader per peer: it pairs each envelope with
+// its payload bytes from the stream and posts the message for matching.
+func (r *Rank) startReaders() {
+	for j := range r.w.ranks {
+		if j == r.id {
+			continue
+		}
+		j := j
+		r.w.Eng.Go(fmt.Sprintf("rank%d<-%d", r.id, j), func(p *sim.Proc) {
+			for {
+				m := r.metaq[j].Recv(p)
+				if m.size < 0 {
+					return // world shutdown sentinel (unused today)
+				}
+				if st := r.conns[j]; st != nil {
+					st.ReadFull(p, m.size+envelope)
+				} else {
+					// Shared memory: copy cost on this VM's core.
+					r.shmCopy(p, m.size+envelope)
+				}
+				r.post(msg{src: j, tag: m.tag, size: m.size})
+			}
+		})
+	}
+}
+
+// shmDelay is the base one-way latency of the shared-memory transport.
+const shmDelay = time.Microsecond
+
+// shmCopy charges a shared-memory message transfer.
+func (r *Rank) shmCopy(p *sim.Proc, n int) {
+	p.Sleep(shmDelay + time.Duration(float64(n)/5e9*1e9))
+}
+
+// post makes an arrived message available to Recv.
+func (r *Rank) post(m msg) {
+	r.matched = append(r.matched, m)
+	r.Received++
+	r.matchCnd.Broadcast()
+}
+
+// Send transmits size payload bytes to rank dst with the given tag,
+// returning when the local buffer is reusable (bytes queued/windowed).
+func (r *Rank) Send(p *sim.Proc, dst, tag, size int) {
+	if dst == r.id {
+		panic("mpi: send to self")
+	}
+	r.Sent++
+	r.BytesSent += uint64(size)
+	r.w.ranks[dst].metaq[r.id].Send(meta{src: r.id, tag: tag, size: size})
+	if st := r.conns[dst]; st != nil {
+		st.Write(p, size+envelope)
+		return
+	}
+	// Shared memory: sender pays the same copy once.
+	r.shmCopy(p, size+envelope)
+}
+
+// Recv blocks until a message from src (or AnySource) with tag (or
+// AnyTag) has fully arrived, returning its source, tag and size.
+func (r *Rank) Recv(p *sim.Proc, src, tag int) (int, int, int) {
+	for {
+		for i, m := range r.matched {
+			if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+				r.matched = append(r.matched[:i], r.matched[i+1:]...)
+				return m.src, m.tag, m.size
+			}
+		}
+		r.matchCnd.Wait(p)
+	}
+}
+
+// Request is a handle for a non-blocking operation.
+type Request struct {
+	done *sim.Chan[int]
+}
+
+// Wait blocks until the operation completes, returning the received size
+// (sends return 0).
+func (q *Request) Wait(p *sim.Proc) int { return q.done.Recv(p) }
+
+// Isend starts a non-blocking send.
+func (r *Rank) Isend(p *sim.Proc, dst, tag, size int) *Request {
+	q := &Request{done: sim.NewChan[int](r.w.Eng)}
+	r.w.Eng.Go(fmt.Sprintf("isend%d->%d", r.id, dst), func(hp *sim.Proc) {
+		r.Send(hp, dst, tag, size)
+		q.done.Send(0)
+	})
+	return q
+}
+
+// Irecv starts a non-blocking receive.
+func (r *Rank) Irecv(p *sim.Proc, src, tag int) *Request {
+	q := &Request{done: sim.NewChan[int](r.w.Eng)}
+	r.w.Eng.Go(fmt.Sprintf("irecv%d<-%d", r.id, src), func(hp *sim.Proc) {
+		_, _, size := r.Recv(hp, src, tag)
+		q.done.Send(size)
+	})
+	return q
+}
+
+// SendRecv performs a simultaneous send to dst and receive from src
+// (MPI_Sendrecv): both directions progress concurrently.
+func (r *Rank) SendRecv(p *sim.Proc, dst, sendTag, sendSize, src, recvTag int) int {
+	req := r.Isend(p, dst, sendTag, sendSize)
+	_, _, size := r.Recv(p, src, recvTag)
+	req.Wait(p)
+	return size
+}

@@ -1,0 +1,94 @@
+package netstack_test
+
+import (
+	"testing"
+	"time"
+
+	"vnetp/internal/ipv4"
+	"vnetp/internal/phys"
+	"vnetp/internal/sim"
+)
+
+func TestNoNeighborCounted(t *testing.T) {
+	eng, s := nativePair(phys.Eth10G)
+	eng.Go("send", func(p *sim.Proc) {
+		sock := s[0].BindUDP(9)
+		// No neighbor entry for this address: the send is dropped and
+		// counted, not delivered and not crashed.
+		sock.SendTo(p, ipv4.AddrFrom(10, 9, 9, 9), 9, 100)
+	})
+	eng.Run()
+	eng.Close()
+	if s[0].NoNeighbor != 1 {
+		t.Fatalf("NoNeighbor = %d, want 1", s[0].NoNeighbor)
+	}
+	if s[0].SentFrames != 0 {
+		t.Fatalf("SentFrames = %d for an unroutable datagram", s[0].SentFrames)
+	}
+}
+
+func TestStackFrameCounters(t *testing.T) {
+	eng, s := nativePair(phys.Eth10G)
+	eng.Go("recv", func(p *sim.Proc) {
+		sock := s[1].BindUDP(9)
+		sock.Recv(p)
+	})
+	eng.Go("send", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		sock := s[0].BindUDP(10)
+		sock.SendTo(p, ipB, 9, 100)
+	})
+	eng.Run()
+	eng.Close()
+	if s[0].SentFrames != 1 || s[1].RecvFrames != 1 {
+		t.Fatalf("sent=%d recv=%d, want 1/1", s[0].SentFrames, s[1].RecvFrames)
+	}
+	if s[1].BadFrames != 0 {
+		t.Fatalf("bad frames = %d", s[1].BadFrames)
+	}
+}
+
+func TestDatagramToUnboundPortDropped(t *testing.T) {
+	eng, s := nativePair(phys.Eth10G)
+	delivered := false
+	eng.Go("send", func(p *sim.Proc) {
+		sock := s[0].BindUDP(10)
+		sock.SendTo(p, ipB, 4242, 64) // nobody listens on 4242
+	})
+	eng.Go("check", func(p *sim.Proc) {
+		sock := s[1].BindUDP(9)
+		if _, ok := sock.RecvTimeout(p, 10*time.Millisecond); ok {
+			delivered = true
+		}
+	})
+	eng.Run()
+	eng.Close()
+	if delivered {
+		t.Fatal("datagram for an unbound port reached a different socket")
+	}
+	// The frame itself was received and demuxed (then discarded).
+	if s[1].RecvFrames != 1 {
+		t.Fatalf("RecvFrames = %d", s[1].RecvFrames)
+	}
+}
+
+func TestUDPZeroLengthDatagram(t *testing.T) {
+	eng, s := nativePair(phys.Eth10G)
+	var ok bool
+	var size int
+	eng.Go("recv", func(p *sim.Proc) {
+		sock := s[1].BindUDP(9)
+		d, k := sock.RecvTimeout(p, 50*time.Millisecond)
+		size, ok = d.Size, k
+	})
+	eng.Go("send", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		sock := s[0].BindUDP(10)
+		sock.SendTo(p, ipB, 9, 0)
+	})
+	eng.Run()
+	eng.Close()
+	if !ok || size != 0 {
+		t.Fatalf("zero-length datagram: ok=%v size=%d", ok, size)
+	}
+}

@@ -1,0 +1,74 @@
+package netstack
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"vnetp/internal/ipv4"
+)
+
+// Header is the compact transport header guest packets carry in
+// Frame.Payload. Its 28-byte size matches the IPv4+UDP overhead so
+// goodput accounting stays honest; the body itself is virtual padding
+// (Frame.Pad).
+type Header struct {
+	Proto    uint8 // ipv4.ProtoUDP, ProtoTCP, ProtoICMP
+	Flags    uint8
+	SrcPort  uint16
+	DstPort  uint16
+	Src, Dst ipv4.Addr
+	Seq, Ack uint32
+	BodyLen  uint32
+}
+
+// HeaderLen is the marshalled header size.
+const HeaderLen = 28
+
+// Transport flags.
+const (
+	FlagSYN       = 1 << 0
+	FlagACK       = 1 << 1
+	FlagFIN       = 1 << 2
+	FlagData      = 1 << 3
+	FlagEcho      = 1 << 4 // ICMP echo request
+	FlagEchoReply = 1 << 5
+)
+
+// ErrShortHeader reports a frame payload too small to hold a Header.
+var ErrShortHeader = errors.New("netstack: short transport header")
+
+// Marshal appends the wire form to b.
+func (h *Header) Marshal(b []byte) []byte {
+	b = append(b, h.Proto, h.Flags)
+	b = binary.BigEndian.AppendUint16(b, h.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, h.DstPort)
+	b = append(b, h.Src[:]...)
+	b = append(b, h.Dst[:]...)
+	b = binary.BigEndian.AppendUint32(b, h.Seq)
+	b = binary.BigEndian.AppendUint32(b, h.Ack)
+	b = binary.BigEndian.AppendUint32(b, h.BodyLen)
+	// Pad to HeaderLen for size parity with IPv4+UDP.
+	for len(b)%HeaderLen != 0 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// ParseHeader decodes a header from the start of b.
+func ParseHeader(b []byte) (*Header, error) {
+	if len(b) < HeaderLen {
+		return nil, ErrShortHeader
+	}
+	h := &Header{
+		Proto:   b[0],
+		Flags:   b[1],
+		SrcPort: binary.BigEndian.Uint16(b[2:]),
+		DstPort: binary.BigEndian.Uint16(b[4:]),
+		Seq:     binary.BigEndian.Uint32(b[14:]),
+		Ack:     binary.BigEndian.Uint32(b[18:]),
+		BodyLen: binary.BigEndian.Uint32(b[22:]),
+	}
+	copy(h.Src[:], b[6:10])
+	copy(h.Dst[:], b[10:14])
+	return h, nil
+}

@@ -1,0 +1,372 @@
+package netstack
+
+import (
+	"fmt"
+	"time"
+
+	"vnetp/internal/ethernet"
+	"vnetp/internal/ipv4"
+	"vnetp/internal/sim"
+	"vnetp/internal/vmm"
+)
+
+// Config parameterizes a Stack.
+type Config struct {
+	Eng  *sim.Engine
+	Port Port
+	IP   ipv4.Addr
+	// Charge runs fn after cost of serial CPU time in this node's compute
+	// context (the guest vCPU for VMs, a plain delay natively).
+	Charge func(cost time.Duration, fn func())
+	// Copy charges a memory-bus crossing of n bytes.
+	Copy func(n int, fn func())
+	// PerFrame is the stack+driver cost per wire frame.
+	PerFrame time.Duration
+	// PerDatagram is the per-send/receive-call cost (syscall + stack
+	// traversal); with segmentation offload it is independent of how many
+	// frames the call produces.
+	PerDatagram time.Duration
+	// MSS caps the body bytes per frame (0 derives it from the port MTU).
+	MSS int
+	// Window is the reliable stream's in-flight byte limit (0 = 256 KB,
+	// the paper's ttcp socket-buffer configuration).
+	Window int
+	// CopyBytesPerSec is the single-stream copy rate used to charge CPU
+	// time for moving a frame's bytes (0 = 5 GB/s).
+	CopyBytesPerSec float64
+	// BusQueue, when set, reports the memory-bus backlog; the send path
+	// throttles when outstanding DMA exceeds a small ring's worth, which
+	// is how the aggregate bus budget back-pressures a fast producer.
+	BusQueue func() time.Duration
+}
+
+// Stack is one node's transport stack.
+type Stack struct {
+	cfg       Config
+	eng       *sim.Engine
+	neighbors map[ipv4.Addr]ethernet.MAC
+
+	udpSocks  map[uint16]*UDPSocket
+	streams   map[streamKey]*Stream
+	listeners map[uint16]*Listener
+	pings     map[uint32]*sim.Chan[sim.Time]
+	nextPort  uint16
+	nextPing  uint32
+
+	// Stats
+	SentFrames, RecvFrames uint64
+	NoNeighbor             uint64
+	BadFrames              uint64
+	AsyncDrops             uint64
+}
+
+// NewStack builds a stack over a port.
+func NewStack(cfg Config) *Stack {
+	if cfg.MSS <= 0 {
+		cfg.MSS = cfg.Port.MTU() - HeaderLen
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 256 << 10
+	}
+	if cfg.CopyBytesPerSec <= 0 {
+		cfg.CopyBytesPerSec = 5e9
+	}
+	if cfg.Charge == nil {
+		cfg.Charge = func(cost time.Duration, fn func()) { cfg.Eng.Schedule(cost, fn) }
+	}
+	if cfg.Copy == nil {
+		cfg.Copy = func(n int, fn func()) { cfg.Eng.Schedule(0, fn) }
+	}
+	s := &Stack{
+		cfg:       cfg,
+		eng:       cfg.Eng,
+		neighbors: make(map[ipv4.Addr]ethernet.MAC),
+		udpSocks:  make(map[uint16]*UDPSocket),
+		streams:   make(map[streamKey]*Stream),
+		listeners: make(map[uint16]*Listener),
+		pings:     make(map[uint32]*sim.Chan[sim.Time]),
+		nextPort:  32768,
+	}
+	cfg.Port.SetRecv(s.onRecv)
+	return s
+}
+
+// NewVMStack builds a stack for a guest VM: CPU work on the guest core,
+// copies on the host memory bus, per-frame cost from the cost model.
+func NewVMStack(eng *sim.Engine, vm *vmm.VM, port Port, ip ipv4.Addr) *Stack {
+	m := vm.Host.Model
+	return NewStack(Config{
+		Eng:             eng,
+		Port:            port,
+		IP:              ip,
+		Charge:          vm.GuestWork,
+		Copy:            vm.Host.MemCopy,
+		PerFrame:        m.GuestPerPacket,
+		PerDatagram:     m.HostStackPerPacket,
+		CopyBytesPerSec: m.CopyBytesPerSec,
+		BusQueue:        vm.Host.MemBus.QueueDelay,
+	})
+}
+
+// nativePerFrame is the per-frame cost of an offload-assisted native
+// stack (TSO/LRO leave little per-frame software work).
+const nativePerFrame = 150 * time.Nanosecond
+
+// NewNativeStack builds a stack running directly on a host.
+func NewNativeStack(eng *sim.Engine, host *vmm.Host, port Port, ip ipv4.Addr) *Stack {
+	m := host.Model
+	return NewStack(Config{
+		Eng:             eng,
+		Port:            port,
+		IP:              ip,
+		Copy:            host.MemCopy,
+		PerFrame:        nativePerFrame,
+		PerDatagram:     m.HostStackPerPacket,
+		CopyBytesPerSec: m.CopyBytesPerSec,
+		BusQueue:        host.MemBus.QueueDelay,
+	})
+}
+
+// IP returns the stack's address.
+func (s *Stack) IP() ipv4.Addr { return s.cfg.IP }
+
+// MSS returns the effective max body bytes per frame.
+func (s *Stack) MSS() int { return s.cfg.MSS }
+
+// AddNeighbor installs a static IP-to-MAC mapping (the clusters use
+// static ARP).
+func (s *Stack) AddNeighbor(ip ipv4.Addr, mac ethernet.MAC) { s.neighbors[ip] = mac }
+
+// chargeSync blocks the process for cost of this node's CPU time.
+func (s *Stack) chargeSync(p *sim.Proc, cost time.Duration) {
+	done := sim.NewChan[struct{}](s.eng)
+	s.cfg.Charge(cost, func() { done.Send(struct{}{}) })
+	done.Recv(p)
+}
+
+// copyCPU is the CPU time of copying n bytes at the single-stream rate.
+func (s *Stack) copyCPU(n int) time.Duration {
+	return time.Duration(float64(n) / s.cfg.CopyBytesPerSec * 1e9)
+}
+
+// dmaRingSlack is how much outstanding memory-bus work a sender tolerates
+// before throttling (a small DMA ring's worth).
+const dmaRingSlack = 5 * time.Microsecond
+
+// buildFrame assembles a guest frame for hdr (body carried as Pad).
+func (s *Stack) buildFrame(hdr *Header) (*ethernet.Frame, bool) {
+	mac, ok := s.neighbors[hdr.Dst]
+	if !ok {
+		s.NoNeighbor++
+		return nil, false
+	}
+	return &ethernet.Frame{
+		Dst:     mac,
+		Src:     s.cfg.Port.MAC(),
+		Type:    ethernet.TypeIPv4,
+		Payload: hdr.Marshal(nil),
+		Pad:     int(hdr.BodyLen),
+	}, true
+}
+
+// sendFrameBlocking charges per-frame costs (stack work + the copy's CPU
+// time), issues the bus crossing asynchronously (DMA pipelines with the
+// next frame's preparation), and queues the frame, blocking on TX-ring
+// backpressure and on excessive memory-bus backlog. Process context.
+func (s *Stack) sendFrameBlocking(p *sim.Proc, f *ethernet.Frame) {
+	s.chargeSync(p, s.cfg.PerFrame+s.copyCPU(f.WireLen()))
+	s.cfg.Copy(f.WireLen(), nil)
+	if s.cfg.BusQueue != nil {
+		if qd := s.cfg.BusQueue(); qd > dmaRingSlack {
+			p.Sleep(qd - dmaRingSlack)
+		}
+	}
+	for !s.cfg.Port.TrySend(f) {
+		s.cfg.Port.WaitSendSpace(p)
+	}
+	s.SentFrames++
+}
+
+// sendFrameAsync charges costs and queues without blocking (used for
+// acks and ICMP replies generated in event context). A full TX ring is
+// retried briefly (the stack's qdisc requeues); only sustained pressure
+// drops.
+func (s *Stack) sendFrameAsync(f *ethernet.Frame) {
+	s.cfg.Charge(s.cfg.PerFrame+s.copyCPU(f.WireLen()), func() {
+		s.cfg.Copy(f.WireLen(), nil)
+		s.trySendRetry(f, 200)
+	})
+}
+
+func (s *Stack) trySendRetry(f *ethernet.Frame, tries int) {
+	if s.cfg.Port.TrySend(f) {
+		s.SentFrames++
+		return
+	}
+	if tries <= 0 {
+		s.AsyncDrops++
+		return
+	}
+	s.eng.Schedule(5*time.Microsecond, func() { s.trySendRetry(f, tries-1) })
+}
+
+// onRecv is the port's receive upcall: drain the ring, charge per-frame
+// receive costs, then demultiplex.
+func (s *Stack) onRecv() {
+	var batch []*ethernet.Frame
+	for {
+		f, ok := s.cfg.Port.GuestRecv()
+		if !ok {
+			break
+		}
+		batch = append(batch, f)
+	}
+	if len(batch) == 0 {
+		s.cfg.Port.RxDone()
+		return
+	}
+	cost := time.Duration(len(batch)) * s.cfg.PerFrame
+	for _, f := range batch {
+		cost += s.copyCPU(f.WireLen())
+	}
+	s.cfg.Charge(cost, func() {
+		for _, f := range batch {
+			f := f
+			s.cfg.Copy(f.WireLen(), func() { s.demux(f) })
+		}
+		s.cfg.Port.RxDone()
+	})
+}
+
+func (s *Stack) demux(f *ethernet.Frame) {
+	hdr, err := ParseHeader(f.Payload)
+	if err != nil || hdr.Dst != s.cfg.IP {
+		s.BadFrames++
+		return
+	}
+	s.RecvFrames++
+	switch hdr.Proto {
+	case ipv4.ProtoUDP:
+		if sock := s.udpSocks[hdr.DstPort]; sock != nil {
+			sock.rq.Send(Datagram{Src: hdr.Src, SrcPort: hdr.SrcPort, Size: int(hdr.BodyLen)})
+		}
+	case ipv4.ProtoTCP:
+		s.demuxStream(hdr)
+	case ipv4.ProtoICMP:
+		s.demuxICMP(hdr)
+	}
+}
+
+// ---------- UDP ----------
+
+// Datagram is one received UDP message.
+type Datagram struct {
+	Src     ipv4.Addr
+	SrcPort uint16
+	Size    int
+}
+
+// UDPSocket is a bound UDP endpoint.
+type UDPSocket struct {
+	s    *Stack
+	port uint16
+	rq   *sim.Chan[Datagram]
+}
+
+// BindUDP binds a UDP socket on port (panics on double bind: that is a
+// workload bug).
+func (s *Stack) BindUDP(port uint16) *UDPSocket {
+	if _, dup := s.udpSocks[port]; dup {
+		panic(fmt.Sprintf("netstack: UDP port %d already bound on %v", port, s.cfg.IP))
+	}
+	sock := &UDPSocket{s: s, port: port, rq: sim.NewChan[Datagram](s.eng)}
+	s.udpSocks[port] = sock
+	return sock
+}
+
+// Close releases the port binding.
+func (u *UDPSocket) Close() { delete(u.s.udpSocks, u.port) }
+
+// SendTo transmits size body bytes to dst:dstPort, segmenting to the MSS.
+// It blocks until every frame is handed to the NIC.
+func (u *UDPSocket) SendTo(p *sim.Proc, dst ipv4.Addr, dstPort uint16, size int) {
+	s := u.s
+	s.chargeSync(p, s.cfg.PerDatagram)
+	for off := 0; off < size || off == 0 && size == 0; off += s.cfg.MSS {
+		n := size - off
+		if n > s.cfg.MSS {
+			n = s.cfg.MSS
+		}
+		hdr := &Header{
+			Proto: ipv4.ProtoUDP, Flags: FlagData,
+			SrcPort: u.port, DstPort: dstPort,
+			Src: s.cfg.IP, Dst: dst,
+			BodyLen: uint32(n),
+		}
+		f, ok := s.buildFrame(hdr)
+		if !ok {
+			return
+		}
+		s.sendFrameBlocking(p, f)
+		if size == 0 {
+			break
+		}
+	}
+}
+
+// Recv blocks until a datagram arrives.
+func (u *UDPSocket) Recv(p *sim.Proc) Datagram { return u.rq.Recv(p) }
+
+// RecvTimeout blocks until a datagram arrives or d elapses.
+func (u *UDPSocket) RecvTimeout(p *sim.Proc, d time.Duration) (Datagram, bool) {
+	return u.rq.RecvTimeout(p, d)
+}
+
+// ---------- ICMP echo ----------
+
+func (s *Stack) demuxICMP(hdr *Header) {
+	switch {
+	case hdr.Flags&FlagEcho != 0:
+		// Reflect: same body size, seq echoed back.
+		reply := &Header{
+			Proto: ipv4.ProtoICMP, Flags: FlagEchoReply,
+			Src: s.cfg.IP, Dst: hdr.Src,
+			Seq: hdr.Seq, BodyLen: hdr.BodyLen,
+		}
+		if f, ok := s.buildFrame(reply); ok {
+			s.sendFrameAsync(f)
+		}
+	case hdr.Flags&FlagEchoReply != 0:
+		if ch := s.pings[hdr.Seq]; ch != nil {
+			ch.Send(s.eng.Now())
+		}
+	}
+}
+
+// Ping sends one ICMP echo request with size payload bytes and waits for
+// the reply, returning the round-trip time.
+func (s *Stack) Ping(p *sim.Proc, dst ipv4.Addr, size int, timeout time.Duration) (time.Duration, bool) {
+	s.nextPing++
+	id := s.nextPing
+	ch := sim.NewChan[sim.Time](s.eng)
+	s.pings[id] = ch
+	defer delete(s.pings, id)
+
+	start := s.eng.Now()
+	hdr := &Header{
+		Proto: ipv4.ProtoICMP, Flags: FlagEcho,
+		Src: s.cfg.IP, Dst: dst,
+		Seq: id, BodyLen: uint32(size),
+	}
+	f, ok := s.buildFrame(hdr)
+	if !ok {
+		return 0, false
+	}
+	s.chargeSync(p, s.cfg.PerDatagram)
+	s.sendFrameBlocking(p, f)
+	end, ok := ch.RecvTimeout(p, timeout)
+	if !ok {
+		return 0, false
+	}
+	return end.Sub(start), true
+}

@@ -1,0 +1,359 @@
+package netstack
+
+import (
+	"fmt"
+	"time"
+
+	"vnetp/internal/ipv4"
+	"vnetp/internal/sim"
+)
+
+// streamKey identifies a reliable stream endpoint.
+type streamKey struct {
+	localPort  uint16
+	remote     ipv4.Addr
+	remotePort uint16
+}
+
+// Reliable-stream tuning. The stand-in keeps TCP's window-limited,
+// cumulative-ack, go-back-N shape without congestion control (the paper's
+// measurements are on clean dedicated links).
+const (
+	ackEvery     = 8
+	delayedAckAt = 200 * time.Microsecond
+	rto          = 20 * time.Millisecond
+	synRetry     = 50 * time.Millisecond
+)
+
+// seqLT is wrap-safe sequence comparison.
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+type seg struct {
+	seq  uint32
+	size int
+	fin  bool
+}
+
+// Stream is a reliable, windowed byte stream between two stacks — the
+// ttcp/MPI transport. Create with Dial/Listen.
+type Stream struct {
+	s   *Stack
+	key streamKey
+
+	established bool
+	estCond     *sim.Cond
+
+	// Sender state.
+	sndNxt, sndUna uint32
+	segs           []seg
+	sndCond        *sim.Cond
+	rtoTimer       *sim.Event
+	finSent        bool
+	dupAckCnt      int
+
+	// Receiver state.
+	rcvNxt      uint32
+	rcvAvail    int
+	rcvCond     *sim.Cond
+	finReceived bool
+	unackedSegs int
+	ackTimer    *sim.Event
+
+	// Stats
+	Retransmits   uint64
+	DupAcks       uint64
+	BytesSent     uint64
+	BytesReceived uint64
+}
+
+func newStream(s *Stack, key streamKey) *Stream {
+	return &Stream{
+		s:       s,
+		key:     key,
+		estCond: sim.NewCond(s.eng),
+		sndCond: sim.NewCond(s.eng),
+		rcvCond: sim.NewCond(s.eng),
+	}
+}
+
+// Listener accepts inbound streams on a port.
+type Listener struct {
+	s       *Stack
+	port    uint16
+	acceptQ *sim.Chan[*Stream]
+}
+
+// Listen binds a stream listener.
+func (s *Stack) Listen(port uint16) *Listener {
+	if _, dup := s.listeners[port]; dup {
+		panic(fmt.Sprintf("netstack: stream port %d already listening on %v", port, s.cfg.IP))
+	}
+	l := &Listener{s: s, port: port, acceptQ: sim.NewChan[*Stream](s.eng)}
+	s.listeners[port] = l
+	return l
+}
+
+// Accept blocks until a peer connects.
+func (l *Listener) Accept(p *sim.Proc) *Stream { return l.acceptQ.Recv(p) }
+
+// Close stops accepting.
+func (l *Listener) Close() { delete(l.s.listeners, l.port) }
+
+// Dial connects to dst:port, blocking until the handshake completes.
+func (s *Stack) Dial(p *sim.Proc, dst ipv4.Addr, port uint16) *Stream {
+	s.nextPort++
+	key := streamKey{localPort: s.nextPort, remote: dst, remotePort: port}
+	st := newStream(s, key)
+	s.streams[key] = st
+	for try := 0; !st.established; try++ {
+		if try > 20 {
+			panic("netstack: connect timeout (is the peer listening?)")
+		}
+		st.sendCtl(FlagSYN, st.sndNxt, 0)
+		deadline := s.eng.Now().Add(synRetry)
+		for !st.established && s.eng.Now() < deadline {
+			waitUntil(p, s.eng, st.estCond, deadline)
+		}
+	}
+	return st
+}
+
+// waitUntil waits on cond but gives up at the deadline.
+func waitUntil(p *sim.Proc, eng *sim.Engine, cond *sim.Cond, deadline sim.Time) {
+	timer := eng.ScheduleAt(deadline, func() { cond.Broadcast() })
+	cond.Wait(p)
+	timer.Cancel()
+}
+
+// sendCtl emits a control/ack frame (event or process context; drops on a
+// full ring and relies on retransmission).
+func (st *Stream) sendCtl(flags uint8, seqNum, ack uint32) {
+	hdr := &Header{
+		Proto: ipv4.ProtoTCP, Flags: flags,
+		SrcPort: st.key.localPort, DstPort: st.key.remotePort,
+		Src: st.s.cfg.IP, Dst: st.key.remote,
+		Seq: seqNum, Ack: ack,
+	}
+	if f, ok := st.s.buildFrame(hdr); ok {
+		st.s.sendFrameAsync(f)
+	}
+}
+
+// Write sends n body bytes, blocking for window space and TX
+// backpressure. It returns when the last byte is queued to the NIC.
+func (st *Stream) Write(p *sim.Proc, n int) {
+	s := st.s
+	s.chargeSync(p, s.cfg.PerDatagram)
+	for off := 0; off < n; {
+		size := n - off
+		if size > s.cfg.MSS {
+			size = s.cfg.MSS
+		}
+		for int(st.sndNxt-st.sndUna)+size > s.cfg.Window {
+			st.sndCond.Wait(p)
+		}
+		hdr := &Header{
+			Proto: ipv4.ProtoTCP, Flags: FlagData,
+			SrcPort: st.key.localPort, DstPort: st.key.remotePort,
+			Src: s.cfg.IP, Dst: st.key.remote,
+			Seq: st.sndNxt, BodyLen: uint32(size),
+		}
+		f, ok := s.buildFrame(hdr)
+		if !ok {
+			return
+		}
+		st.segs = append(st.segs, seg{seq: st.sndNxt, size: size})
+		st.sndNxt += uint32(size)
+		st.BytesSent += uint64(size)
+		st.armRTO()
+		s.sendFrameBlocking(p, f)
+		off += size
+	}
+}
+
+// Close sends FIN (as a one-sequence segment, retransmitted like data)
+// and returns once it is acked.
+func (st *Stream) Close(p *sim.Proc) {
+	if st.finSent {
+		return
+	}
+	st.finSent = true
+	st.segs = append(st.segs, seg{seq: st.sndNxt, size: 1, fin: true})
+	st.sendCtl(FlagFIN, st.sndNxt, 0)
+	st.sndNxt++
+	st.armRTO()
+	for st.sndUna != st.sndNxt {
+		st.sndCond.Wait(p)
+	}
+}
+
+// ReadFull blocks until n bytes have been received (or the peer's FIN
+// arrives), returning the byte count consumed.
+func (st *Stream) ReadFull(p *sim.Proc, n int) int {
+	got := 0
+	for got < n {
+		if st.rcvAvail > 0 {
+			take := st.rcvAvail
+			if take > n-got {
+				take = n - got
+			}
+			st.rcvAvail -= take
+			got += take
+			continue
+		}
+		if st.finReceived {
+			break
+		}
+		st.rcvCond.Wait(p)
+	}
+	return got
+}
+
+// armRTO starts the retransmission timer if not already running.
+func (st *Stream) armRTO() {
+	if st.rtoTimer != nil {
+		return
+	}
+	st.rtoTimer = st.s.eng.Schedule(rto, st.onRTO)
+}
+
+func (st *Stream) onRTO() {
+	st.rtoTimer = nil
+	if len(st.segs) == 0 {
+		return
+	}
+	st.retransmitAll()
+	st.armRTO()
+}
+
+// retransmitAll resends every unacked segment (go-back-N recovery).
+func (st *Stream) retransmitAll() {
+	for _, sg := range st.segs {
+		st.Retransmits++
+		if sg.fin {
+			st.sendCtl(FlagFIN, sg.seq, 0)
+			continue
+		}
+		hdr := &Header{
+			Proto: ipv4.ProtoTCP, Flags: FlagData,
+			SrcPort: st.key.localPort, DstPort: st.key.remotePort,
+			Src: st.s.cfg.IP, Dst: st.key.remote,
+			Seq: sg.seq, BodyLen: uint32(sg.size),
+		}
+		if f, ok := st.s.buildFrame(hdr); ok {
+			st.s.sendFrameAsync(f)
+		}
+	}
+}
+
+// ackNow emits a cumulative ack.
+func (st *Stream) ackNow() {
+	st.unackedSegs = 0
+	if st.ackTimer != nil {
+		st.ackTimer.Cancel()
+		st.ackTimer = nil
+	}
+	st.sendCtl(FlagACK, 0, st.rcvNxt)
+}
+
+// demuxStream handles an inbound stream frame.
+func (s *Stack) demuxStream(hdr *Header) {
+	key := streamKey{localPort: hdr.DstPort, remote: hdr.Src, remotePort: hdr.SrcPort}
+	st := s.streams[key]
+
+	// Connection establishment.
+	if hdr.Flags&FlagSYN != 0 && hdr.Flags&FlagACK == 0 {
+		if st == nil {
+			l := s.listeners[hdr.DstPort]
+			if l == nil {
+				return
+			}
+			st = newStream(s, key)
+			st.established = true
+			st.rcvNxt = hdr.Seq
+			s.streams[key] = st
+			l.acceptQ.Send(st)
+		}
+		// (Re)confirm: SYN|ACK.
+		st.sendCtl(FlagSYN|FlagACK, st.sndNxt, st.rcvNxt)
+		return
+	}
+	if st == nil {
+		return
+	}
+	if hdr.Flags&FlagSYN != 0 && hdr.Flags&FlagACK != 0 {
+		if !st.established {
+			st.established = true
+			st.rcvNxt = hdr.Seq
+			st.estCond.Broadcast()
+		}
+		return
+	}
+
+	// Pure ack processing (cumulative, with fast retransmit on three
+	// duplicate acks).
+	if hdr.Flags&FlagACK != 0 {
+		if seqLT(st.sndUna, hdr.Ack) {
+			st.dupAckCnt = 0
+			st.sndUna = hdr.Ack
+			for len(st.segs) > 0 && !seqLT(hdr.Ack, st.segs[0].seq+uint32(st.segs[0].size)) {
+				st.segs = st.segs[1:]
+			}
+			if st.rtoTimer != nil {
+				st.rtoTimer.Cancel()
+				st.rtoTimer = nil
+			}
+			if len(st.segs) > 0 {
+				st.armRTO()
+			}
+			st.sndCond.Broadcast()
+		} else if hdr.Ack == st.sndUna && len(st.segs) > 0 {
+			st.dupAckCnt++
+			if st.dupAckCnt == 3 {
+				st.dupAckCnt = 0
+				st.retransmitAll()
+			}
+		}
+		return
+	}
+
+	// FIN.
+	if hdr.Flags&FlagFIN != 0 {
+		switch {
+		case hdr.Seq == st.rcvNxt:
+			st.rcvNxt++
+			st.finReceived = true
+			st.rcvCond.Broadcast()
+			st.ackNow()
+		case seqLT(hdr.Seq, st.rcvNxt):
+			st.ackNow() // duplicate FIN: re-ack
+		}
+		return
+	}
+
+	// Data.
+	if hdr.Flags&FlagData != 0 {
+		switch {
+		case hdr.Seq == st.rcvNxt:
+			st.rcvNxt += hdr.BodyLen
+			st.rcvAvail += int(hdr.BodyLen)
+			st.BytesReceived += uint64(hdr.BodyLen)
+			st.rcvCond.Broadcast()
+			st.unackedSegs++
+			if st.unackedSegs >= ackEvery {
+				st.ackNow()
+			} else if st.ackTimer == nil {
+				st.ackTimer = s.eng.Schedule(delayedAckAt, func() {
+					st.ackTimer = nil
+					if st.unackedSegs > 0 {
+						st.ackNow()
+					}
+				})
+			}
+		default:
+			// Out of order (go-back-N drop) or duplicate: re-ack rcvNxt.
+			st.DupAcks++
+			st.ackNow()
+		}
+	}
+}

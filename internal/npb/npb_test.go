@@ -1,0 +1,154 @@
+package npb
+
+import (
+	"testing"
+	"time"
+	"vnetp/internal/sim"
+
+	"vnetp/internal/phys"
+)
+
+func TestSpecsCoverAllRows(t *testing.T) {
+	for _, rw := range Rows {
+		s := Specs(rw.Name, rw.Class, rw.Procs)
+		if s == nil {
+			t.Fatalf("no spec for %s.%c.%d", rw.Name, rw.Class, rw.Procs)
+		}
+		if s.ID() == "" || s.Iters <= 0 || s.Comp <= 0 || s.Comm == nil {
+			t.Fatalf("incomplete spec %+v", s)
+		}
+		if _, ok := PaperNative10G[s.ID()]; !ok {
+			t.Fatalf("no paper anchor for %s", s.ID())
+		}
+	}
+	if Specs("zz", 'B', 8) != nil {
+		t.Fatal("unknown benchmark returned a spec")
+	}
+}
+
+func TestVMLayoutMatchesPaper(t *testing.T) {
+	sum := func(l []int) int {
+		s := 0
+		for _, v := range l {
+			s += v
+		}
+		return s
+	}
+	if l := vmLayout(8); len(l) != 2 || sum(l) != 8 {
+		t.Fatalf("8 procs: %v", l)
+	}
+	if l := vmLayout(9); len(l) != 4 || sum(l) != 9 {
+		t.Fatalf("9 procs: %v", l)
+	}
+	if l := vmLayout(16); len(l) != 4 || sum(l) != 16 {
+		t.Fatalf("16 procs: %v", l)
+	}
+	if l := vmLayout(6); sum(l) != 6 {
+		t.Fatalf("6 procs: %v", l)
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	cases := map[int][2]int{8: {2, 4}, 9: {3, 3}, 16: {4, 4}, 12: {3, 4}, 7: {1, 7}}
+	for n, want := range cases {
+		px, py := grid2D(n)
+		if px*py != n || px != want[0] || py != want[1] {
+			t.Errorf("grid2D(%d) = %dx%d, want %dx%d", n, px, py, want[0], want[1])
+		}
+	}
+}
+
+func TestNeighbors2DInverse(t *testing.T) {
+	px, py := 4, 4
+	for id := 0; id < 16; id++ {
+		n, s, w, e := neighbors2D(id, px, py)
+		// My north's south is me, etc.
+		_, ns, _, _ := neighbors2D(n, px, py)
+		if ns != id {
+			t.Fatalf("north/south not inverse at %d", id)
+		}
+		_, _, ew, _ := neighbors2D(e, px, py)
+		if ew != id {
+			t.Fatalf("east/west not inverse at %d", id)
+		}
+		nn, _, _, _ := neighbors2D(s, px, py)
+		if nn != id {
+			t.Fatalf("south/north not inverse at %d", id)
+		}
+		_ = w
+	}
+}
+
+func TestEPNearNative(t *testing.T) {
+	n := RunConfig("ep", 'B', 8, phys.Eth10G, false)
+	v := RunConfig("ep", 'B', 8, phys.Eth10G, true)
+	r := n.Seconds() / v.Seconds()
+	t.Logf("ep.B.8: native %v, vnetp %v (ratio %.3f)", n, v, r)
+	if r < 0.97 {
+		t.Errorf("EP ratio %.3f, want ~1.0 (paper 99.9%%)", r)
+	}
+}
+
+func TestLUDegradesMoreThanEP(t *testing.T) {
+	// LU (latency-bound wavefront) must lose more to the overlay than EP.
+	nLU := RunConfig("lu", 'B', 16, phys.Eth10G, false)
+	vLU := RunConfig("lu", 'B', 16, phys.Eth10G, true)
+	rLU := nLU.Seconds() / vLU.Seconds()
+	t.Logf("lu.B.16: ratio %.3f", rLU)
+	if rLU > 0.95 {
+		t.Errorf("LU ratio %.3f: wavefront should show clear overlay cost", rLU)
+	}
+	if rLU < 0.5 {
+		t.Errorf("LU ratio %.3f: too degraded (paper 74%%)", rLU)
+	}
+}
+
+func TestMessageConservation(t *testing.T) {
+	// Every message any rank sends must be received by some rank: the
+	// benchmark communication patterns are closed systems.
+	for _, rw := range []struct {
+		name  string
+		procs int
+	}{{"mg", 8}, {"cg", 8}, {"ft", 16}, {"lu", 8}, {"sp", 9}, {"bt", 9}, {"is", 8}} {
+		spec := Specs(rw.name, 'B', rw.procs)
+		eng := sim.New()
+		stacks := stacksFor(eng, phys.Eth10G, rw.procs, true)
+		st := RunStats(eng, stacks, spec)
+		if st.Msgs == 0 {
+			t.Errorf("%s: no messages", spec.ID())
+			continue
+		}
+		if st.Msgs != st.Received {
+			t.Errorf("%s: sent %d != received %d (lost or phantom messages)",
+				spec.ID(), st.Msgs, st.Received)
+		}
+	}
+}
+
+func TestCommVolumeDeterministic(t *testing.T) {
+	// Same spec, same config: identical message counts and elapsed time.
+	run := func() Stats {
+		eng := sim.New()
+		return RunStats(eng, stacksFor(eng, phys.Eth10G, 8, true), Specs("cg", 'B', 8))
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestBenchmarksCompleteAllConfigs(t *testing.T) {
+	// Every kernel completes (no deadlock) in both configs at its
+	// smallest scale, on both networks.
+	for _, rw := range []struct {
+		name  string
+		procs int
+	}{{"ep", 8}, {"mg", 8}, {"cg", 8}, {"ft", 16}, {"is", 8}, {"lu", 8}, {"sp", 9}, {"bt", 9}} {
+		for _, virt := range []bool{false, true} {
+			el := RunConfig(rw.name, 'B', rw.procs, phys.Eth10G, virt)
+			if el <= 0 || el > 10*time.Second {
+				t.Fatalf("%s.%d virt=%v: elapsed %v", rw.name, rw.procs, virt, el)
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package npb
+
+import "testing"
+
+// paperRatio10G is Fig. 14's VNET-P-10G/Native-10G column, for shape
+// comparison in logs and coarse assertions.
+var paperRatio10G = map[string]float64{
+	"ep.B.8": 0.999, "ep.B.16": 0.993, "ep.C.8": 0.990, "ep.C.16": 0.989,
+	"mg.B.8": 0.743, "mg.B.16": 0.810,
+	"cg.B.8": 0.862, "cg.B.16": 0.937,
+	"ft.B.16": 0.858,
+	"is.B.8":  0.998, "is.B.16": 0.996, "is.C.8": 0.998, "is.C.16": 0.989,
+	"lu.B.8": 0.839, "lu.B.16": 0.743,
+	"sp.B.9": 0.919, "sp.B.16": 0.969,
+	"bt.B.9": 0.780, "bt.B.16": 0.967,
+}
+
+func TestFig14Table(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table is slow")
+	}
+	rows := Table()
+	if len(rows) != 19 {
+		t.Fatalf("%d rows, want 19", len(rows))
+	}
+	for _, r := range rows {
+		paper := paperRatio10G[r.ID]
+		t.Logf("%-8s  1G: %7.1f / %7.1f (%.0f%%)   10G: %8.1f / %8.1f (%.0f%%)  [paper %.0f%%]",
+			r.ID, r.Native1G, r.VNETP1G, 100*r.Ratio1G,
+			r.Native10G, r.VNETP10G, 100*r.Ratio10G, 100*paper)
+	}
+	for _, r := range rows {
+		if r.Ratio10G > 1.02 || r.Ratio1G > 1.02 {
+			t.Errorf("%s: VNET/P beats native (%.2f/%.2f)", r.ID, r.Ratio1G, r.Ratio10G)
+		}
+		if r.Ratio10G < 0.5 {
+			t.Errorf("%s: 10G ratio %.2f implausibly low", r.ID, r.Ratio10G)
+		}
+		// The headline claim: most benchmarks exceed 70% and EP/IS are
+		// essentially native.
+		switch r.ID[:2] {
+		case "ep", "is":
+			if r.Ratio10G < 0.9 {
+				t.Errorf("%s: ratio %.2f, paper shows ~99%%", r.ID, r.Ratio10G)
+			}
+		}
+	}
+}

@@ -1,0 +1,450 @@
+// Package overlay is the functional (real-packet) embodiment of VNET/P:
+// a Node carries Ethernet frames between in-process guest endpoints and
+// remote nodes over real UDP sockets, using the same routing table
+// (internal/core) and encapsulation wire format (internal/bridge) as the
+// simulated datapath. Two nodes on one machine (or across a network) form
+// a working overlay: endpoints see one flat Ethernet LAN regardless of
+// which node they attach to.
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vnetp/internal/bridge"
+	"vnetp/internal/core"
+	"vnetp/internal/ethernet"
+)
+
+// maxDatagram is the UDP payload budget per encapsulated datagram,
+// conservative enough for any sane path MTU.
+const maxDatagram = 1400
+
+// epQueueDepth is each endpoint's receive ring size, mirroring the
+// virtio RXQ.
+const epQueueDepth = 256
+
+// Endpoint is an in-process guest NIC attached to a node: whatever a VM's
+// virtio NIC would hand to VNET/P, a test or application hands to Send,
+// and receives via Recv.
+type Endpoint struct {
+	node *Node
+	name string
+	mac  ethernet.MAC
+	mtu  int
+	rx   chan *ethernet.Frame
+
+	// Drops counts frames lost to a full receive ring.
+	Drops atomic.Uint64
+}
+
+// Name returns the interface name the endpoint is registered under.
+func (ep *Endpoint) Name() string { return ep.name }
+
+// MAC returns the endpoint's address.
+func (ep *Endpoint) MAC() ethernet.MAC { return ep.mac }
+
+// MTU returns the endpoint's MTU.
+func (ep *Endpoint) MTU() int { return ep.mtu }
+
+// Send routes a frame into the overlay. The frame's source should be the
+// endpoint's MAC (the overlay routes on whatever addresses the frame
+// carries, like a real switch).
+func (ep *Endpoint) Send(f *ethernet.Frame) error {
+	if f.PayloadLen() > ep.mtu {
+		return fmt.Errorf("overlay: frame payload %d exceeds endpoint MTU %d", f.PayloadLen(), ep.mtu)
+	}
+	return ep.node.route(f, ep)
+}
+
+// Recv waits up to timeout for a delivered frame.
+func (ep *Endpoint) Recv(timeout time.Duration) (*ethernet.Frame, bool) {
+	select {
+	case f := <-ep.rx:
+		return f, true
+	case <-time.After(timeout):
+		return nil, false
+	}
+}
+
+// TryRecv returns a delivered frame without waiting.
+func (ep *Endpoint) TryRecv() (*ethernet.Frame, bool) {
+	select {
+	case f := <-ep.rx:
+		return f, true
+	default:
+		return nil, false
+	}
+}
+
+func (ep *Endpoint) deliver(f *ethernet.Frame) {
+	select {
+	case ep.rx <- f:
+	default:
+		ep.Drops.Add(1)
+	}
+}
+
+type link struct {
+	id     string
+	proto  string
+	remote string
+	addr   *net.UDPAddr // UDP links
+	tcp    *tcpConn     // TCP links, dialed lazily
+}
+
+// Node is one overlay routing point: the real-socket analogue of a
+// VNET/P core + bridge pair on a host. It implements control.Target, so
+// the control daemon and the VNET/U-compatible language configure it.
+type Node struct {
+	name  string
+	table *core.Table
+	flows *core.FlowStats
+	conn  *net.UDPConn
+	tcpLn net.Listener // inbound TCP encapsulation (same port as UDP)
+
+	mu       sync.Mutex
+	links    map[string]*link
+	eps      map[string]*Endpoint
+	tcpConns map[net.Conn]struct{} // accepted inbound TCP transports
+	reasm    *bridge.Reassembler
+	nextID   atomic.Uint32
+	closed   bool
+	quit     chan struct{}
+	wg       sync.WaitGroup
+
+	// Stats
+	EncapSent   atomic.Uint64
+	EncapRecv   atomic.Uint64
+	Delivered   atomic.Uint64
+	NoRouteDrop atomic.Uint64
+	BadPackets  atomic.Uint64
+}
+
+// NewNode binds a node to a UDP address ("127.0.0.1:0" for tests).
+func NewNode(name, bindAddr string) (*Node, error) {
+	addr, err := net.ResolveUDPAddr("udp", bindAddr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	// Deep socket buffers: encapsulated bursts from many guests arrive
+	// faster than the single read loop drains under load, and kernel-side
+	// drops would surface as overlay loss. Best effort (the OS may clamp).
+	conn.SetReadBuffer(4 << 20)
+	conn.SetWriteBuffer(4 << 20)
+	n := &Node{
+		name:     name,
+		table:    core.NewTable(),
+		flows:    core.NewFlowStats(),
+		conn:     conn,
+		links:    make(map[string]*link),
+		eps:      make(map[string]*Endpoint),
+		tcpConns: make(map[net.Conn]struct{}),
+		reasm:    bridge.NewReassembler(),
+		quit:     make(chan struct{}),
+	}
+	n.startTCP()
+	n.wg.Add(2)
+	go n.readLoop()
+	go n.evictLoop()
+	return n, nil
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// Addr reports the node's UDP address (for peers' ADD LINK commands).
+func (n *Node) Addr() string { return n.conn.LocalAddr().String() }
+
+// Table exposes the node's routing table.
+func (n *Node) Table() *core.Table { return n.table }
+
+// Flows exposes the node's per-flow traffic accounting (what the
+// adaptation layer observes).
+func (n *Node) Flows() *core.FlowStats { return n.flows }
+
+// Close shuts the node down.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	for _, lk := range n.links {
+		if lk.tcp != nil {
+			lk.tcp.close()
+		}
+	}
+	for c := range n.tcpConns {
+		c.Close()
+	}
+	n.mu.Unlock()
+	close(n.quit)
+	err := n.conn.Close()
+	if n.tcpLn != nil {
+		n.tcpLn.Close()
+	}
+	n.wg.Wait()
+	return err
+}
+
+// AttachEndpoint registers an in-process guest NIC under an interface
+// name and adds the unicast route delivering its MAC locally.
+func (n *Node) AttachEndpoint(ifName string, mac ethernet.MAC, mtu int) (*Endpoint, error) {
+	if mtu <= 0 {
+		mtu = ethernet.StandardMTU
+	}
+	if mtu > ethernet.MaxMTU {
+		mtu = ethernet.MaxMTU
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.eps[ifName]; dup {
+		return nil, fmt.Errorf("overlay: interface %q exists", ifName)
+	}
+	ep := &Endpoint{
+		node: n, name: ifName, mac: mac, mtu: mtu,
+		rx: make(chan *ethernet.Frame, epQueueDepth),
+	}
+	n.eps[ifName] = ep
+	n.table.AddRoute(core.Route{
+		DstMAC: mac, DstQual: core.QualExact, SrcQual: core.QualAny,
+		Dest: core.Destination{Type: core.DestInterface, ID: ifName},
+	})
+	return ep, nil
+}
+
+// DetachEndpoint removes an endpoint (e.g. the VM migrated away) along
+// with routes pointing at it.
+func (n *Node) DetachEndpoint(ifName string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.eps, ifName)
+	n.table.RemoveByDest(core.Destination{Type: core.DestInterface, ID: ifName})
+}
+
+// --- control.Target implementation ---
+
+// AddLink installs an overlay link to a remote node: "udp" (the fast
+// path) or "tcp" (length-prefixed encapsulation on a persistent
+// connection, for lossy or middlebox-ridden paths).
+func (n *Node) AddLink(id, remote string, proto string) error {
+	if proto == "" {
+		proto = "udp"
+	}
+	switch proto {
+	case "udp":
+		addr, err := net.ResolveUDPAddr("udp", remote)
+		if err != nil {
+			return err
+		}
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.links[id] = &link{id: id, proto: proto, remote: remote, addr: addr}
+		return nil
+	case "tcp":
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.links[id] = &link{id: id, proto: proto, remote: remote}
+		return nil
+	}
+	return fmt.Errorf("overlay: unknown link protocol %q", proto)
+}
+
+// DelLink removes a link and its routes.
+func (n *Node) DelLink(id string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.links[id]; !ok {
+		return fmt.Errorf("overlay: no link %q", id)
+	}
+	delete(n.links, id)
+	n.table.RemoveByDest(core.Destination{Type: core.DestLink, ID: id})
+	return nil
+}
+
+// AddRoute installs a routing rule.
+func (n *Node) AddRoute(r core.Route) error {
+	n.table.AddRoute(r)
+	return nil
+}
+
+// DelRoute removes a routing rule.
+func (n *Node) DelRoute(r core.Route) error {
+	if !n.table.RemoveRoute(r) {
+		return errors.New("overlay: no such route")
+	}
+	return nil
+}
+
+// Routes lists the routing table.
+func (n *Node) Routes() []core.Route { return n.table.Routes() }
+
+// Links lists link IDs.
+func (n *Node) Links() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.links))
+	for id := range n.links {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Stats reports the node's traffic counters (LIST STATS in the control
+// language).
+func (n *Node) Stats() []string {
+	hits, misses := n.table.CacheStats()
+	return []string{
+		fmt.Sprintf("encap_sent %d", n.EncapSent.Load()),
+		fmt.Sprintf("encap_recv %d", n.EncapRecv.Load()),
+		fmt.Sprintf("delivered %d", n.Delivered.Load()),
+		fmt.Sprintf("no_route_drops %d", n.NoRouteDrop.Load()),
+		fmt.Sprintf("bad_packets %d", n.BadPackets.Load()),
+		fmt.Sprintf("route_cache_hits %d", hits),
+		fmt.Sprintf("route_cache_misses %d", misses),
+	}
+}
+
+// Interfaces lists attached endpoint names.
+func (n *Node) Interfaces() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.eps))
+	for name := range n.eps {
+		out = append(out, name)
+	}
+	return out
+}
+
+// route forwards a frame per the routing table. from is non-nil for
+// locally originated frames (their source endpoint is skipped on
+// broadcast).
+func (n *Node) route(f *ethernet.Frame, from *Endpoint) error {
+	if from != nil {
+		n.flows.Record(f.Src, f.Dst, f.Len())
+	}
+	dests, _, err := n.table.Lookup(f.Src, f.Dst)
+	if err != nil {
+		n.NoRouteDrop.Add(1)
+		return err
+	}
+	for _, d := range dests {
+		switch d.Type {
+		case core.DestInterface:
+			n.mu.Lock()
+			ep := n.eps[d.ID]
+			n.mu.Unlock()
+			if ep == nil || ep == from {
+				continue
+			}
+			ep.deliver(f)
+			n.Delivered.Add(1)
+		case core.DestLink:
+			n.mu.Lock()
+			lk := n.links[d.ID]
+			n.mu.Unlock()
+			if lk == nil {
+				n.NoRouteDrop.Add(1)
+				continue
+			}
+			if err := n.sendEncap(lk, f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sendEncap encapsulates and transmits a frame over a link, fragmenting
+// to the datagram budget.
+func (n *Node) sendEncap(lk *link, f *ethernet.Frame) error {
+	id := n.nextID.Add(1)
+	budget := maxDatagram
+	if lk.proto == "tcp" {
+		budget = tcpMaxDatagram
+	}
+	datagrams, err := bridge.Encapsulate(f, id, budget)
+	if err != nil {
+		return err
+	}
+	if lk.proto == "tcp" {
+		c, err := n.dialTCP(lk)
+		if err != nil {
+			return err
+		}
+		for _, d := range datagrams {
+			if err := c.sendDatagram(d); err != nil {
+				// Drop the broken transport; the next send redials.
+				n.mu.Lock()
+				if lk.tcp == c {
+					lk.tcp = nil
+				}
+				n.mu.Unlock()
+				c.close()
+				return err
+			}
+		}
+		n.EncapSent.Add(1)
+		return nil
+	}
+	for _, d := range datagrams {
+		if _, err := n.conn.WriteToUDP(d, lk.addr); err != nil {
+			return err
+		}
+	}
+	n.EncapSent.Add(1)
+	return nil
+}
+
+// readLoop receives encapsulated datagrams, reassembles and routes them.
+func (n *Node) readLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		sz, from, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		pkt := make([]byte, sz)
+		copy(pkt, buf[:sz])
+		n.mu.Lock()
+		frame, err := n.reasm.Add(from.String(), pkt)
+		n.mu.Unlock()
+		if err != nil {
+			n.BadPackets.Add(1)
+			continue
+		}
+		if frame == nil {
+			continue // more fragments pending
+		}
+		n.EncapRecv.Add(1)
+		n.route(frame, nil)
+	}
+}
+
+// evictLoop ages out stale partial reassemblies.
+func (n *Node) evictLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case <-t.C:
+			n.mu.Lock()
+			n.reasm.EvictStale()
+			n.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package overlay
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"vnetp/internal/bridge"
+)
+
+// TCP encapsulation (paper Sect. 4.2: "The overlay carries Ethernet
+// packets encapsulated in UDP packets, TCP streams with and without SSL
+// encryption, ..."): each encapsulation datagram is carried
+// length-prefixed on a persistent TCP connection. TCP links suit lossy or
+// middlebox-ridden wide-area paths; UDP remains the fast path.
+
+// tcpMaxDatagram is the per-datagram budget on TCP links: large, since
+// TCP handles segmentation itself, but within the encapsulation header's
+// 16-bit length fields.
+const tcpMaxDatagram = 32 << 10
+
+// tcpConn is one direction-agnostic TCP transport attached to a link (for
+// outbound) or to the accept loop (inbound).
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	w    *bufio.Writer
+}
+
+func (c *tcpConn) sendDatagram(d []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(d)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(d); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (c *tcpConn) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+	}
+}
+
+// startTCP brings up the node's TCP accept side on the same port as its
+// UDP socket. Failure to bind is tolerated (TCP links can still dial
+// out; only inbound TCP is unavailable).
+func (n *Node) startTCP() {
+	udpAddr := n.conn.LocalAddr().(*net.UDPAddr)
+	ln, err := net.Listen("tcp", udpAddr.String())
+	if err != nil {
+		return
+	}
+	n.tcpLn = ln
+	n.wg.Add(1)
+	go n.acceptTCP()
+}
+
+func (n *Node) acceptTCP() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.tcpLn.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.tcpConns[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.readTCP(conn)
+			n.mu.Lock()
+			delete(n.tcpConns, conn)
+			n.mu.Unlock()
+		}()
+	}
+}
+
+// readTCP consumes length-prefixed encapsulation datagrams from one TCP
+// connection and routes the reassembled frames.
+func (n *Node) readTCP(conn net.Conn) {
+	defer conn.Close()
+	key := "tcp/" + conn.RemoteAddr().String()
+	r := bufio.NewReader(conn)
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(hdr[:])
+		if size == 0 || size > tcpMaxDatagram+bridge.EncapHeaderLen {
+			n.BadPackets.Add(1)
+			return
+		}
+		pkt := make([]byte, size)
+		if _, err := io.ReadFull(r, pkt); err != nil {
+			return
+		}
+		n.mu.Lock()
+		frame, err := n.reasm.Add(key, pkt)
+		n.mu.Unlock()
+		if err != nil {
+			n.BadPackets.Add(1)
+			continue
+		}
+		if frame == nil {
+			continue
+		}
+		n.EncapRecv.Add(1)
+		n.route(frame, nil)
+	}
+}
+
+// dialTCP (re)establishes a link's TCP transport. Caller holds no locks.
+func (n *Node) dialTCP(lk *link) (*tcpConn, error) {
+	n.mu.Lock()
+	if lk.tcp != nil {
+		c := lk.tcp
+		n.mu.Unlock()
+		return c, nil
+	}
+	n.mu.Unlock()
+	conn, err := net.Dial("tcp", lk.remote)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: tcp link %q: %w", lk.id, err)
+	}
+	c := &tcpConn{conn: conn, w: bufio.NewWriter(conn)}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if lk.tcp != nil { // lost the race; keep the first
+		conn.Close()
+		return lk.tcp, nil
+	}
+	lk.tcp = c
+	return c, nil
+}

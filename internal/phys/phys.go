@@ -1,0 +1,193 @@
+// Package phys holds the physical-substrate parameters of the performance
+// model: per-operation costs of the virtualization datapath and presets for
+// the interconnects the paper evaluates (1G Ethernet, 10G Ethernet,
+// InfiniBand via IPoIB, Cray Gemini via IPoG).
+//
+// The constants are calibrated so that the NATIVE baselines land near the
+// paper's testbed numbers; every VNET/P-vs-native ratio is then an output
+// of the simulation, not an input. See DESIGN.md ("Calibration constants")
+// for the derivations.
+package phys
+
+import "time"
+
+// CostModel gathers the per-operation costs of the virtualization and host
+// datapath (paper Sect. 4.7 enumerates these steps).
+type CostModel struct {
+	// VMExitEntry is the cost of one VM exit plus the matching entry
+	// (world switch, state save/restore).
+	VMExitEntry time.Duration
+	// InterruptInject is the VMM-side cost of injecting a virtual
+	// interrupt into a guest.
+	InterruptInject time.Duration
+	// IPI is the cost of a cross-core inter-processor interrupt (used by a
+	// dispatcher thread to force a remote core's VM to exit).
+	IPI time.Duration
+	// GuestIRQPath is the guest-side cost of taking a virtual interrupt:
+	// with no selective interrupt exiting (the hardware limitation the
+	// paper calls out), injection triggers additional exits for vAPIC
+	// accesses and EOI. Charged per injected interrupt.
+	GuestIRQPath time.Duration
+	// GuestPerPacket is the guest network stack + virtio driver cost per
+	// packet (either direction).
+	GuestPerPacket time.Duration
+	// DispatchPerPacket is the VNET/P packet dispatcher cost per packet
+	// when the routing cache hits.
+	DispatchPerPacket time.Duration
+	// RouteMissPerEntry is the added linear-scan cost per routing-table
+	// entry on a routing-cache miss.
+	RouteMissPerEntry time.Duration
+	// EncapPerPacket is the VNET/P bridge UDP encapsulation (or
+	// de-encapsulation) cost per packet.
+	EncapPerPacket time.Duration
+	// BridgePerPacket is the bridge bookkeeping cost per packet besides
+	// encapsulation (demux, socket handoff).
+	BridgePerPacket time.Duration
+	// HostStackPerPacket is the host kernel IP/UDP stack cost per packet
+	// (each of send and receive).
+	HostStackPerPacket time.Duration
+	// NICInterrupt is the host-side NIC interrupt handling cost per
+	// receive batch.
+	NICInterrupt time.Duration
+	// CopyBytesPerSec is the single-stream memory copy rate, used to
+	// charge the one in-VMM copy (TXQ -> bridge buffer) and the RXQ copy.
+	CopyBytesPerSec float64
+	// MemBusBytesPerSec is the aggregate memory-bus budget shared by every
+	// copy and DMA crossing on a host. This is the mechanism behind the
+	// paper's "we become memory copy bandwidth limited" observation.
+	MemBusBytesPerSec float64
+	// NoiseMean and NoiseSpike model host OS scheduling noise: every
+	// host-side packet handling step suffers a small mean perturbation,
+	// and occasionally (NoiseSpikeProb) a large one (timer ticks, kernel
+	// housekeeping). A lightweight kernel like Kitten runs with all three
+	// at zero — the low-noise property Sect. 6.3 leverages.
+	NoiseMean      time.Duration
+	NoiseSpike     time.Duration
+	NoiseSpikeProb float64
+	// UserKernelPerPacket is VNET/U's per-packet penalty for the
+	// kernel/user space transitions its datapath needs.
+	UserKernelPerPacket time.Duration
+	// DaemonWakeup is VNET/U's user-level daemon scheduling delay charged
+	// once per quiet-path packet (latency, not throughput).
+	DaemonWakeup time.Duration
+}
+
+// DefaultModel is the calibrated cost model used by every experiment.
+func DefaultModel() *CostModel {
+	return &CostModel{
+		VMExitEntry:         3 * time.Microsecond,
+		InterruptInject:     3 * time.Microsecond,
+		IPI:                 1500 * time.Nanosecond,
+		GuestIRQPath:        20 * time.Microsecond,
+		GuestPerPacket:      1 * time.Microsecond,
+		DispatchPerPacket:   500 * time.Nanosecond,
+		RouteMissPerEntry:   50 * time.Nanosecond,
+		EncapPerPacket:      250 * time.Nanosecond,
+		BridgePerPacket:     250 * time.Nanosecond,
+		HostStackPerPacket:  800 * time.Nanosecond,
+		NICInterrupt:        5 * time.Microsecond,
+		CopyBytesPerSec:     5e9,
+		MemBusBytesPerSec:   2.8e9,
+		UserKernelPerPacket: 18 * time.Microsecond,
+		DaemonWakeup:        195 * time.Microsecond,
+	}
+}
+
+// ModelGSXEra approximates the dual 2.0 GHz Xeon machines of the original
+// VNET/U measurement (21.5 MB/s, +1 ms — paper Sect. 3): roughly 3x
+// slower per-packet software paths and memory than the 2012 testbed.
+func ModelGSXEra() *CostModel {
+	m := DefaultModel()
+	m.VMExitEntry *= 3
+	m.InterruptInject *= 3
+	m.GuestIRQPath *= 3
+	m.GuestPerPacket *= 3
+	m.HostStackPerPacket *= 3
+	m.UserKernelPerPacket *= 3
+	m.DaemonWakeup = 240 * time.Microsecond
+	m.CopyBytesPerSec /= 3
+	m.MemBusBytesPerSec /= 3
+	return m
+}
+
+// ModelLinuxNoisy returns the default model with Linux-host scheduling
+// noise enabled (used by the jitter experiment; the headline results use
+// the noise-free model so they stay deterministic point estimates).
+func ModelLinuxNoisy() *CostModel {
+	m := DefaultModel()
+	m.NoiseMean = 1 * time.Microsecond
+	m.NoiseSpike = 60 * time.Microsecond
+	m.NoiseSpikeProb = 0.02
+	return m
+}
+
+// ModelKitten returns the lightweight-kernel model: identical datapath
+// costs, zero host noise (Sect. 6.3).
+func ModelKitten() *CostModel {
+	return DefaultModel()
+}
+
+// ModelXK6 is the cost model for the Cray XK6 Gemini testbed (Sect. 6.2):
+// Interlagos nodes with substantially more memory bandwidth than the Xeon
+// X3430 microbenchmark boxes, which is what lets VNET/P reach 13 Gbps
+// there.
+func ModelXK6() *CostModel {
+	m := DefaultModel()
+	m.CopyBytesPerSec = 10e9
+	m.MemBusBytesPerSec = 6e9
+	return m
+}
+
+// Device describes a physical interconnect as seen by the host: an
+// IP-capable NIC with a serialization rate, a base one-way latency (NIC +
+// cable + switch), an MTU, and an extra per-packet host cost for devices
+// whose IP personality is itself a software layer (IPoIB, IPoG).
+type Device struct {
+	Name string
+	// BytesPerSec is the IP-usable serialization rate.
+	BytesPerSec float64
+	// BaseLatency is the one-way latency from last byte serialized to
+	// receive interrupt at the peer.
+	BaseLatency time.Duration
+	// MTU is the largest physical packet the device carries.
+	MTU int
+	// ExtraPerPacket is added host-side per-packet cost for software IP
+	// personalities (IPoIB/IPoG translation).
+	ExtraPerPacket time.Duration
+}
+
+// Interconnect presets per the paper's testbeds (Sect. 5.1, 6.1, 6.2).
+var (
+	// Eth1G: Broadcom NetXtreme II 1000BASE-T, MTU 1500.
+	Eth1G = Device{Name: "1G", BytesPerSec: 125e6, BaseLatency: 44 * time.Microsecond, MTU: 1500}
+	// Eth10G: NetEffect NE020 10GBASE-SR, MTU up to 9000.
+	Eth10G = Device{Name: "10G", BytesPerSec: 1250e6, BaseLatency: 11 * time.Microsecond, MTU: 9000}
+	// Eth10GStd is the 10G device run with a standard 1500-byte host MTU.
+	Eth10GStd = Device{Name: "10G-1500", BytesPerSec: 1250e6, BaseLatency: 11 * time.Microsecond, MTU: 1500}
+	// IPoIB: Mellanox QDR InfiniBand carrying IP; the IP personality gets
+	// roughly a third of the fabric's bandwidth and adds per-packet cost.
+	IPoIB = Device{Name: "IPoIB", BytesPerSec: 1625e6, BaseLatency: 30 * time.Microsecond, MTU: 65520, ExtraPerPacket: 2 * time.Microsecond}
+	// Gemini: Cray XK6 Gemini via the IPoG virtual Ethernet layer.
+	Gemini = Device{Name: "IPoG", BytesPerSec: 2500e6, BaseLatency: 14 * time.Microsecond, MTU: 9000, ExtraPerPacket: 2 * time.Microsecond}
+	// KittenIB: Mellanox MT26428 through the Kitten bridge VM, Ethernet
+	// frames mapped directly to InfiniBand frames (Sect. 6.3). Native
+	// comparator is IPoIB in reliable-connected mode at 6.5 Gbps.
+	KittenIB = Device{Name: "Kitten-IB", BytesPerSec: 812e6, BaseLatency: 25 * time.Microsecond, MTU: 9000, ExtraPerPacket: 2 * time.Microsecond}
+)
+
+// TxTime reports the serialization time of n bytes on the device.
+func (d Device) TxTime(n int) time.Duration {
+	if d.BytesPerSec <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / d.BytesPerSec * 1e9)
+}
+
+// GbpsToBytes converts gigabits/second to bytes/second.
+func GbpsToBytes(g float64) float64 { return g * 1e9 / 8 }
+
+// BytesToGbps converts bytes/second to gigabits/second.
+func BytesToGbps(b float64) float64 { return b * 8 / 1e9 }
+
+// BytesToMBps converts bytes/second to the MB/s (1e6) unit the paper uses.
+func BytesToMBps(b float64) float64 { return b / 1e6 }

@@ -1,0 +1,61 @@
+package phys
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTxTime(t *testing.T) {
+	if got := Eth1G.TxTime(1500); got != 12*time.Microsecond {
+		t.Fatalf("1G 1500B = %v, want 12µs", got)
+	}
+	if got := Eth10G.TxTime(9000); got != 7200*time.Nanosecond {
+		t.Fatalf("10G 9000B = %v, want 7.2µs", got)
+	}
+	zero := Device{}
+	if zero.TxTime(100) != 0 {
+		t.Fatal("zero-rate device should have zero tx time")
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if GbpsToBytes(10) != 1250e6 {
+		t.Fatalf("GbpsToBytes(10) = %v", GbpsToBytes(10))
+	}
+	if BytesToGbps(1250e6) != 10 {
+		t.Fatalf("BytesToGbps = %v", BytesToGbps(1250e6))
+	}
+	if BytesToMBps(71e6) != 71 {
+		t.Fatalf("BytesToMBps = %v", BytesToMBps(71e6))
+	}
+}
+
+func TestDefaultModelSanity(t *testing.T) {
+	m := DefaultModel()
+	if m.VMExitEntry <= 0 || m.InterruptInject <= 0 || m.GuestIRQPath <= 0 {
+		t.Fatal("virtualization costs must be positive")
+	}
+	if m.MemBusBytesPerSec >= m.CopyBytesPerSec {
+		t.Fatal("aggregate bus budget should be below single-stream copy rate")
+	}
+	// VNET/U's per-packet cost must dominate VNET/P's (the paper's core
+	// motivation): user/kernel crossings vs in-VMM dispatch.
+	vnetp := m.DispatchPerPacket + m.EncapPerPacket + m.BridgePerPacket
+	if m.UserKernelPerPacket < 4*vnetp {
+		t.Fatalf("VNET/U per-packet %v should far exceed VNET/P %v", m.UserKernelPerPacket, vnetp)
+	}
+}
+
+func TestPresetOrdering(t *testing.T) {
+	// Interconnect bandwidth ordering: 1G < KittenIB < 10G < IPoIB < Gemini.
+	seq := []Device{Eth1G, KittenIB, Eth10G, IPoIB, Gemini}
+	for i := 1; i < len(seq); i++ {
+		if seq[i].BytesPerSec <= seq[i-1].BytesPerSec {
+			t.Fatalf("%s (%.0f) should be faster than %s (%.0f)",
+				seq[i].Name, seq[i].BytesPerSec, seq[i-1].Name, seq[i-1].BytesPerSec)
+		}
+	}
+	if Eth10GStd.MTU != 1500 || Eth10G.MTU != 9000 {
+		t.Fatal("10G MTU presets wrong")
+	}
+}

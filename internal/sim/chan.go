@@ -1,0 +1,161 @@
+package sim
+
+import "time"
+
+// waiter pairs a blocked process with its wake token.
+type waiter struct {
+	p   *Proc
+	tok uint64
+}
+
+// Chan is an unbounded FIFO queue connecting simulated processes and event
+// callbacks. Send never blocks; Recv blocks the calling process until an
+// item is available. It is the basic rendezvous primitive of the
+// simulation (virtio ring notifications, socket receive queues, MPI
+// matching queues are all built on it).
+type Chan[T any] struct {
+	eng     *Engine
+	items   []T
+	waiters []waiter
+}
+
+// NewChan returns an empty queue bound to e.
+func NewChan[T any](e *Engine) *Chan[T] {
+	return &Chan[T]{eng: e}
+}
+
+// Len reports the number of queued items.
+func (c *Chan[T]) Len() int { return len(c.items) }
+
+// Send enqueues v and wakes one waiting receiver (if any) at the current
+// simulated time. It may be called from engine context or process context.
+func (c *Chan[T]) Send(v T) {
+	c.items = append(c.items, v)
+	c.wakeOne()
+}
+
+func (c *Chan[T]) wakeOne() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.eng.Schedule(0, func() { w.p.wake(w.tok) })
+}
+
+// TryRecv dequeues an item without blocking.
+func (c *Chan[T]) TryRecv() (T, bool) {
+	if len(c.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := c.items[0]
+	c.items[0] = *new(T)
+	c.items = c.items[1:]
+	return v, true
+}
+
+// Recv blocks p until an item is available, then dequeues it.
+func (c *Chan[T]) Recv(p *Proc) T {
+	for {
+		if v, ok := c.TryRecv(); ok {
+			return v
+		}
+		tok := p.blockToken()
+		c.waiters = append(c.waiters, waiter{p, tok})
+		p.block()
+	}
+}
+
+// RecvTimeout is like Recv but gives up after d, returning ok=false. A
+// non-positive d polls without blocking.
+func (c *Chan[T]) RecvTimeout(p *Proc, d time.Duration) (T, bool) {
+	deadline := p.eng.now.Add(d)
+	for {
+		if v, ok := c.TryRecv(); ok {
+			return v, true
+		}
+		if p.eng.now >= deadline {
+			var zero T
+			return zero, false
+		}
+		tok := p.blockToken()
+		c.waiters = append(c.waiters, waiter{p, tok})
+		timer := p.eng.ScheduleAt(deadline, func() {
+			c.dropWaiter(p, tok)
+			p.wake(tok)
+		})
+		p.block()
+		timer.Cancel()
+		c.dropWaiter(p, tok) // in case the timer won and a Send raced in later
+	}
+}
+
+func (c *Chan[T]) dropWaiter(p *Proc, tok uint64) {
+	for i, w := range c.waiters {
+		if w.p == p && w.tok == tok {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Cond is a broadcast wakeup: processes Wait, any context Broadcasts.
+// There is no associated predicate or lock (the simulation is cooperative,
+// so callers re-check their condition after waking).
+type Cond struct {
+	eng     *Engine
+	waiters []waiter
+}
+
+// NewCond returns a condition bound to e.
+func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
+
+// Wait blocks p until the next Broadcast.
+func (cv *Cond) Wait(p *Proc) {
+	tok := p.blockToken()
+	cv.waiters = append(cv.waiters, waiter{p, tok})
+	p.block()
+}
+
+// HasWaiters reports whether any process is currently waiting.
+func (cv *Cond) HasWaiters() bool { return len(cv.waiters) > 0 }
+
+// Broadcast wakes every currently waiting process.
+func (cv *Cond) Broadcast() {
+	ws := cv.waiters
+	cv.waiters = nil
+	for _, w := range ws {
+		w := w
+		cv.eng.Schedule(0, func() { w.p.wake(w.tok) })
+	}
+}
+
+// Barrier blocks n processes until all have arrived, then releases them
+// together. It is reusable (generation-counted).
+type Barrier struct {
+	n       int
+	arrived int
+	cond    *Cond
+	gen     uint64
+}
+
+// NewBarrier returns a barrier for n participants.
+func NewBarrier(e *Engine, n int) *Barrier {
+	return &Barrier{n: n, cond: NewCond(e)}
+}
+
+// Await blocks p until all n participants have called Await.
+func (b *Barrier) Await(p *Proc) {
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for b.gen == gen {
+		b.cond.Wait(p)
+	}
+}

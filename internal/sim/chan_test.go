@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestChanFIFO(t *testing.T) {
+	e := New()
+	ch := NewChan[int](e)
+	var got []int
+	e.Go("recv", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, ch.Recv(p))
+		}
+	})
+	e.Go("send", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			ch.Send(i)
+			p.Sleep(1)
+		}
+	})
+	e.Run()
+	for i := 0; i < 5; i++ {
+		if got[i] != i {
+			t.Fatalf("got %v, want 0..4 in order", got)
+		}
+	}
+}
+
+func TestChanRecvBeforeSend(t *testing.T) {
+	e := New()
+	ch := NewChan[string](e)
+	var got string
+	var at Time
+	e.Go("recv", func(p *Proc) {
+		got = ch.Recv(p)
+		at = p.Now()
+	})
+	e.Go("send", func(p *Proc) {
+		p.Sleep(100)
+		ch.Send("hello")
+	})
+	e.Run()
+	if got != "hello" || at != 100 {
+		t.Fatalf("got %q at %v, want hello at 100", got, at)
+	}
+}
+
+func TestChanTryRecv(t *testing.T) {
+	e := New()
+	ch := NewChan[int](e)
+	if _, ok := ch.TryRecv(); ok {
+		t.Fatal("TryRecv on empty chan returned ok")
+	}
+	ch.Send(7)
+	if v, ok := ch.TryRecv(); !ok || v != 7 {
+		t.Fatalf("TryRecv = %v, %v", v, ok)
+	}
+	if ch.Len() != 0 {
+		t.Fatalf("len = %d after drain", ch.Len())
+	}
+}
+
+func TestChanTwoWaitersOneItem(t *testing.T) {
+	e := New()
+	ch := NewChan[int](e)
+	var winners []string
+	e.Go("w1", func(p *Proc) {
+		v := ch.Recv(p)
+		winners = append(winners, "w1")
+		_ = v
+	})
+	e.Go("w2", func(p *Proc) {
+		v := ch.Recv(p)
+		winners = append(winners, "w2")
+		_ = v
+	})
+	e.Go("send", func(p *Proc) {
+		p.Sleep(10)
+		ch.Send(1)
+		p.Sleep(10)
+		ch.Send(2)
+	})
+	e.Run()
+	if len(winners) != 2 || winners[0] != "w1" || winners[1] != "w2" {
+		t.Fatalf("winners = %v, want [w1 w2] (FIFO waiter wakeup)", winners)
+	}
+}
+
+func TestChanRecvTimeoutExpires(t *testing.T) {
+	e := New()
+	ch := NewChan[int](e)
+	var ok bool
+	var at Time
+	e.Go("recv", func(p *Proc) {
+		_, ok = ch.RecvTimeout(p, 50*time.Nanosecond)
+		at = p.Now()
+	})
+	e.Run()
+	if ok {
+		t.Fatal("timeout recv reported ok with no sender")
+	}
+	if at != 50 {
+		t.Fatalf("timed out at %v, want 50", at)
+	}
+}
+
+func TestChanRecvTimeoutSatisfied(t *testing.T) {
+	e := New()
+	ch := NewChan[int](e)
+	var v int
+	var ok bool
+	e.Go("recv", func(p *Proc) {
+		v, ok = ch.RecvTimeout(p, 100*time.Nanosecond)
+	})
+	e.Go("send", func(p *Proc) {
+		p.Sleep(30)
+		ch.Send(42)
+	})
+	e.Run()
+	if !ok || v != 42 {
+		t.Fatalf("got %v,%v want 42,true", v, ok)
+	}
+	// The stale timeout timer must not fire into a later blocking call.
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after run", e.Pending())
+	}
+}
+
+func TestChanRecvTimeoutThenRecvAgain(t *testing.T) {
+	// A proc that times out and then blocks again must not be woken by the
+	// stale Send wake event from the first wait.
+	e := New()
+	ch := NewChan[int](e)
+	var seq []int
+	e.Go("recv", func(p *Proc) {
+		if _, ok := ch.RecvTimeout(p, 10*time.Nanosecond); ok {
+			t.Error("first recv should have timed out")
+		}
+		v := ch.Recv(p)
+		seq = append(seq, v, int(p.Now()))
+	})
+	e.Go("send", func(p *Proc) {
+		p.Sleep(20)
+		ch.Send(9)
+	})
+	e.Run()
+	if len(seq) != 2 || seq[0] != 9 || seq[1] != 20 {
+		t.Fatalf("seq = %v, want [9 20]", seq)
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	e := New()
+	cv := NewCond(e)
+	woke := 0
+	for i := 0; i < 5; i++ {
+		e.Go("w", func(p *Proc) {
+			cv.Wait(p)
+			woke++
+		})
+	}
+	e.Go("fire", func(p *Proc) {
+		p.Sleep(10)
+		cv.Broadcast()
+	})
+	e.Run()
+	if woke != 5 {
+		t.Fatalf("woke = %d, want 5", woke)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	e := New()
+	const n = 4
+	b := NewBarrier(e, n)
+	var release []Time
+	for i := 0; i < n; i++ {
+		i := i
+		e.Go("p", func(p *Proc) {
+			p.Sleep(time.Duration(10 * (i + 1)))
+			b.Await(p)
+			release = append(release, p.Now())
+		})
+	}
+	e.Run()
+	if len(release) != n {
+		t.Fatalf("released %d, want %d", len(release), n)
+	}
+	for _, r := range release {
+		if r != 40 {
+			t.Fatalf("release times %v, want all 40 (last arrival)", release)
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	e := New()
+	const n = 3
+	b := NewBarrier(e, n)
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		e.Go("p", func(p *Proc) {
+			for round := 0; round < 5; round++ {
+				p.Sleep(time.Duration(i + 1))
+				b.Await(p)
+				counts[i]++
+			}
+		})
+	}
+	e.Run()
+	for i, c := range counts {
+		if c != 5 {
+			t.Fatalf("proc %d completed %d rounds, want 5", i, c)
+		}
+	}
+}
+
+// Property: everything sent is received exactly once, in order, for any
+// interleaving of sender sleeps.
+func TestChanDeliveryProperty(t *testing.T) {
+	prop := func(delays []uint8) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := New()
+		ch := NewChan[int](e)
+		var got []int
+		e.Go("recv", func(p *Proc) {
+			for range delays {
+				got = append(got, ch.Recv(p))
+			}
+		})
+		e.Go("send", func(p *Proc) {
+			for i, d := range delays {
+				p.Sleep(time.Duration(d))
+				ch.Send(i)
+			}
+		})
+		e.Run()
+		e.Close()
+		if len(got) != len(delays) {
+			return false
+		}
+		for i := range got {
+			if got[i] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// used by the performance half of the VNET/P reproduction.
+//
+// The engine executes events in (time, sequence) order on a single
+// goroutine. Cooperative "processes" (Proc) are goroutines that run one at
+// a time, interleaved with event execution, so the whole simulation is
+// deterministic: the same program produces the same event trace on every
+// run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an absolute simulated time in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts t to a duration since the simulation epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	when      Time
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 when not queued
+	cancelled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op.
+func (ev *Event) Cancel() {
+	if ev != nil {
+		ev.cancelled = true
+	}
+}
+
+// When reports the simulated time at which the event is scheduled to fire.
+func (ev *Event) When() Time { return ev.when }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; call New.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	sync    chan struct{} // proc -> engine control handoff
+	procs   map[*Proc]struct{}
+	running bool
+	closed  bool
+	// panicVal carries a panic out of a process goroutine so it can be
+	// re-raised on the engine goroutine (where the test/caller can see it).
+	panicVal any
+	// Trace, when non-nil, receives a line per executed event. Used by
+	// determinism tests.
+	Trace func(t Time, seq uint64)
+}
+
+// New returns a fresh engine with the clock at zero.
+func New() *Engine {
+	return &Engine{
+		sync:  make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule arranges for fn to run d from now. A negative d is treated as
+// zero. The returned Event may be cancelled.
+func (e *Engine) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// ScheduleAt arranges for fn to run at absolute time t. Scheduling in the
+// past panics: it would silently reorder causality.
+func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+	if e.closed {
+		panic("sim: Schedule on closed engine")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &Event{when: t, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Step executes the next pending event, advancing the clock. It reports
+// whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.when
+		if e.Trace != nil {
+			e.Trace(ev.when, ev.seq)
+		}
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	e.running = true
+	defer func() { e.running = false }()
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then sets the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	e.running = true
+	defer func() { e.running = false }()
+	for {
+		ev := e.peek()
+		if ev == nil || ev.when > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor executes events for d of simulated time from now.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
+
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		if e.queue[0].cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0]
+	}
+	return nil
+}
+
+// Pending reports the number of queued (non-cancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// waitProc waits for a running process to hand control back to the engine
+// and re-raises any panic the process died with.
+func (e *Engine) waitProc() {
+	<-e.sync
+	if e.panicVal != nil {
+		v := e.panicVal
+		e.panicVal = nil
+		panic(v)
+	}
+}
+
+// Close terminates all blocked processes (their goroutines exit via an
+// internal panic that is recovered in the process runner) and marks the
+// engine unusable. It must be called from engine context (not from inside
+// a process) once the simulation is finished, to avoid leaking goroutines
+// across benchmark iterations.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for p := range e.procs {
+		if p.blocked {
+			p.blocked = false
+			p.resume <- true // killed
+			e.waitProc()
+		}
+	}
+	e.procs = nil
+	e.queue = nil
+}

@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(30*time.Nanosecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Nanosecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Nanosecond, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != Time(30) {
+		t.Fatalf("now = %v, want 30ns", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestEngineCancelIdempotent(t *testing.T) {
+	e := New()
+	ev := e.Schedule(10, func() {})
+	ev.Cancel()
+	ev.Cancel()
+	var nilEv *Event
+	nilEv.Cancel() // must not panic
+	e.Run()
+}
+
+func TestEngineNestedSchedule(t *testing.T) {
+	e := New()
+	var at Time
+	e.Schedule(10, func() {
+		e.Schedule(5, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != Time(15) {
+		t.Fatalf("nested event at %v, want 15ns", at)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.ScheduleAt(50, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := New()
+	ran := false
+	e.Schedule(-5*time.Second, func() { ran = true })
+	e.Run()
+	if !ran || e.Now() != 0 {
+		t.Fatalf("negative delay: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var got []Time
+	for _, d := range []time.Duration{10, 20, 30, 40} {
+		d := d
+		e.Schedule(d, func() { got = append(got, e.Now()) })
+	}
+	e.RunUntil(25)
+	if len(got) != 2 {
+		t.Fatalf("executed %d events by t=25, want 2", len(got))
+	}
+	if e.Now() != 25 {
+		t.Fatalf("now = %v, want 25", e.Now())
+	}
+	e.Run()
+	if len(got) != 4 {
+		t.Fatalf("executed %d events total, want 4", len(got))
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	e := New()
+	n := 0
+	e.Schedule(10, func() { n++ })
+	e.Schedule(30, func() { n++ })
+	e.RunFor(20 * time.Nanosecond)
+	if n != 1 || e.Now() != 20 {
+		t.Fatalf("n=%d now=%v, want 1, 20ns", n, e.Now())
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	tm := Time(1000)
+	if tm.Add(500*time.Nanosecond) != Time(1500) {
+		t.Error("Add")
+	}
+	if tm.Sub(Time(400)) != 600*time.Nanosecond {
+		t.Error("Sub")
+	}
+	if Time(2e9).Seconds() != 2.0 {
+		t.Error("Seconds")
+	}
+}
+
+// Property: for any set of delays, events execute in nondecreasing time
+// order and ties break in schedule order.
+func TestEventOrderProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := New()
+		type rec struct {
+			at  Time
+			idx int
+		}
+		var got []rec
+		for i, d := range delays {
+			i, d := i, d
+			e.Schedule(time.Duration(d), func() { got = append(got, rec{e.Now(), i}) })
+		}
+		e.Run()
+		if len(got) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].idx < got[i-1].idx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The engine must produce an identical event trace across runs of the same
+// program (determinism is what makes the performance results reproducible).
+func TestDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		e := New()
+		var trace []uint64
+		e.Trace = func(tm Time, seq uint64) { trace = append(trace, uint64(tm)<<16|seq&0xffff) }
+		ch := NewChan[int](e)
+		for i := 0; i < 4; i++ {
+			i := i
+			e.Go("producer", func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					p.Sleep(time.Duration(10 * (i + 1)))
+					ch.Send(i*10 + j)
+				}
+			})
+		}
+		e.Go("consumer", func(p *Proc) {
+			for k := 0; k < 20; k++ {
+				ch.Recv(p)
+			}
+		})
+		e.Run()
+		e.Close()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package sim
+
+import "time"
+
+// Link models a serialized transmission resource: a wire (or NIC port)
+// with finite bandwidth and fixed propagation latency. Transmissions are
+// store-and-forward and FIFO: a packet begins serializing when the link is
+// next free, occupies the link for size/bandwidth, and is delivered one
+// propagation latency after serialization completes. Links never reorder.
+type Link struct {
+	eng *Engine
+	// BytesPerSec is the serialization rate. Zero means infinitely fast.
+	BytesPerSec float64
+	// Latency is the propagation delay added after serialization.
+	Latency time.Duration
+
+	nextFree Time
+
+	// Stats
+	TxPackets uint64
+	TxBytes   uint64
+	BusyTime  time.Duration
+}
+
+// NewLink returns a link with the given rate (bytes/second) and
+// propagation latency.
+func NewLink(e *Engine, bytesPerSec float64, latency time.Duration) *Link {
+	return &Link{eng: e, BytesPerSec: bytesPerSec, Latency: latency}
+}
+
+// TxTime reports how long serializing size bytes occupies the link.
+func (l *Link) TxTime(size int) time.Duration {
+	if l.BytesPerSec <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size) / l.BytesPerSec * 1e9)
+}
+
+// Transmit queues size bytes on the link and schedules deliver to run when
+// the last byte arrives at the far end. It returns the delivery time.
+func (l *Link) Transmit(size int, deliver func()) Time {
+	now := l.eng.now
+	start := now
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	tx := l.TxTime(size)
+	l.nextFree = start.Add(tx)
+	l.TxPackets++
+	l.TxBytes += uint64(size)
+	l.BusyTime += tx
+	arrival := l.nextFree.Add(l.Latency)
+	if deliver == nil {
+		deliver = func() {}
+	}
+	l.eng.ScheduleAt(arrival, deliver)
+	return arrival
+}
+
+// QueueDelay reports how long a packet submitted now would wait before it
+// begins serializing.
+func (l *Link) QueueDelay() time.Duration {
+	if l.nextFree <= l.eng.now {
+		return 0
+	}
+	return l.nextFree.Sub(l.eng.now)
+}
+
+// Utilization reports the fraction of the interval [0, now] the link spent
+// serializing.
+func (l *Link) Utilization() float64 {
+	if l.eng.now == 0 {
+		return 0
+	}
+	return float64(l.BusyTime) / float64(l.eng.now)
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLinkTxTime(t *testing.T) {
+	e := New()
+	l := NewLink(e, 125e6, 0) // 1 Gbps
+	if got := l.TxTime(1500); got != 12*time.Microsecond {
+		t.Fatalf("1500B @ 1Gbps = %v, want 12µs", got)
+	}
+	inf := NewLink(e, 0, 0)
+	if inf.TxTime(1<<20) != 0 {
+		t.Fatal("infinite link has nonzero tx time")
+	}
+}
+
+func TestLinkDelivery(t *testing.T) {
+	e := New()
+	l := NewLink(e, 1e9, 10*time.Microsecond) // 1 GB/s, 10µs prop
+	var at Time
+	l.Transmit(1000, func() { at = e.Now() })
+	e.Run()
+	// 1000B at 1GB/s = 1µs serialize + 10µs propagation.
+	if at != Time(11*time.Microsecond) {
+		t.Fatalf("delivered at %v, want 11µs", at)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	e := New()
+	l := NewLink(e, 1e9, 0)
+	var times []Time
+	for i := 0; i < 3; i++ {
+		l.Transmit(1000, func() { times = append(times, e.Now()) })
+	}
+	e.Run()
+	// Back-to-back packets serialize: arrivals at 1µs, 2µs, 3µs.
+	want := []Time{Time(time.Microsecond), Time(2 * time.Microsecond), Time(3 * time.Microsecond)}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("arrivals %v, want %v", times, want)
+		}
+	}
+}
+
+func TestLinkQueueDelay(t *testing.T) {
+	e := New()
+	l := NewLink(e, 1e9, 0)
+	if l.QueueDelay() != 0 {
+		t.Fatal("idle link has queue delay")
+	}
+	l.Transmit(10000, nil) // 10µs
+	if l.QueueDelay() != 10*time.Microsecond {
+		t.Fatalf("queue delay = %v, want 10µs", l.QueueDelay())
+	}
+	e.Run()
+	if l.QueueDelay() != 0 {
+		t.Fatal("drained link still has queue delay")
+	}
+}
+
+func TestLinkStats(t *testing.T) {
+	e := New()
+	l := NewLink(e, 1e9, 0)
+	l.Transmit(500, nil)
+	l.Transmit(1500, nil)
+	e.Run()
+	if l.TxPackets != 2 || l.TxBytes != 2000 {
+		t.Fatalf("stats = %d pkts %d bytes, want 2/2000", l.TxPackets, l.TxBytes)
+	}
+	if l.BusyTime != 2*time.Microsecond {
+		t.Fatalf("busy = %v, want 2µs", l.BusyTime)
+	}
+	if u := l.Utilization(); u <= 0.99 || u > 1.0 {
+		t.Fatalf("utilization = %v, want ~1.0", u)
+	}
+}
+
+// Property: a link never reorders deliveries, regardless of packet sizes
+// and submission gaps.
+func TestLinkNoReorderProperty(t *testing.T) {
+	prop := func(sizes []uint16, gaps []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		e := New()
+		l := NewLink(e, 5e8, 3*time.Microsecond)
+		var order []int
+		e.Go("tx", func(p *Proc) {
+			for i, s := range sizes {
+				i := i
+				l.Transmit(int(s)+1, func() { order = append(order, i) })
+				if len(gaps) > 0 {
+					p.Sleep(time.Duration(gaps[i%len(gaps)]))
+				}
+			}
+		})
+		e.Run()
+		e.Close()
+		if len(order) != len(sizes) {
+			return false
+		}
+		for i := range order {
+			if order[i] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total delivery time is never less than sum of serialization
+// times (work conservation lower bound).
+func TestLinkWorkConservationProperty(t *testing.T) {
+	prop := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		e := New()
+		l := NewLink(e, 1e9, 0)
+		var last Time
+		var total time.Duration
+		for _, s := range sizes {
+			n := int(s) + 1
+			total += l.TxTime(n)
+			l.Transmit(n, func() { last = e.Now() })
+		}
+		e.Run()
+		return last.Duration() >= total-time.Nanosecond*time.Duration(len(sizes))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

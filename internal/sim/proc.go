@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// errKilled is the sentinel panicked inside a process goroutine when the
+// engine shuts down; the process runner recovers it.
+type errKilled struct{}
+
+// Proc is a cooperative simulated process. A Proc runs on its own
+// goroutine but only ever executes while the engine has handed it control,
+// so at most one Proc (or event callback) runs at any instant and the
+// simulation stays deterministic.
+//
+// All Proc methods must be called from the process's own goroutine.
+type Proc struct {
+	eng     *Engine
+	name    string
+	resume  chan bool // value: killed
+	blocked bool
+	wantSeq uint64
+	seq     uint64
+	done    bool
+}
+
+// Engine returns the engine the process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process name given at spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now reports the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Go spawns a new process. fn starts executing at the current simulated
+// time (after already-queued events at this time). Go may be called from
+// engine context or from another process.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan bool)}
+	e.procs[p] = struct{}{}
+	e.Schedule(0, func() { p.start(fn) })
+	return p
+}
+
+// start launches the process goroutine and hands it control. Engine
+// context only.
+func (p *Proc) start(fn func(p *Proc)) {
+	go func() {
+		defer func() {
+			p.done = true
+			delete(p.eng.procs, p)
+			if r := recover(); r != nil {
+				if _, ok := r.(errKilled); !ok {
+					// Real bug in simulation code: re-raise it on the
+					// engine goroutine so it reaches the caller of Run.
+					p.eng.panicVal = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
+				}
+			}
+			p.eng.sync <- struct{}{}
+		}()
+		fn(p)
+	}()
+	p.eng.waitProc()
+}
+
+// block yields control to the engine until wake is called with the
+// matching sequence token. It must be called from the process goroutine.
+func (p *Proc) block() {
+	p.seq++
+	p.wantSeq = p.seq
+	p.blocked = true
+	p.eng.sync <- struct{}{}
+	killed := <-p.resume
+	if killed {
+		panic(errKilled{})
+	}
+}
+
+// blockToken prepares a wake token without blocking yet; used by waiters
+// that must register themselves before yielding.
+func (p *Proc) blockToken() uint64 {
+	return p.seq + 1
+}
+
+// wake resumes a blocked process if it is still waiting on token seq.
+// Engine context only (typically from a scheduled event).
+func (p *Proc) wake(seq uint64) {
+	if !p.blocked || p.wantSeq != seq {
+		return // stale wake: the proc moved on (e.g. a timeout fired first)
+	}
+	p.blocked = false
+	p.resume <- false
+	p.eng.waitProc()
+}
+
+// Sleep suspends the process for d of simulated time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	tok := p.blockToken()
+	p.eng.Schedule(d, func() { p.wake(tok) })
+	p.block()
+}
+
+// SleepUntil suspends the process until absolute time t (no-op if t is in
+// the past).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.eng.now {
+		return
+	}
+	p.Sleep(t.Sub(p.eng.now))
+}
+
+// Yield gives other ready events/processes scheduled at the current time a
+// chance to run before this process continues.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProcSleep(t *testing.T) {
+	e := New()
+	var wake Time
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(100 * time.Microsecond)
+		wake = p.Now()
+	})
+	e.Run()
+	if wake != Time(100*time.Microsecond) {
+		t.Fatalf("woke at %v, want 100µs", wake)
+	}
+}
+
+func TestProcSequentialSleeps(t *testing.T) {
+	e := New()
+	var ts []Time
+	e.Go("p", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10)
+			ts = append(ts, p.Now())
+		}
+	})
+	e.Run()
+	want := []Time{10, 20, 30}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Fatalf("ts = %v, want %v", ts, want)
+		}
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	e := New()
+	var order []string
+	e.Go("a", func(p *Proc) {
+		p.Sleep(10)
+		order = append(order, "a10")
+		p.Sleep(20) // wakes at 30
+		order = append(order, "a30")
+	})
+	e.Go("b", func(p *Proc) {
+		p.Sleep(20)
+		order = append(order, "b20")
+	})
+	e.Run()
+	want := []string{"a10", "b20", "a30"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestProcSleepUntil(t *testing.T) {
+	e := New()
+	e.Go("p", func(p *Proc) {
+		p.SleepUntil(50)
+		if p.Now() != 50 {
+			t.Errorf("now = %v, want 50", p.Now())
+		}
+		p.SleepUntil(20) // past: no-op
+		if p.Now() != 50 {
+			t.Errorf("SleepUntil in the past moved the clock to %v", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestProcYield(t *testing.T) {
+	e := New()
+	var order []string
+	e.Go("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	e.Go("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	e.Run()
+	// a starts first, yields; b runs; a resumes. All at t=0.
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 0 {
+		t.Fatalf("yield advanced the clock to %v", e.Now())
+	}
+}
+
+func TestProcSpawnFromProc(t *testing.T) {
+	e := New()
+	var childAt Time
+	e.Go("parent", func(p *Proc) {
+		p.Sleep(5)
+		e.Go("child", func(c *Proc) {
+			c.Sleep(5)
+			childAt = c.Now()
+		})
+		p.Sleep(100)
+	})
+	e.Run()
+	if childAt != 10 {
+		t.Fatalf("child finished at %v, want 10", childAt)
+	}
+}
+
+func TestCloseKillsBlockedProcs(t *testing.T) {
+	e := New()
+	ch := NewChan[int](e)
+	finished := false
+	e.Go("stuck", func(p *Proc) {
+		ch.Recv(p) // never satisfied
+		finished = true
+	})
+	e.Run()
+	e.Close()
+	if finished {
+		t.Fatal("blocked process ran to completion after Close")
+	}
+	// Double close is a no-op.
+	e.Close()
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	// A real panic inside a proc must not be swallowed as a kill.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("process panic was swallowed")
+		}
+	}()
+	e := New()
+	e.Go("bad", func(p *Proc) {
+		panic("boom")
+	})
+	e.Run()
+}
+
+func TestManyProcsDeterministicCompletion(t *testing.T) {
+	e := New()
+	const n = 100
+	var done int
+	for i := 0; i < n; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			p.Sleep(time.Duration(i % 7))
+			done++
+		})
+	}
+	e.Run()
+	if done != n {
+		t.Fatalf("done = %d, want %d", done, n)
+	}
+}

@@ -1,0 +1,167 @@
+package sim
+
+import "time"
+
+// YieldStrategy selects how a polling thread behaves when it has no work,
+// mirroring Palacios's selectable yield strategy (paper Sect. 4.8). The
+// strategy determines the latency between work arriving at an idle worker
+// and the worker starting it, and how much CPU the worker burns while
+// idle.
+type YieldStrategy int
+
+const (
+	// YieldImmediate polls continuously, yielding the core only to ready
+	// competitors: lowest wake latency, highest CPU burn.
+	YieldImmediate YieldStrategy = iota
+	// YieldTimed sleeps for TSleep between polls: lowest CPU burn, wake
+	// latency up to TSleep.
+	YieldTimed
+	// YieldAdaptive polls like YieldImmediate until the thread has been
+	// workless for TNoWork, then behaves like YieldTimed.
+	YieldAdaptive
+)
+
+func (y YieldStrategy) String() string {
+	switch y {
+	case YieldImmediate:
+		return "immediate"
+	case YieldTimed:
+		return "timed"
+	case YieldAdaptive:
+		return "adaptive"
+	default:
+		return "unknown"
+	}
+}
+
+// WorkerConfig parameterizes a Worker.
+type WorkerConfig struct {
+	Yield   YieldStrategy
+	TSleep  time.Duration // timed-yield sleep interval
+	TNoWork time.Duration // adaptive threshold before switching to timed
+}
+
+type work struct {
+	cost time.Duration
+	fn   func()
+}
+
+// Worker models a single kernel thread (e.g. a packet dispatcher or the
+// bridge thread) pinned to its own core: a FIFO work queue executed
+// serially, with a wake-up latency governed by the yield strategy when
+// work arrives while the worker is idle.
+type Worker struct {
+	eng  *Engine
+	cfg  WorkerConfig
+	q    []work
+	busy bool
+	// lastWork is when the worker last finished an item (for the adaptive
+	// strategy and idle accounting).
+	lastWork Time
+	// idleSince anchors the timed-yield tick grid.
+	idleSince Time
+
+	// Stats
+	Items     uint64
+	BusyTime  time.Duration
+	IdleWakes uint64 // transitions from idle to busy
+}
+
+// pollCheckCost approximates one poll-loop iteration's CPU cost, used by
+// AwakeTime.
+const pollCheckCost = 200 * time.Nanosecond
+
+// AwakeTime estimates how much CPU the worker's thread has consumed up to
+// now, including the polling burn its yield strategy implies (paper
+// Sect. 4.8's latency-versus-CPU tradeoff): an immediate-yield thread
+// spins whenever it lacks work; a timed-yield thread wakes only at TSleep
+// ticks; an adaptive thread spins for TNoWork after each idle transition
+// and then ticks.
+func (w *Worker) AwakeTime(now Time) time.Duration {
+	elapsed := now.Duration()
+	idle := elapsed - w.BusyTime
+	if idle < 0 {
+		idle = 0
+	}
+	switch w.cfg.Yield {
+	case YieldImmediate:
+		return elapsed
+	case YieldTimed:
+		checks := time.Duration(idle/w.cfg.TSleep) * pollCheckCost
+		return w.BusyTime + checks
+	case YieldAdaptive:
+		spin := time.Duration(w.IdleWakes) * w.cfg.TNoWork
+		if spin > idle {
+			spin = idle
+		}
+		checks := time.Duration((idle-spin)/w.cfg.TSleep) * pollCheckCost
+		return w.BusyTime + spin + checks
+	}
+	return w.BusyTime
+}
+
+// NewWorker returns an idle worker bound to e.
+func NewWorker(e *Engine, cfg WorkerConfig) *Worker {
+	if cfg.TSleep <= 0 {
+		cfg.TSleep = time.Millisecond
+	}
+	return &Worker{eng: e, cfg: cfg}
+}
+
+// wakeDelay reports how long an idle worker takes to notice newly arrived
+// work, per the yield strategy.
+func (w *Worker) wakeDelay() time.Duration {
+	switch w.cfg.Yield {
+	case YieldImmediate:
+		return 0
+	case YieldTimed:
+		return w.timedRemainder()
+	case YieldAdaptive:
+		if w.eng.now.Sub(w.lastWork) < w.cfg.TNoWork {
+			return 0
+		}
+		return w.timedRemainder()
+	}
+	return 0
+}
+
+// timedRemainder is the time until the next poll tick of the TSleep grid
+// anchored at idleSince: the worker wakes only at those ticks.
+func (w *Worker) timedRemainder() time.Duration {
+	elapsed := w.eng.now.Sub(w.idleSince)
+	rem := w.cfg.TSleep - elapsed%w.cfg.TSleep
+	return rem
+}
+
+// Submit enqueues a work item costing cost of worker time; fn runs when the
+// item completes. Submit may be called from any simulation context.
+func (w *Worker) Submit(cost time.Duration, fn func()) {
+	w.q = append(w.q, work{cost, fn})
+	if !w.busy {
+		w.busy = true
+		w.IdleWakes++
+		w.eng.Schedule(w.wakeDelay(), w.runNext)
+	}
+}
+
+// Backlog reports the number of items waiting (including the running one).
+func (w *Worker) Backlog() int { return len(w.q) }
+
+func (w *Worker) runNext() {
+	if len(w.q) == 0 {
+		w.busy = false
+		w.lastWork = w.eng.now
+		w.idleSince = w.eng.now
+		return
+	}
+	item := w.q[0]
+	w.q = w.q[1:]
+	w.Items++
+	w.BusyTime += item.cost
+	w.eng.Schedule(item.cost, func() {
+		if item.fn != nil {
+			item.fn()
+		}
+		w.runNext()
+	})
+}

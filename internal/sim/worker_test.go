@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWorkerImmediateYield(t *testing.T) {
+	e := New()
+	w := NewWorker(e, WorkerConfig{Yield: YieldImmediate})
+	var done []Time
+	e.Go("submit", func(p *Proc) {
+		p.Sleep(100)
+		w.Submit(10, func() { done = append(done, e.Now()) })
+	})
+	e.Run()
+	if len(done) != 1 || done[0] != 110 {
+		t.Fatalf("done = %v, want [110] (no wake latency)", done)
+	}
+}
+
+func TestWorkerTimedYield(t *testing.T) {
+	e := New()
+	w := NewWorker(e, WorkerConfig{Yield: YieldTimed, TSleep: 100 * time.Nanosecond})
+	var done Time
+	e.Go("submit", func(p *Proc) {
+		p.Sleep(30)
+		w.Submit(10, func() { done = e.Now() })
+	})
+	e.Run()
+	// Worker idle since t=0, tick grid at 100,200,...: work arrives at 30,
+	// picked up at 100, completes at 110.
+	if done != 110 {
+		t.Fatalf("done at %v, want 110 (timed wake at next tick)", done)
+	}
+}
+
+func TestWorkerAdaptiveYield(t *testing.T) {
+	e := New()
+	w := NewWorker(e, WorkerConfig{
+		Yield:   YieldAdaptive,
+		TSleep:  1000 * time.Nanosecond,
+		TNoWork: 500 * time.Nanosecond,
+	})
+	var first, second Time
+	e.Go("submit", func(p *Proc) {
+		// Recently active (lastWork=0, now=100 < TNoWork): immediate.
+		p.Sleep(100)
+		w.Submit(10, func() { first = e.Now() })
+		// Long idle (> TNoWork since last work at 110): timed.
+		p.Sleep(2000)
+		w.Submit(10, func() { second = e.Now() })
+	})
+	e.Run()
+	if first != 110 {
+		t.Fatalf("first done at %v, want 110 (adaptive-immediate)", first)
+	}
+	// Second submitted at 2100; worker idle since 110, grid 1110, 2110...
+	// so picked up at 2110, done 2120.
+	if second != 2120 {
+		t.Fatalf("second done at %v, want 2120 (adaptive-timed)", second)
+	}
+}
+
+func TestWorkerFIFOAndSerial(t *testing.T) {
+	e := New()
+	w := NewWorker(e, WorkerConfig{Yield: YieldImmediate})
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		w.Submit(10, func() { order = append(order, i) })
+	}
+	if w.Backlog() != 5 {
+		t.Fatalf("backlog = %d, want 5", w.Backlog())
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	// Serial execution: 5 items × 10ns each.
+	if e.Now() != 50 {
+		t.Fatalf("finished at %v, want 50", e.Now())
+	}
+}
+
+func TestWorkerStats(t *testing.T) {
+	e := New()
+	w := NewWorker(e, WorkerConfig{Yield: YieldImmediate})
+	w.Submit(30, nil)
+	w.Submit(20, nil)
+	e.Run()
+	if w.Items != 2 || w.BusyTime != 50 {
+		t.Fatalf("items=%d busy=%v, want 2/50ns", w.Items, w.BusyTime)
+	}
+}
+
+func TestWorkerResubmitFromCompletion(t *testing.T) {
+	e := New()
+	w := NewWorker(e, WorkerConfig{Yield: YieldImmediate})
+	count := 0
+	var loop func()
+	loop = func() {
+		count++
+		if count < 10 {
+			w.Submit(5, loop)
+		}
+	}
+	w.Submit(5, loop)
+	e.Run()
+	if count != 10 || e.Now() != 50 {
+		t.Fatalf("count=%d now=%v, want 10 at 50ns", count, e.Now())
+	}
+}
+
+func TestWorkerAwakeTime(t *testing.T) {
+	e := New()
+	const tsleep = 100 * time.Microsecond
+	mk := func(y YieldStrategy) *Worker {
+		return NewWorker(e, WorkerConfig{Yield: y, TSleep: tsleep, TNoWork: 500 * time.Microsecond})
+	}
+	imm, timed, adpt := mk(YieldImmediate), mk(YieldTimed), mk(YieldAdaptive)
+	for _, w := range []*Worker{imm, timed, adpt} {
+		w.Submit(50*time.Microsecond, nil)
+	}
+	e.RunFor(10 * time.Millisecond)
+	now := e.Now()
+	if got := imm.AwakeTime(now); got != 10*time.Millisecond {
+		t.Errorf("immediate awake = %v, want full 10ms (always polling)", got)
+	}
+	tAwake := timed.AwakeTime(now)
+	if tAwake >= time.Millisecond || tAwake < 50*time.Microsecond {
+		t.Errorf("timed awake = %v, want small (busy + sparse checks)", tAwake)
+	}
+	aAwake := adpt.AwakeTime(now)
+	if aAwake <= tAwake || aAwake >= imm.AwakeTime(now) {
+		t.Errorf("adaptive awake = %v, want between timed %v and immediate", aAwake, tAwake)
+	}
+	if imm.IdleWakes != 1 {
+		t.Errorf("idle wakes = %d, want 1", imm.IdleWakes)
+	}
+}
+
+func TestYieldStrategyString(t *testing.T) {
+	if YieldImmediate.String() != "immediate" || YieldTimed.String() != "timed" ||
+		YieldAdaptive.String() != "adaptive" || YieldStrategy(99).String() != "unknown" {
+		t.Fatal("YieldStrategy.String mismatch")
+	}
+}

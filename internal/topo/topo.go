@@ -1,0 +1,181 @@
+// Package topo generates VNET control-language scripts that build whole
+// overlay topologies at once — the paper's "collection of tools [that]
+// allows for the wholesale construction and teardown of VNET topologies"
+// (Sect. 3). Given the participating hosts and the guest MACs attached at
+// each, it emits one script per host establishing the links and per-MAC
+// routes of a full mesh, a star, or a ring.
+//
+// Star and ring topologies rely on transit forwarding: a frame arriving
+// from a link may be routed onward over another link, which both the
+// simulated VNET/P core and the real-socket overlay node support.
+package topo
+
+import (
+	"fmt"
+
+	"vnetp/internal/ethernet"
+)
+
+// Host is one overlay node and the guest endpoints it hosts.
+type Host struct {
+	Name string
+	// Addr is the node's encapsulation address ("ip:port").
+	Addr string
+	// MACs are the guest endpoints attached at this node.
+	MACs []ethernet.MAC
+}
+
+// Kind selects the overlay topology.
+type Kind int
+
+const (
+	// Mesh links every pair of hosts directly (the paper's evaluation
+	// configuration; lowest latency, most links).
+	Mesh Kind = iota
+	// Star routes all traffic through a hub host (fewest links; the hub
+	// is a transit point, as a VNET proxy/waypoint daemon would be).
+	Star
+	// Ring links each host to its successor; traffic transits clockwise.
+	Ring
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Mesh:
+		return "mesh"
+	case Star:
+		return "star"
+	case Ring:
+		return "ring"
+	default:
+		return "unknown"
+	}
+}
+
+// linkID names the link from one host toward another.
+func linkID(to Host) string { return "to-" + to.Name }
+
+func addLink(to Host, proto string) string {
+	return fmt.Sprintf("ADD LINK %s REMOTE %s %s", linkID(to), to.Addr, proto)
+}
+
+func addRouteVia(mac ethernet.MAC, to Host) string {
+	return fmt.Sprintf("ADD ROUTE %s any link %s", mac, linkID(to))
+}
+
+// Scripts returns the per-host control scripts (keyed by host name) that
+// realize the topology. hub selects the center host for Star (ignored
+// otherwise). proto is "udp" or "tcp". Local-delivery routes for a host's
+// own endpoints are installed by AttachEndpoint and are not emitted here.
+func Scripts(kind Kind, hosts []Host, hub int, proto string) (map[string][]string, error) {
+	if len(hosts) < 2 {
+		return nil, fmt.Errorf("topo: need at least 2 hosts, got %d", len(hosts))
+	}
+	if proto == "" {
+		proto = "udp"
+	}
+	seen := map[string]bool{}
+	for _, h := range hosts {
+		if h.Name == "" || h.Addr == "" {
+			return nil, fmt.Errorf("topo: host %+v missing name or address", h)
+		}
+		if seen[h.Name] {
+			return nil, fmt.Errorf("topo: duplicate host name %q", h.Name)
+		}
+		seen[h.Name] = true
+	}
+	out := make(map[string][]string, len(hosts))
+	switch kind {
+	case Mesh:
+		for i, h := range hosts {
+			var script []string
+			for j, peer := range hosts {
+				if i == j {
+					continue
+				}
+				script = append(script, addLink(peer, proto))
+				for _, mac := range peer.MACs {
+					script = append(script, addRouteVia(mac, peer))
+				}
+			}
+			out[h.Name] = script
+		}
+	case Star:
+		if hub < 0 || hub >= len(hosts) {
+			return nil, fmt.Errorf("topo: hub index %d out of range", hub)
+		}
+		center := hosts[hub]
+		for i, h := range hosts {
+			if i == hub {
+				// The hub links to every spoke and routes each remote MAC
+				// to its home.
+				var script []string
+				for j, peer := range hosts {
+					if j == hub {
+						continue
+					}
+					script = append(script, addLink(peer, proto))
+					for _, mac := range peer.MACs {
+						script = append(script, addRouteVia(mac, peer))
+					}
+				}
+				out[h.Name] = script
+				continue
+			}
+			// Spokes reach every non-local MAC via the hub.
+			script := []string{addLink(center, proto)}
+			for j, peer := range hosts {
+				if j == i {
+					continue
+				}
+				for _, mac := range peer.MACs {
+					script = append(script, addRouteVia(mac, center))
+				}
+			}
+			out[h.Name] = script
+		}
+	case Ring:
+		for i, h := range hosts {
+			next := hosts[(i+1)%len(hosts)]
+			script := []string{addLink(next, proto)}
+			// Every non-local MAC is one hop clockwise; transit forwards
+			// the rest of the way.
+			for j, peer := range hosts {
+				if j == i {
+					continue
+				}
+				for _, mac := range peer.MACs {
+					script = append(script, addRouteVia(mac, next))
+				}
+			}
+			out[h.Name] = script
+		}
+	default:
+		return nil, fmt.Errorf("topo: unknown topology %v", kind)
+	}
+	return out, nil
+}
+
+// Teardown returns per-host scripts removing everything Scripts
+// installed.
+func Teardown(kind Kind, hosts []Host, hub int) (map[string][]string, error) {
+	built, err := Scripts(kind, hosts, hub, "udp")
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]string, len(built))
+	for name, script := range built {
+		// Reverse order: routes first, then links.
+		var routes, links []string
+		for _, line := range script {
+			var del string
+			if _, err := fmt.Sscanf(line, "ADD LINK %s", &del); err == nil {
+				links = append(links, "DEL LINK "+del)
+				continue
+			}
+			routes = append(routes, "DEL"+line[3:])
+		}
+		out[name] = append(routes, links...)
+	}
+	return out, nil
+}

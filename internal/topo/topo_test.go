@@ -1,0 +1,203 @@
+package topo_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vnetp/internal/control"
+	"vnetp/internal/ethernet"
+	"vnetp/internal/overlay"
+	"vnetp/internal/topo"
+)
+
+// liveHosts brings up n real overlay nodes with one endpoint each and
+// returns the topo description plus handles.
+func liveHosts(t *testing.T, n int) ([]topo.Host, []*overlay.Node, []*overlay.Endpoint) {
+	t.Helper()
+	hosts := make([]topo.Host, n)
+	nodes := make([]*overlay.Node, n)
+	eps := make([]*overlay.Endpoint, n)
+	for i := 0; i < n; i++ {
+		node, err := overlay.NewNode(hostName(i), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		mac := ethernet.LocalMAC(uint32(i + 1))
+		ep, err := node.AttachEndpoint("nic0", mac, 1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[i] = topo.Host{Name: hostName(i), Addr: node.Addr(), MACs: []ethernet.MAC{mac}}
+		nodes[i] = node
+		eps[i] = ep
+	}
+	return hosts, nodes, eps
+}
+
+func hostName(i int) string { return string(rune('a' + i)) }
+
+// applyScripts pushes per-host scripts onto the live nodes.
+func applyScripts(t *testing.T, scripts map[string][]string, nodes []*overlay.Node) {
+	t.Helper()
+	for i, node := range nodes {
+		script := strings.Join(scripts[hostName(i)], "\n")
+		if err := control.RunScript(node, strings.NewReader(script)); err != nil {
+			t.Fatalf("host %s: %v\nscript:\n%s", hostName(i), err, script)
+		}
+	}
+}
+
+// verifyAllPairs checks every ordered endpoint pair can exchange a frame.
+func verifyAllPairs(t *testing.T, eps []*overlay.Endpoint) {
+	t.Helper()
+	for i, from := range eps {
+		for j, to := range eps {
+			if i == j {
+				continue
+			}
+			payload := []byte{byte(i), byte(j)}
+			if err := from.Send(&ethernet.Frame{
+				Dst: to.MAC(), Src: from.MAC(), Type: ethernet.TypeTest, Payload: payload,
+			}); err != nil {
+				t.Fatalf("%d->%d send: %v", i, j, err)
+			}
+			got, ok := to.Recv(2 * time.Second)
+			if !ok {
+				t.Fatalf("%d->%d: frame never arrived", i, j)
+			}
+			if got.Payload[0] != byte(i) || got.Payload[1] != byte(j) {
+				t.Fatalf("%d->%d: wrong frame %v", i, j, got.Payload)
+			}
+		}
+	}
+}
+
+func TestMeshTopology(t *testing.T) {
+	hosts, nodes, eps := liveHosts(t, 4)
+	scripts, err := topo.Scripts(topo.Mesh, hosts, 0, "udp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyScripts(t, scripts, nodes)
+	verifyAllPairs(t, eps)
+	// Mesh: n-1 links per node.
+	for i, node := range nodes {
+		if len(node.Links()) != 3 {
+			t.Errorf("node %d has %d links, want 3", i, len(node.Links()))
+		}
+	}
+}
+
+func TestStarTopologyTransits(t *testing.T) {
+	hosts, nodes, eps := liveHosts(t, 4)
+	const hub = 1
+	scripts, err := topo.Scripts(topo.Star, hosts, hub, "udp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyScripts(t, scripts, nodes)
+	verifyAllPairs(t, eps)
+	// Spokes have exactly one link; the hub has n-1.
+	for i, node := range nodes {
+		want := 1
+		if i == hub {
+			want = 3
+		}
+		if len(node.Links()) != want {
+			t.Errorf("node %d has %d links, want %d", i, len(node.Links()), want)
+		}
+	}
+	// Spoke-to-spoke traffic must transit the hub.
+	if nodes[hub].EncapSent.Load() == 0 {
+		t.Error("hub never forwarded transit traffic")
+	}
+}
+
+func TestRingTopologyTransits(t *testing.T) {
+	hosts, nodes, eps := liveHosts(t, 4)
+	scripts, err := topo.Scripts(topo.Ring, hosts, 0, "udp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyScripts(t, scripts, nodes)
+	verifyAllPairs(t, eps)
+	for i, node := range nodes {
+		if len(node.Links()) != 1 {
+			t.Errorf("node %d has %d links, want 1 (ring)", i, len(node.Links()))
+		}
+	}
+}
+
+func TestTeardown(t *testing.T) {
+	hosts, nodes, eps := liveHosts(t, 3)
+	scripts, err := topo.Scripts(topo.Mesh, hosts, 0, "udp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyScripts(t, scripts, nodes)
+	verifyAllPairs(t, eps)
+
+	down, err := topo.Teardown(topo.Mesh, hosts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyScripts(t, down, nodes)
+	for i, node := range nodes {
+		if len(node.Links()) != 0 {
+			t.Errorf("node %d still has links after teardown: %v", i, node.Links())
+		}
+		// Only the local endpoint route should remain.
+		if len(node.Routes()) != 1 {
+			t.Errorf("node %d routes after teardown: %v", i, node.Routes())
+		}
+	}
+	// Traffic must now fail.
+	if err := eps[0].Send(&ethernet.Frame{Dst: eps[1].MAC(), Src: eps[0].MAC(), Type: ethernet.TypeTest}); err == nil {
+		t.Error("send succeeded after teardown")
+	}
+}
+
+func TestScriptsValidation(t *testing.T) {
+	if _, err := topo.Scripts(topo.Mesh, []topo.Host{{Name: "a", Addr: "x:1"}}, 0, ""); err == nil {
+		t.Error("single host accepted")
+	}
+	two := []topo.Host{{Name: "a", Addr: "x:1"}, {Name: "a", Addr: "x:2"}}
+	if _, err := topo.Scripts(topo.Mesh, two, 0, ""); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	ok := []topo.Host{{Name: "a", Addr: "x:1"}, {Name: "b", Addr: "x:2"}}
+	if _, err := topo.Scripts(topo.Star, ok, 5, ""); err == nil {
+		t.Error("out-of-range hub accepted")
+	}
+	if _, err := topo.Scripts(topo.Kind(99), ok, 0, ""); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if topo.Mesh.String() != "mesh" || topo.Star.String() != "star" ||
+		topo.Ring.String() != "ring" || topo.Kind(9).String() != "unknown" {
+		t.Error("kind strings")
+	}
+}
+
+// Every generated line must parse in the control language.
+func TestScriptsParse(t *testing.T) {
+	hosts := []topo.Host{
+		{Name: "a", Addr: "10.0.0.1:7777", MACs: []ethernet.MAC{ethernet.LocalMAC(1)}},
+		{Name: "b", Addr: "10.0.0.2:7777", MACs: []ethernet.MAC{ethernet.LocalMAC(2), ethernet.LocalMAC(3)}},
+		{Name: "c", Addr: "10.0.0.3:7777", MACs: nil},
+	}
+	for _, kind := range []topo.Kind{topo.Mesh, topo.Star, topo.Ring} {
+		scripts, err := topo.Scripts(kind, hosts, 0, "tcp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for host, lines := range scripts {
+			for _, line := range lines {
+				if _, err := control.Parse(line); err != nil {
+					t.Errorf("%v/%s: unparseable line %q: %v", kind, host, line, err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package trace records per-stage timestamps for tagged frames as they
+// cross the simulated datapath — the measured counterpart of the Fig. 7
+// stage budget, and the debugging tool for "where did this packet spend
+// its time".
+//
+// Tracing is opt-in per frame: give the frame a nonzero Tag
+// (ethernet.Frame.Tag) and register it with a Tracer; instrumented
+// components call Record at each stage. Untagged frames cost one nil
+// check.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"vnetp/internal/sim"
+)
+
+// Hop is one recorded stage crossing.
+type Hop struct {
+	Stage string
+	At    sim.Time
+}
+
+// Path is a tagged frame's recorded journey.
+type Path struct {
+	Tag  uint64
+	Hops []Hop
+}
+
+// Elapsed reports the time from the first to the last hop.
+func (p *Path) Elapsed() time.Duration {
+	if len(p.Hops) < 2 {
+		return 0
+	}
+	return p.Hops[len(p.Hops)-1].At.Sub(p.Hops[0].At)
+}
+
+// String renders the journey with per-stage deltas.
+func (p *Path) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "frame %d:\n", p.Tag)
+	for i, h := range p.Hops {
+		delta := time.Duration(0)
+		if i > 0 {
+			delta = h.At.Sub(p.Hops[i-1].At)
+		}
+		fmt.Fprintf(&b, "  %-28s t=%-12v (+%v)\n", h.Stage, h.At.Duration(), delta)
+	}
+	return b.String()
+}
+
+// Tracer collects hop records for registered tags. A nil *Tracer is
+// valid and records nothing, so components can hold one unconditionally.
+type Tracer struct {
+	eng   *sim.Engine
+	paths map[uint64]*Path
+}
+
+// New returns a tracer bound to the engine's clock.
+func New(eng *sim.Engine) *Tracer {
+	return &Tracer{eng: eng, paths: make(map[uint64]*Path)}
+}
+
+// Watch registers a tag for recording.
+func (t *Tracer) Watch(tag uint64) {
+	if t == nil || tag == 0 {
+		return
+	}
+	t.paths[tag] = &Path{Tag: tag}
+}
+
+// Record appends a hop for the tag if it is being watched. Safe on a nil
+// tracer and for unwatched or zero tags.
+func (t *Tracer) Record(tag uint64, stage string) {
+	if t == nil || tag == 0 {
+		return
+	}
+	p, ok := t.paths[tag]
+	if !ok {
+		return
+	}
+	p.Hops = append(p.Hops, Hop{Stage: stage, At: t.eng.Now()})
+}
+
+// Path returns the recorded journey for a tag (nil if unwatched).
+func (t *Tracer) Path(tag uint64) *Path {
+	if t == nil {
+		return nil
+	}
+	return t.paths[tag]
+}
+
+// Paths returns every recorded journey, ordered by tag.
+func (t *Tracer) Paths() []*Path {
+	if t == nil {
+		return nil
+	}
+	out := make([]*Path, 0, len(t.paths))
+	for _, p := range t.paths {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tag < out[j].Tag })
+	return out
+}

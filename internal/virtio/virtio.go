@@ -1,0 +1,134 @@
+// Package virtio models the virtio network device rings through which
+// guests exchange Ethernet frames with the VMM (paper Sect. 4.4). The
+// model keeps virtio's performance-relevant semantics — fixed-capacity
+// rings, batched consumption, and notification suppression (a guest kick
+// is a VM exit; an RX interrupt is an injection) — without descriptor
+// tables, since buffers here are Go slices rather than guest physical
+// memory.
+package virtio
+
+import (
+	"vnetp/internal/ethernet"
+)
+
+// DefaultQueueSize matches the common virtio-net ring size.
+const DefaultQueueSize = 256
+
+// Queue is a fixed-capacity FIFO ring of Ethernet frames with
+// notification suppression, standing in for a virtqueue.
+type Queue struct {
+	buf   []*ethernet.Frame
+	head  int // index of oldest element
+	count int
+
+	// notifyOn mirrors the VRING_AVAIL_F_NO_INTERRUPT /
+	// VRING_USED_F_NO_NOTIFY flags: when false, the producer should not
+	// notify the consumer (the consumer is polling).
+	notifyOn bool
+
+	// Stats
+	Pushes  uint64
+	Pops    uint64
+	Drops   uint64 // pushes rejected because the ring was full
+	Notifmu uint64 // notifications actually issued (kicks or interrupts)
+}
+
+// NewQueue returns an empty ring of the given capacity (DefaultQueueSize
+// if size <= 0) with notifications enabled.
+func NewQueue(size int) *Queue {
+	if size <= 0 {
+		size = DefaultQueueSize
+	}
+	return &Queue{buf: make([]*ethernet.Frame, size), notifyOn: true}
+}
+
+// Cap returns the ring capacity.
+func (q *Queue) Cap() int { return len(q.buf) }
+
+// Len returns the number of queued frames.
+func (q *Queue) Len() int { return q.count }
+
+// Empty reports whether the ring has no frames.
+func (q *Queue) Empty() bool { return q.count == 0 }
+
+// Full reports whether the ring is at capacity.
+func (q *Queue) Full() bool { return q.count == len(q.buf) }
+
+// Push appends f, reporting false (and counting a drop) if the ring is
+// full.
+func (q *Queue) Push(f *ethernet.Frame) bool {
+	if q.Full() {
+		q.Drops++
+		return false
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = f
+	q.count++
+	q.Pushes++
+	return true
+}
+
+// Pop removes and returns the oldest frame.
+func (q *Queue) Pop() (*ethernet.Frame, bool) {
+	if q.count == 0 {
+		return nil, false
+	}
+	f := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	q.Pops++
+	return f, true
+}
+
+// PopBatch removes up to max frames (all queued frames if max <= 0). The
+// single-exit multi-packet behaviour the paper attributes to virtio
+// ("one or more packets can be conveyed ... with a single VM exit") comes
+// from consuming with PopBatch.
+func (q *Queue) PopBatch(max int) []*ethernet.Frame {
+	n := q.count
+	if max > 0 && max < n {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]*ethernet.Frame, 0, n)
+	for i := 0; i < n; i++ {
+		f, _ := q.Pop()
+		out = append(out, f)
+	}
+	return out
+}
+
+// SetNotify enables or disables producer→consumer notifications
+// (disabled while the consumer polls).
+func (q *Queue) SetNotify(on bool) { q.notifyOn = on }
+
+// NotifyEnabled reports whether the producer should notify on push.
+func (q *Queue) NotifyEnabled() bool { return q.notifyOn }
+
+// CountNotify records that a notification was issued (for kick/interrupt
+// accounting).
+func (q *Queue) CountNotify() { q.Notifmu++ }
+
+// NIC is a virtio network interface: a MAC address, an MTU, and a TX/RX
+// queue pair. Per the paper, the virtual NIC registers with VNET/P, which
+// then acts as its backend in place of a hardware driver.
+type NIC struct {
+	MAC ethernet.MAC
+	MTU int
+	TX  *Queue // guest → VMM
+	RX  *Queue // VMM → guest
+}
+
+// NewNIC returns a NIC with fresh default-size queues. mtu <= 0 selects
+// the standard Ethernet MTU; VNET/P advertises up to ethernet.MaxMTU.
+func NewNIC(mac ethernet.MAC, mtu int) *NIC {
+	if mtu <= 0 {
+		mtu = ethernet.StandardMTU
+	}
+	if mtu > ethernet.MaxMTU {
+		mtu = ethernet.MaxMTU
+	}
+	return &NIC{MAC: mac, MTU: mtu, TX: NewQueue(0), RX: NewQueue(0)}
+}

@@ -1,0 +1,173 @@
+package virtio
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vnetp/internal/ethernet"
+)
+
+func frame(i int) *ethernet.Frame {
+	return &ethernet.Frame{Src: ethernet.LocalMAC(uint32(i)), Type: ethernet.TypeTest}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(4)
+	for i := 0; i < 4; i++ {
+		if !q.Push(frame(i)) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		f, ok := q.Pop()
+		if !ok || f.Src != ethernet.LocalMAC(uint32(i)) {
+			t.Fatalf("pop %d = %v, %v", i, f, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+}
+
+func TestQueueFullDrop(t *testing.T) {
+	q := NewQueue(2)
+	q.Push(frame(0))
+	q.Push(frame(1))
+	if !q.Full() {
+		t.Fatal("queue should be full")
+	}
+	if q.Push(frame(2)) {
+		t.Fatal("push into full queue succeeded")
+	}
+	if q.Drops != 1 {
+		t.Fatalf("drops = %d, want 1", q.Drops)
+	}
+}
+
+func TestQueueWraparound(t *testing.T) {
+	q := NewQueue(3)
+	next := 0
+	// Exercise wrap several times.
+	for round := 0; round < 5; round++ {
+		q.Push(frame(next))
+		q.Push(frame(next + 1))
+		f, _ := q.Pop()
+		if f.Src != ethernet.LocalMAC(uint32(next)) {
+			t.Fatalf("round %d: wrong frame %v", round, f.Src)
+		}
+		g, _ := q.Pop()
+		if g.Src != ethernet.LocalMAC(uint32(next+1)) {
+			t.Fatalf("round %d: wrong frame %v", round, g.Src)
+		}
+		next += 2
+	}
+	if !q.Empty() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestPopBatch(t *testing.T) {
+	q := NewQueue(8)
+	for i := 0; i < 6; i++ {
+		q.Push(frame(i))
+	}
+	b := q.PopBatch(4)
+	if len(b) != 4 {
+		t.Fatalf("batch len = %d, want 4", len(b))
+	}
+	for i, f := range b {
+		if f.Src != ethernet.LocalMAC(uint32(i)) {
+			t.Fatalf("batch[%d] = %v", i, f.Src)
+		}
+	}
+	rest := q.PopBatch(0) // all remaining
+	if len(rest) != 2 {
+		t.Fatalf("rest len = %d, want 2", len(rest))
+	}
+	if q.PopBatch(5) != nil {
+		t.Fatal("batch from empty queue not nil")
+	}
+}
+
+func TestNotifySuppression(t *testing.T) {
+	q := NewQueue(4)
+	if !q.NotifyEnabled() {
+		t.Fatal("notifications should start enabled")
+	}
+	q.SetNotify(false)
+	if q.NotifyEnabled() {
+		t.Fatal("SetNotify(false) had no effect")
+	}
+	q.SetNotify(true)
+	q.CountNotify()
+	if q.Notifmu != 1 {
+		t.Fatalf("notify count = %d", q.Notifmu)
+	}
+}
+
+func TestQueueStats(t *testing.T) {
+	q := NewQueue(4)
+	q.Push(frame(0))
+	q.Push(frame(1))
+	q.Pop()
+	if q.Pushes != 2 || q.Pops != 1 {
+		t.Fatalf("stats pushes=%d pops=%d", q.Pushes, q.Pops)
+	}
+}
+
+func TestQueueDefaultSize(t *testing.T) {
+	if NewQueue(0).Cap() != DefaultQueueSize {
+		t.Fatal("default size not applied")
+	}
+	if NewQueue(-1).Cap() != DefaultQueueSize {
+		t.Fatal("negative size not defaulted")
+	}
+}
+
+func TestNICDefaults(t *testing.T) {
+	n := NewNIC(ethernet.LocalMAC(1), 0)
+	if n.MTU != ethernet.StandardMTU {
+		t.Fatalf("MTU = %d", n.MTU)
+	}
+	if n.TX.Cap() != DefaultQueueSize || n.RX.Cap() != DefaultQueueSize {
+		t.Fatal("queues not default sized")
+	}
+	big := NewNIC(ethernet.LocalMAC(2), 1<<20)
+	if big.MTU != ethernet.MaxMTU {
+		t.Fatalf("oversized MTU not clamped: %d", big.MTU)
+	}
+	jumbo := NewNIC(ethernet.LocalMAC(3), ethernet.JumboMTU)
+	if jumbo.MTU != ethernet.JumboMTU {
+		t.Fatalf("jumbo MTU = %d", jumbo.MTU)
+	}
+}
+
+// Property: any interleaving of pushes and pops preserves FIFO order and
+// never loses or duplicates frames (up to capacity drops, which are
+// counted).
+func TestQueueFIFOProperty(t *testing.T) {
+	prop := func(ops []bool, size uint8) bool {
+		cap := int(size%16) + 1
+		q := NewQueue(cap)
+		pushed, popped := 0, 0
+		for _, isPush := range ops {
+			if isPush {
+				if q.Push(frame(pushed)) {
+					pushed++
+				}
+			} else {
+				if f, ok := q.Pop(); ok {
+					if f.Src != ethernet.LocalMAC(uint32(popped)) {
+						return false // out of order
+					}
+					popped++
+				}
+			}
+		}
+		return q.Len() == pushed-popped &&
+			int(q.Pushes) == pushed && int(q.Pops) == popped
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+// Package vmm models the Palacios virtual machine monitor substrate at
+// event level: physical hosts with NICs and a shared memory bus, the
+// physical network connecting them, and VMs whose interactions with the
+// VMM (exits, entries, interrupt injections, IPIs) carry the costs the
+// paper's datapath analysis enumerates (Sect. 4.7).
+//
+// The package deliberately does not know about VNET/P itself: the overlay
+// core (internal/core) and bridge (internal/bridge) build their datapaths
+// from the primitives here.
+package vmm
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vnetp/internal/phys"
+	"vnetp/internal/sim"
+	"vnetp/internal/trace"
+)
+
+// WirePacket is a packet on the physical network: opaque payload plus the
+// wire size that determines serialization time.
+type WirePacket struct {
+	Src, Dst string // host names
+	Size     int
+	Payload  any
+}
+
+// Host is a physical machine: a NIC on the interconnect, an aggregate
+// memory-bus budget shared by every copy and DMA crossing, and a receive
+// handler installed by whoever terminates the wire (a bridge, a native
+// stack, or a VNET/U daemon).
+type Host struct {
+	Eng   *sim.Engine
+	Name  string
+	Model *phys.CostModel
+	Dev   phys.Device
+
+	// TxLink serializes outbound packets at the device rate.
+	TxLink *sim.Link
+	// RxLink models receive-side contention (incast): packets from many
+	// senders serialize into this host at the device rate.
+	RxLink *sim.Link
+	// MemBus is the aggregate copy/DMA budget
+	// (phys.CostModel.MemBusBytesPerSec).
+	MemBus *sim.Link
+
+	// Tracer, when non-nil, receives per-stage records for tagged frames
+	// (internal/trace). The datapath components consult it through this
+	// field.
+	Tracer *trace.Tracer
+
+	net    *Network
+	recvFn func(pkt *WirePacket)
+	noise  *rand.Rand
+
+	// Stats
+	RxPackets, TxPackets uint64
+}
+
+// Noise draws one host-OS scheduling perturbation per the cost model
+// (zero when noise is disabled, as it is by default and always under a
+// lightweight kernel). Deterministic: each host has its own seeded
+// source.
+func (h *Host) Noise() time.Duration {
+	m := h.Model
+	if m.NoiseMean == 0 && m.NoiseSpike == 0 {
+		return 0
+	}
+	if h.noise == nil {
+		seed := int64(1)
+		for _, c := range h.Name {
+			seed = seed*31 + int64(c)
+		}
+		h.noise = rand.New(rand.NewSource(seed))
+	}
+	d := time.Duration(h.noise.ExpFloat64() * float64(m.NoiseMean))
+	if m.NoiseSpikeProb > 0 && h.noise.Float64() < m.NoiseSpikeProb {
+		d += time.Duration(h.noise.Float64() * float64(m.NoiseSpike))
+	}
+	return d
+}
+
+// SetReceiver installs the function invoked for each packet arriving from
+// the wire (after receive-side serialization; interrupt and stack costs
+// are the receiver's to charge).
+func (h *Host) SetReceiver(fn func(pkt *WirePacket)) { h.recvFn = fn }
+
+// MemCopy charges one memory-bus crossing of n bytes and calls done when
+// the crossing completes. DMA and software copies share the same budget.
+func (h *Host) MemCopy(n int, done func()) {
+	h.MemBus.Transmit(n, done)
+}
+
+// Send transmits a packet to another host on the same network: TX
+// serialization at this host, base one-way latency, then RX serialization
+// at the destination, then the destination's receive handler.
+func (h *Host) Send(dst string, size int, payload any) {
+	peer, ok := h.net.hosts[dst]
+	if !ok {
+		panic(fmt.Sprintf("vmm: host %q sending to unknown host %q", h.Name, dst))
+	}
+	h.TxPackets++
+	pkt := &WirePacket{Src: h.Name, Dst: dst, Size: size, Payload: payload}
+	h.TxLink.Transmit(size, func() {
+		h.Eng.Schedule(h.Dev.BaseLatency, func() {
+			peer.RxLink.Transmit(size, func() {
+				peer.RxPackets++
+				if peer.recvFn != nil {
+					peer.recvFn(pkt)
+				}
+			})
+		})
+	})
+}
+
+// Network is a set of hosts on one interconnect (directly connected pair
+// or a switched cluster — the model is the same: per-host TX and RX
+// serialization plus a base latency).
+type Network struct {
+	Eng   *sim.Engine
+	Dev   phys.Device
+	hosts map[string]*Host
+}
+
+// NewNetwork creates an empty network over the given device type.
+func NewNetwork(eng *sim.Engine, dev phys.Device) *Network {
+	return &Network{Eng: eng, Dev: dev, hosts: make(map[string]*Host)}
+}
+
+// AddHost creates and attaches a host. Host names must be unique.
+func (n *Network) AddHost(name string, model *phys.CostModel) *Host {
+	if _, dup := n.hosts[name]; dup {
+		panic(fmt.Sprintf("vmm: duplicate host %q", name))
+	}
+	h := &Host{
+		Eng:    n.Eng,
+		Name:   name,
+		Model:  model,
+		Dev:    n.Dev,
+		TxLink: sim.NewLink(n.Eng, n.Dev.BytesPerSec, 0),
+		RxLink: sim.NewLink(n.Eng, n.Dev.BytesPerSec, 0),
+		MemBus: sim.NewLink(n.Eng, model.MemBusBytesPerSec, 0),
+		net:    n,
+	}
+	n.hosts[name] = h
+	return h
+}
+
+// Host looks up a host by name.
+func (n *Network) Host(name string) *Host { return n.hosts[name] }
+
+// VM is a virtual machine on a host. GuestCore is the vCPU on which all
+// guest-side network processing (driver work, interrupt handling, stack
+// costs) is charged; it is a serial resource, so interrupt storms delay
+// application progress exactly as they would on real hardware without
+// selective interrupt exiting.
+type VM struct {
+	Host      *Host
+	Name      string
+	GuestCore *sim.Worker
+
+	// Stats the experiments report.
+	Exits      uint64 // VM exits taken
+	Injections uint64 // virtual interrupts injected
+	IPIs       uint64 // cross-core IPIs received
+}
+
+// NewVM places a VM on a host.
+func NewVM(h *Host, name string) *VM {
+	return &VM{
+		Host:      h,
+		Name:      name,
+		GuestCore: sim.NewWorker(h.Eng, sim.WorkerConfig{Yield: sim.YieldImmediate}),
+	}
+}
+
+// Exit charges one VM exit/entry on the guest core and runs fn in the exit
+// context (i.e., still on the guest's core, as guest-driven dispatch
+// does).
+func (vm *VM) Exit(extra time.Duration, fn func()) {
+	vm.Exits++
+	vm.GuestCore.Submit(vm.Host.Model.VMExitEntry+extra, fn)
+}
+
+// Inject delivers a virtual interrupt: the VMM-side injection cost is
+// charged as a delay, then the guest core pays a VM entry/exit (waking
+// from HLT or interrupting guest execution) plus the exit-amplified
+// vAPIC/EOI interrupt path the paper attributes to missing selective
+// interrupt exiting, then handler runs in guest interrupt context.
+func (vm *VM) Inject(handler func()) {
+	vm.Injections++
+	m := vm.Host.Model
+	vm.Host.Eng.Schedule(m.InterruptInject, func() {
+		vm.GuestCore.Submit(m.VMExitEntry+m.GuestIRQPath, handler)
+	})
+}
+
+// earlyDeliver is the immediate-delivery slice of an optimistic
+// interrupt: just enough guest work to enter the handler.
+const earlyDeliver = 2 * time.Microsecond
+
+// InjectOptimistic delivers a virtual interrupt optimistically (the
+// VNET/P+ technique): the handler runs after only the injection cost plus
+// a minimal delivery slice, and the remainder of the exit-amplified
+// interrupt path is paid on the guest core afterwards — same total CPU,
+// but the packet-facing work is no longer behind it.
+func (vm *VM) InjectOptimistic(handler func()) {
+	vm.Injections++
+	m := vm.Host.Model
+	vm.Host.Eng.Schedule(m.InterruptInject, func() {
+		vm.GuestCore.Submit(earlyDeliver, handler)
+		rest := m.VMExitEntry + m.GuestIRQPath - earlyDeliver
+		if rest > 0 {
+			// The bookkeeping yields to the packet-facing work the
+			// handler spawned: charge it a little later so it lands
+			// behind the demux path on the core's queue.
+			vm.Host.Eng.Schedule(25*time.Microsecond, func() {
+				vm.GuestCore.Submit(rest, nil)
+			})
+		}
+	})
+}
+
+// IPIExit models a dispatcher thread forcing the VM's core to exit via a
+// cross-core IPI (used when a virtual NIC queue fills in VMM-driven mode):
+// IPI latency, then an exit on the guest core, then fn in exit context.
+func (vm *VM) IPIExit(fn func()) {
+	vm.IPIs++
+	vm.Host.Eng.Schedule(vm.Host.Model.IPI, func() {
+		vm.Exit(0, fn)
+	})
+}
+
+// GuestWork charges cost on the guest core and then runs fn (guest driver
+// or guest stack processing).
+func (vm *VM) GuestWork(cost time.Duration, fn func()) {
+	vm.GuestCore.Submit(cost, fn)
+}
