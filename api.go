@@ -30,6 +30,7 @@ import (
 	"vnetp/internal/core"
 	"vnetp/internal/ethernet"
 	"vnetp/internal/experiments"
+	"vnetp/internal/faultnet"
 	"vnetp/internal/lab"
 	"vnetp/internal/overlay"
 	"vnetp/internal/phys"
@@ -88,6 +89,38 @@ type (
 
 // NewNode binds an overlay node to a UDP address.
 func NewNode(name, bindAddr string) (*Node, error) { return overlay.NewNode(name, bindAddr) }
+
+// --- Link health and fault injection ---
+
+// HealthConfig tunes a node's link health monitor (Node.EnableHealth);
+// LinkState is a monitored link's liveness verdict.
+type (
+	HealthConfig = overlay.HealthConfig
+	LinkState    = overlay.LinkState
+)
+
+// Link liveness states.
+const (
+	LinkUp       = overlay.LinkUp
+	LinkDegraded = overlay.LinkDegraded
+	LinkDown     = overlay.LinkDown
+)
+
+// DefaultHealthConfig returns moderate production-style heartbeat
+// thresholds.
+func DefaultHealthConfig() HealthConfig { return overlay.DefaultHealthConfig() }
+
+// FaultConduit injects faults (loss, duplication, reordering, delay,
+// partition) into a packet path; FaultConfig parameterizes it. Install
+// one on an overlay link with Node.SetLinkFault or on a simulated host
+// wire with vmm.Host.SetFault.
+type (
+	FaultConduit = faultnet.Conduit
+	FaultConfig  = faultnet.Config
+)
+
+// NewFaultConduit builds a real-time fault conduit.
+func NewFaultConduit(cfg FaultConfig) *FaultConduit { return faultnet.New(cfg) }
 
 // NewControlDaemon exposes a node (or any control.Target) on a TCP
 // control console speaking the VNET/U configuration language.

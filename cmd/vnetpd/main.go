@@ -34,6 +34,10 @@ func main() {
 	ctrlAddr := flag.String("control", "", "TCP address for the control console (empty: disabled)")
 	config := flag.String("config", "", "configuration script applied at startup")
 	echo := flag.String("echo", "", "attach an echo endpoint: <ifname>:<mac>")
+	health := flag.Bool("health", false, "enable the link health monitor (heartbeats, failover, redial)")
+	probeInterval := flag.Duration("probe-interval", 200*time.Millisecond, "heartbeat probe interval (with -health)")
+	probeFail := flag.Int("probe-fail", 3, "consecutive missed probes before a link is down (with -health)")
+	probeRecover := flag.Int("probe-recover", 2, "consecutive replies before a down link is up (with -health)")
 	flag.Parse()
 
 	node, err := overlay.NewNode(*name, *bind)
@@ -42,6 +46,18 @@ func main() {
 	}
 	defer node.Close()
 	log.Printf("vnetpd: node %q carrying traffic on %s", *name, node.Addr())
+
+	if *health {
+		cfg := overlay.DefaultHealthConfig()
+		cfg.Interval = *probeInterval
+		cfg.FailThreshold = *probeFail
+		cfg.RecoverThreshold = *probeRecover
+		if err := node.EnableHealth(cfg); err != nil {
+			log.Fatalf("vnetpd: health: %v", err)
+		}
+		log.Printf("vnetpd: link health monitor on (probe %v, fail %d, recover %d)",
+			cfg.Interval, cfg.FailThreshold, cfg.RecoverThreshold)
+	}
 
 	if *config != "" {
 		f, err := os.Open(*config)

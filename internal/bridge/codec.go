@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"vnetp/internal/ethernet"
 )
@@ -25,15 +26,21 @@ const (
 	EncapVersion   = 1
 	EncapHeaderLen = 12
 
-	flagMoreFrags = 0x01
+	flagMoreFrags  = 0x01
+	flagProbe      = 0x02
+	flagProbeReply = 0x04
 )
 
-// EncapHeader describes one encapsulation fragment.
+// EncapHeader describes one encapsulation fragment. Probe datagrams (the
+// link-health heartbeats) travel on the same channel with the probe flags
+// set; their payload is the probe body, not an inner-frame slice.
 type EncapHeader struct {
-	ID        uint32 // per-sender packet id, shared by all fragments
-	FragOff   uint16 // byte offset of this fragment's payload
-	TotalLen  uint16 // total inner-frame length
-	MoreFrags bool
+	ID         uint32 // per-sender packet id, shared by all fragments
+	FragOff    uint16 // byte offset of this fragment's payload
+	TotalLen   uint16 // total inner-frame length
+	MoreFrags  bool
+	Probe      bool // liveness probe request
+	ProbeReply bool // liveness probe echo
 }
 
 var (
@@ -49,6 +56,12 @@ func (h *EncapHeader) Marshal(b []byte) []byte {
 	flags := byte(0)
 	if h.MoreFrags {
 		flags |= flagMoreFrags
+	}
+	if h.Probe {
+		flags |= flagProbe
+	}
+	if h.ProbeReply {
+		flags |= flagProbeReply
 	}
 	b = append(b, EncapVersion, flags)
 	b = binary.BigEndian.AppendUint32(b, h.ID)
@@ -70,10 +83,12 @@ func ParseEncap(b []byte) (*EncapHeader, []byte, error) {
 		return nil, nil, ErrBadVersion
 	}
 	h := &EncapHeader{
-		MoreFrags: b[3]&flagMoreFrags != 0,
-		ID:        binary.BigEndian.Uint32(b[4:]),
-		FragOff:   binary.BigEndian.Uint16(b[8:]),
-		TotalLen:  binary.BigEndian.Uint16(b[10:]),
+		MoreFrags:  b[3]&flagMoreFrags != 0,
+		Probe:      b[3]&flagProbe != 0,
+		ProbeReply: b[3]&flagProbeReply != 0,
+		ID:         binary.BigEndian.Uint32(b[4:]),
+		FragOff:    binary.BigEndian.Uint16(b[8:]),
+		TotalLen:   binary.BigEndian.Uint16(b[10:]),
 	}
 	payload := b[EncapHeaderLen:]
 	if int(h.FragOff)+len(payload) > int(h.TotalLen) {
@@ -134,12 +149,45 @@ func FragmentCount(innerLen, maxPayload int) int {
 	return n
 }
 
-// partial accumulates fragments of one inner frame.
+// span is a half-open received byte range [off, end).
+type span struct {
+	off, end int
+}
+
+// partial accumulates fragments of one inner frame. Received bytes are
+// tracked as merged ranges, not a raw counter: a duplicated fragment must
+// not count twice, or a datagram could "complete" with a hole in it.
 type partial struct {
-	buf      []byte
-	received int
-	total    int
-	sawLast  bool
+	buf     []byte
+	spans   []span // disjoint, sorted received ranges
+	total   int
+	sawLast bool
+}
+
+// addSpan records [off, end) as received, merging overlapping and
+// adjacent ranges.
+func (p *partial) addSpan(off, end int) {
+	if end <= off {
+		return
+	}
+	spans := append(p.spans, span{off, end})
+	sort.Slice(spans, func(i, j int) bool { return spans[i].off < spans[j].off })
+	merged := spans[:0]
+	for _, s := range spans {
+		if n := len(merged); n > 0 && s.off <= merged[n-1].end {
+			if s.end > merged[n-1].end {
+				merged[n-1].end = s.end
+			}
+			continue
+		}
+		merged = append(merged, s)
+	}
+	p.spans = merged
+}
+
+// complete reports whether every byte of [0, total) has arrived.
+func (p *partial) complete() bool {
+	return len(p.spans) == 1 && p.spans[0].off == 0 && p.spans[0].end == p.total
 }
 
 // Reassembler reconstructs inner Ethernet frames from encapsulation
@@ -171,6 +219,12 @@ func (r *Reassembler) Add(sender string, datagram []byte) (*ethernet.Frame, erro
 	if err != nil {
 		return nil, err
 	}
+	return r.AddParsed(sender, h, payload)
+}
+
+// AddParsed is Add for a datagram the caller already split with
+// ParseEncap (the overlay parses first to intercept probe datagrams).
+func (r *Reassembler) AddParsed(sender string, h *EncapHeader, payload []byte) (*ethernet.Frame, error) {
 	// Fast path: unfragmented packet.
 	if h.FragOff == 0 && !h.MoreFrags {
 		if len(payload) != int(h.TotalLen) {
@@ -186,15 +240,16 @@ func (r *Reassembler) Add(sender string, datagram []byte) (*ethernet.Frame, erro
 	}
 	if p.total != int(h.TotalLen) {
 		delete(r.partials, k)
+		delete(r.gen, k)
 		return nil, ErrFragBounds
 	}
 	copy(p.buf[h.FragOff:], payload)
-	p.received += len(payload)
+	p.addSpan(int(h.FragOff), int(h.FragOff)+len(payload))
 	if !h.MoreFrags {
 		p.sawLast = true
 	}
 	r.gen[k] = r.curGen
-	if p.sawLast && p.received >= p.total {
+	if p.sawLast && p.complete() {
 		delete(r.partials, k)
 		delete(r.gen, k)
 		r.Reassembled++

@@ -1,0 +1,179 @@
+package bridge
+
+import (
+	"bytes"
+	"testing"
+
+	"vnetp/internal/ethernet"
+	"vnetp/internal/faultnet"
+)
+
+// Adversarial reassembly: duplicated, reordered and interleaved
+// fragments driven both hand-built and through a faultnet conduit. These
+// pin the fix for the double-counting bug where a duplicated fragment
+// incremented the received-byte counter twice, letting a packet
+// "complete" with a hole in it (delivering a frame with stale or zero
+// bytes where the missing fragment belonged).
+
+// frags encapsulates a frame into small datagrams so every test has
+// several fragments to abuse.
+func frags(t *testing.T, f *ethernet.Frame, id uint32) [][]byte {
+	t.Helper()
+	ds, err := Encapsulate(f, id, 64+EncapHeaderLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) < 3 {
+		t.Fatalf("want >=3 fragments, got %d", len(ds))
+	}
+	return ds
+}
+
+func TestDuplicateFragmentCannotFakeCompletion(t *testing.T) {
+	// The old counter-based reassembler: frag0 + frag0 + last frag summed
+	// to TotalLen and "completed" with frag1's bytes missing. Now the
+	// duplicate must not complete the packet at all.
+	f := testFrame(150) // 3 fragments of <=64B payload
+	ds := frags(t, f, 1)
+	r := NewReassembler()
+	feed := func(d []byte) *ethernet.Frame {
+		got, err := r.Add("s", d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	feed(ds[0])
+	feed(ds[0]) // duplicate
+	if got := feed(ds[len(ds)-1]); got != nil {
+		t.Fatal("packet completed with a hole: duplicate fragment double-counted")
+	}
+	// Supplying the genuinely missing fragment completes it correctly.
+	got := feed(ds[1])
+	if got == nil {
+		t.Fatal("packet did not complete after all fragments arrived")
+	}
+	if !bytes.Equal(got.Payload, f.Payload) {
+		t.Fatal("reassembled payload corrupt")
+	}
+}
+
+func TestDuplicateAndReorderThroughConduit(t *testing.T) {
+	// Dup + reorder every packet on the wire; the reassembler must still
+	// produce exactly one intact frame per packet id.
+	f := testFrame(300)
+	r := NewReassembler()
+	c := faultnet.New(faultnet.Config{DupProb: 1, ReorderProb: 1, Seed: 7})
+	var frames []*ethernet.Frame
+	deliver := func(p any) {
+		got, err := r.Add("s", p.([]byte))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != nil {
+			frames = append(frames, got)
+		}
+	}
+	for id := uint32(1); id <= 5; id++ {
+		for _, d := range frags(t, f, id) {
+			c.Send(d, deliver)
+		}
+	}
+	c.Flush()
+	if len(frames) != 5 {
+		t.Fatalf("reassembled %d frames, want 5", len(frames))
+	}
+	for _, g := range frames {
+		if !bytes.Equal(g.Payload, f.Payload) {
+			t.Fatal("reassembled payload corrupt under dup+reorder")
+		}
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("%d partials left over", r.Pending())
+	}
+}
+
+func TestInterleavedIDsFromOneSender(t *testing.T) {
+	// Two packets' fragments interleaved on one sender key must not
+	// cross-pollinate.
+	fa, fb := testFrame(150), testFrame(200)
+	fb.Payload = bytes.Repeat([]byte{0xcd}, 200)
+	da, db := frags(t, fa, 10), frags(t, fb, 11)
+	r := NewReassembler()
+	var got []*ethernet.Frame
+	max := len(da)
+	if len(db) > max {
+		max = len(db)
+	}
+	for i := 0; i < max; i++ {
+		for _, ds := range [][][]byte{da, db} {
+			if i < len(ds) {
+				if g, err := r.Add("s", ds[i]); err != nil {
+					t.Fatal(err)
+				} else if g != nil {
+					got = append(got, g)
+				}
+			}
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("reassembled %d frames, want 2", len(got))
+	}
+	if !bytes.Equal(got[0].Payload, fa.Payload) || !bytes.Equal(got[1].Payload, fb.Payload) {
+		t.Fatal("interleaved packets corrupted each other")
+	}
+}
+
+func TestEvictionRacesLateLastFragment(t *testing.T) {
+	// A partial evicted by the generation sweep must not resurrect when
+	// its last fragment straggles in: the late fragment starts a fresh
+	// (incomplete) partial instead of completing a ghost.
+	f := testFrame(150)
+	ds := frags(t, f, 20)
+	r := NewReassembler()
+	for _, d := range ds[:len(ds)-1] {
+		if _, err := r.Add("s", d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.EvictStale() // ages the partial
+	if n := r.EvictStale(); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	got, err := r.Add("s", ds[len(ds)-1]) // the straggler
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatal("evicted packet completed from a single late fragment")
+	}
+	if r.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (fresh partial from the straggler)", r.Pending())
+	}
+}
+
+func TestSizeMismatchCleansGeneration(t *testing.T) {
+	// A fragment whose TotalLen contradicts the existing partial drops the
+	// whole partial — including its generation entry, so the next sweep
+	// doesn't count a ghost eviction.
+	f := testFrame(150)
+	ds := frags(t, f, 30)
+	r := NewReassembler()
+	if _, err := r.Add("s", ds[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Same sender and id, different claimed total.
+	h := EncapHeader{ID: 30, FragOff: 0, TotalLen: 500, MoreFrags: true}
+	bad := append(h.Marshal(nil), make([]byte, 64)...)
+	if _, err := r.Add("s", bad); err != ErrFragBounds {
+		t.Fatalf("mismatch error = %v, want ErrFragBounds", err)
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("pending = %d after mismatch", r.Pending())
+	}
+	r.EvictStale()
+	r.EvictStale()
+	if r.Dropped != 0 {
+		t.Fatalf("Dropped = %d: mismatch left a ghost generation entry", r.Dropped)
+	}
+}

@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"vnetp/internal/core"
 	"vnetp/internal/ethernet"
@@ -36,10 +38,23 @@ type StatsProvider interface {
 	Stats() []string
 }
 
+// HealthTarget is an optional Target extension: nodes running the link
+// health monitor answer LINK STATUS / LIST HEALTH and accept heartbeat
+// tuning via LINK PROBE.
+type HealthTarget interface {
+	// LinkStatus reports one link's health detail lines.
+	LinkStatus(id string) ([]string, error)
+	// HealthSummary reports one line per link.
+	HealthSummary() []string
+	// SetProbeConfig retunes the heartbeat monitor. Zero values keep
+	// the current setting.
+	SetProbeConfig(interval time.Duration, failN, recoverN int) error
+}
+
 // Command is one parsed control command.
 type Command struct {
-	Verb string // ADD, DEL, LIST
-	Kind string // LINK, ROUTE, INTERFACES, LINKS, ROUTES
+	Verb string // ADD, DEL, LIST, LINK
+	Kind string // LINK, ROUTE, INTERFACES, LINKS, ROUTES, STATS, HEALTH, STATUS, PROBE
 
 	// Link fields.
 	LinkID string
@@ -48,6 +63,11 @@ type Command struct {
 
 	// Route fields.
 	Route core.Route
+
+	// Probe-tuning fields (LINK PROBE).
+	Interval time.Duration
+	FailN    int
+	RecoverN int
 }
 
 // Parse errors.
@@ -88,15 +108,31 @@ func formatMACSpec(m ethernet.MAC, q core.Qualifier) string {
 	}
 }
 
+// parseDestType maps "interface"/"link" to a core.DestType.
+func parseDestType(s string) (core.DestType, error) {
+	switch strings.ToLower(s) {
+	case "interface":
+		return core.DestInterface, nil
+	case "link":
+		return core.DestLink, nil
+	}
+	return 0, fmt.Errorf("%w: bad destination type %q", ErrSyntax, s)
+}
+
 // Parse parses one command line. The grammar:
 //
 //	ADD LINK <id> REMOTE <host:port> [UDP|TCP]
 //	DEL LINK <id>
-//	ADD ROUTE <dst-spec> <src-spec> {interface|link} <dest-id>
-//	DEL ROUTE <dst-spec> <src-spec> {interface|link} <dest-id>
-//	LIST {ROUTES|LINKS|INTERFACES}
+//	ADD ROUTE <dst-spec> <src-spec> {interface|link} <dest-id> [BACKUP {interface|link} <dest-id>]
+//	DEL ROUTE <dst-spec> <src-spec> {interface|link} <dest-id> [BACKUP {interface|link} <dest-id>]
+//	LIST {ROUTES|LINKS|INTERFACES|STATS|HEALTH}
+//	LINK STATUS <id>
+//	LINK PROBE <interval-ms> <fail-threshold> <recover-threshold>
 //
-// where a spec is "any", "not-<mac>", or "<mac>".
+// where a spec is "any", "not-<mac>", or "<mac>". BACKUP names the
+// failover destination used while the primary is marked down by the
+// link health monitor. LINK PROBE takes 0 for any value to keep its
+// current setting.
 func Parse(line string) (*Command, error) {
 	fields := strings.Fields(strings.TrimSpace(line))
 	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
@@ -106,14 +142,47 @@ func Parse(line string) (*Command, error) {
 	switch verb {
 	case "LIST":
 		if len(fields) != 2 {
-			return nil, fmt.Errorf("%w: LIST needs one of ROUTES|LINKS|INTERFACES|STATS", ErrSyntax)
+			return nil, fmt.Errorf("%w: LIST needs one of ROUTES|LINKS|INTERFACES|STATS|HEALTH", ErrSyntax)
 		}
 		kind := strings.ToUpper(fields[1])
 		switch kind {
-		case "ROUTES", "LINKS", "INTERFACES", "STATS":
+		case "ROUTES", "LINKS", "INTERFACES", "STATS", "HEALTH":
 			return &Command{Verb: verb, Kind: kind}, nil
 		}
 		return nil, fmt.Errorf("%w: unknown LIST target %q", ErrSyntax, fields[1])
+	case "LINK":
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%w: LINK needs STATUS or PROBE", ErrSyntax)
+		}
+		switch kind := strings.ToUpper(fields[1]); kind {
+		case "STATUS":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("%w: LINK STATUS needs a link id", ErrSyntax)
+			}
+			return &Command{Verb: verb, Kind: kind, LinkID: fields[2]}, nil
+		case "PROBE":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("%w: LINK PROBE needs interval-ms fail recover", ErrSyntax)
+			}
+			ms, err := strconv.Atoi(fields[2])
+			if err != nil || ms < 0 {
+				return nil, fmt.Errorf("%w: bad probe interval %q", ErrSyntax, fields[2])
+			}
+			failN, err := strconv.Atoi(fields[3])
+			if err != nil || failN < 0 {
+				return nil, fmt.Errorf("%w: bad fail threshold %q", ErrSyntax, fields[3])
+			}
+			recoverN, err := strconv.Atoi(fields[4])
+			if err != nil || recoverN < 0 {
+				return nil, fmt.Errorf("%w: bad recover threshold %q", ErrSyntax, fields[4])
+			}
+			return &Command{
+				Verb: verb, Kind: kind,
+				Interval: time.Duration(ms) * time.Millisecond,
+				FailN:    failN, RecoverN: recoverN,
+			}, nil
+		}
+		return nil, fmt.Errorf("%w: unknown LINK subcommand %q", ErrSyntax, fields[1])
 	case "ADD", "DEL":
 	default:
 		return nil, fmt.Errorf("%w: unknown verb %q", ErrSyntax, fields[0])
@@ -144,8 +213,8 @@ func Parse(line string) (*Command, error) {
 		}
 		return nil, fmt.Errorf("%w: bad LINK command", ErrSyntax)
 	case "ROUTE":
-		if len(fields) != 6 {
-			return nil, fmt.Errorf("%w: ROUTE needs dst src {interface|link} id", ErrSyntax)
+		if len(fields) != 6 && len(fields) != 9 {
+			return nil, fmt.Errorf("%w: ROUTE needs dst src {interface|link} id [BACKUP {interface|link} id]", ErrSyntax)
 		}
 		dstMAC, dstQ, err := parseMACSpec(fields[2])
 		if err != nil {
@@ -155,34 +224,43 @@ func Parse(line string) (*Command, error) {
 		if err != nil {
 			return nil, err
 		}
-		var dt core.DestType
-		switch strings.ToLower(fields[4]) {
-		case "interface":
-			dt = core.DestInterface
-		case "link":
-			dt = core.DestLink
-		default:
-			return nil, fmt.Errorf("%w: bad destination type %q", ErrSyntax, fields[4])
+		dt, err := parseDestType(fields[4])
+		if err != nil {
+			return nil, err
 		}
-		return &Command{
-			Verb: verb, Kind: kind,
-			Route: core.Route{
-				DstMAC: dstMAC, DstQual: dstQ,
-				SrcMAC: srcMAC, SrcQual: srcQ,
-				Dest: core.Destination{Type: dt, ID: fields[5]},
-			},
-		}, nil
+		r := core.Route{
+			DstMAC: dstMAC, DstQual: dstQ,
+			SrcMAC: srcMAC, SrcQual: srcQ,
+			Dest: core.Destination{Type: dt, ID: fields[5]},
+		}
+		if len(fields) == 9 {
+			if !strings.EqualFold(fields[6], "BACKUP") {
+				return nil, fmt.Errorf("%w: expected BACKUP, got %q", ErrSyntax, fields[6])
+			}
+			bt, err := parseDestType(fields[7])
+			if err != nil {
+				return nil, err
+			}
+			r.Backup = core.Destination{Type: bt, ID: fields[8]}
+			r.HasBackup = true
+		}
+		return &Command{Verb: verb, Kind: kind, Route: r}, nil
 	}
 	return nil, fmt.Errorf("%w: unknown object %q", ErrSyntax, fields[1])
 }
 
-// FormatRoute renders a route in the language's ROUTE argument form.
+// FormatRoute renders a route in the language's ROUTE argument form
+// (round-trippable through Parse, including the BACKUP clause).
 func FormatRoute(r core.Route) string {
-	return fmt.Sprintf("%s %s %s %s",
+	s := fmt.Sprintf("%s %s %s %s",
 		formatMACSpec(r.DstMAC, r.DstQual),
 		formatMACSpec(r.SrcMAC, r.SrcQual),
 		strings.ToLower(r.Dest.Type.String()),
 		r.Dest.ID)
+	if r.HasBackup {
+		s += fmt.Sprintf(" BACKUP %s %s", strings.ToLower(r.Backup.Type.String()), r.Backup.ID)
+	}
+	return s
 }
 
 // Apply executes a parsed command against a target, returning the
@@ -212,6 +290,21 @@ func Apply(t Target, cmd *Command) ([]string, error) {
 			return sp.Stats(), nil
 		}
 		return nil, fmt.Errorf("control: target does not export statistics")
+	case "LIST HEALTH":
+		if ht, ok := t.(HealthTarget); ok {
+			return ht.HealthSummary(), nil
+		}
+		return nil, fmt.Errorf("control: target does not monitor link health")
+	case "LINK STATUS":
+		if ht, ok := t.(HealthTarget); ok {
+			return ht.LinkStatus(cmd.LinkID)
+		}
+		return nil, fmt.Errorf("control: target does not monitor link health")
+	case "LINK PROBE":
+		if ht, ok := t.(HealthTarget); ok {
+			return nil, ht.SetProbeConfig(cmd.Interval, cmd.FailN, cmd.RecoverN)
+		}
+		return nil, fmt.Errorf("control: target does not monitor link health")
 	}
 	return nil, fmt.Errorf("control: unsupported command %s %s", cmd.Verb, cmd.Kind)
 }

@@ -7,6 +7,7 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"vnetp/internal/core"
 	"vnetp/internal/ethernet"
@@ -246,5 +247,195 @@ func TestListStats(t *testing.T) {
 	}
 	if _, err := Apply(newFake(), cmd); err == nil {
 		t.Fatal("statless target accepted LIST STATS")
+	}
+}
+
+func TestParseRouteWithBackup(t *testing.T) {
+	mac := ethernet.LocalMAC(5)
+	cmd, err := Parse(fmt.Sprintf("ADD ROUTE %s any link primary BACKUP link standby", mac))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := cmd.Route
+	if !r.HasBackup || r.Backup != (core.Destination{Type: core.DestLink, ID: "standby"}) {
+		t.Fatalf("route = %+v", r)
+	}
+	if r.Dest.ID != "primary" {
+		t.Fatalf("primary dest = %v", r.Dest)
+	}
+	// Lowercase keyword and interface backup.
+	cmd, err = Parse(fmt.Sprintf("DEL ROUTE %s any link l1 backup interface nic1", mac))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Route.Backup.Type != core.DestInterface || cmd.Route.Backup.ID != "nic1" {
+		t.Fatalf("backup = %v", cmd.Route.Backup)
+	}
+	// Malformed BACKUP clauses.
+	for _, line := range []string{
+		fmt.Sprintf("ADD ROUTE %s any link l1 BACKUP link", mac),
+		fmt.Sprintf("ADD ROUTE %s any link l1 FALLBACK link l2", mac),
+		fmt.Sprintf("ADD ROUTE %s any link l1 BACKUP tunnel l2", mac),
+	} {
+		if _, err := Parse(line); err == nil {
+			t.Errorf("Parse(%q) succeeded", line)
+		}
+	}
+}
+
+func TestFormatRouteBackupRoundTrip(t *testing.T) {
+	r := core.Route{
+		DstMAC: ethernet.LocalMAC(1), DstQual: core.QualExact, SrcQual: core.QualAny,
+		Dest:      core.Destination{Type: core.DestLink, ID: "primary"},
+		Backup:    core.Destination{Type: core.DestLink, ID: "standby"},
+		HasBackup: true,
+	}
+	cmd, err := Parse("ADD ROUTE " + FormatRoute(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Route != r {
+		t.Fatalf("round trip: %+v vs %+v", cmd.Route, r)
+	}
+}
+
+func TestParseLinkHealthCommands(t *testing.T) {
+	cmd, err := Parse("LINK STATUS to-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Verb != "LINK" || cmd.Kind != "STATUS" || cmd.LinkID != "to-b" {
+		t.Fatalf("cmd = %+v", cmd)
+	}
+	cmd, err = Parse("link probe 250 5 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Interval != 250*time.Millisecond || cmd.FailN != 5 || cmd.RecoverN != 3 {
+		t.Fatalf("cmd = %+v", cmd)
+	}
+	cmd, err = Parse("LIST HEALTH")
+	if err != nil || cmd.Kind != "HEALTH" {
+		t.Fatalf("cmd = %+v, %v", cmd, err)
+	}
+	for _, line := range []string{
+		"LINK",
+		"LINK STATUS",
+		"LINK STATUS a b",
+		"LINK PROBE 100 3",
+		"LINK PROBE x 3 2",
+		"LINK PROBE 100 -1 2",
+		"LINK FROB a",
+	} {
+		if _, err := Parse(line); err == nil {
+			t.Errorf("Parse(%q) succeeded", line)
+		}
+	}
+}
+
+// healthTarget adds the optional HealthTarget extension.
+type healthTarget struct {
+	*fakeTarget
+	probeCalls []string
+}
+
+func (h *healthTarget) LinkStatus(id string) ([]string, error) {
+	if _, ok := h.links[id]; !ok {
+		return nil, fmt.Errorf("no link %q", id)
+	}
+	return []string{"link " + id, "state up"}, nil
+}
+
+func (h *healthTarget) HealthSummary() []string {
+	var out []string
+	for id := range h.links {
+		out = append(out, id+" up")
+	}
+	return out
+}
+
+func (h *healthTarget) SetProbeConfig(interval time.Duration, failN, recoverN int) error {
+	h.probeCalls = append(h.probeCalls, fmt.Sprintf("%v/%d/%d", interval, failN, recoverN))
+	return nil
+}
+
+func TestApplyHealthCommands(t *testing.T) {
+	h := &healthTarget{fakeTarget: newFake()}
+	h.links["to-b"] = "x/udp"
+	apply := func(line string) ([]string, error) {
+		cmd, err := Parse(line)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		return Apply(h, cmd)
+	}
+	out, err := apply("LINK STATUS to-b")
+	if err != nil || len(out) != 2 || out[1] != "state up" {
+		t.Fatalf("LINK STATUS: %v, %v", out, err)
+	}
+	out, err = apply("LIST HEALTH")
+	if err != nil || len(out) != 1 {
+		t.Fatalf("LIST HEALTH: %v, %v", out, err)
+	}
+	if _, err := apply("LINK PROBE 100 4 2"); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.probeCalls) != 1 || h.probeCalls[0] != "100ms/4/2" {
+		t.Fatalf("probe calls: %v", h.probeCalls)
+	}
+	// A target without the extension must refuse, not crash.
+	for _, line := range []string{"LINK STATUS x", "LINK PROBE 1 1 1", "LIST HEALTH"} {
+		cmd, _ := Parse(line)
+		if _, err := Apply(newFake(), cmd); err == nil {
+			t.Errorf("healthless target accepted %q", line)
+		}
+	}
+}
+
+func TestDaemonCommandFailsHalfway(t *testing.T) {
+	// A command that errors after the daemon started emitting payload
+	// lines must still terminate the response with ERR — the client sees
+	// the partial payload, then the failure, and the connection stays
+	// usable for the next command.
+	h := &healthTarget{fakeTarget: newFake()}
+	h.links["good"] = "x/udp"
+	d, err := NewDaemon(h, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	conn, err := net.Dial("tcp", d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rd := bufio.NewReader(conn)
+	send := func(line string) []string {
+		fmt.Fprintln(conn, line)
+		var out []string
+		for {
+			resp, err := rd.ReadString('\n')
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp = strings.TrimSpace(resp)
+			out = append(out, resp)
+			if resp == "OK" || strings.HasPrefix(resp, "ERR") {
+				return out
+			}
+		}
+	}
+	// Unknown link: no payload, just the error.
+	got := send("LINK STATUS nope")
+	if len(got) != 1 || !strings.HasPrefix(got[0], "ERR") {
+		t.Fatalf("LINK STATUS nope: %v", got)
+	}
+	if !strings.Contains(got[0], "nope") {
+		t.Fatalf("error does not name the link: %v", got)
+	}
+	// The session survives the failure.
+	got = send("LINK STATUS good")
+	if len(got) != 3 || got[len(got)-1] != "OK" {
+		t.Fatalf("LINK STATUS good after failure: %v", got)
 	}
 }

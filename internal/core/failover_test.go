@@ -1,0 +1,150 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"vnetp/internal/ethernet"
+)
+
+func failoverTable(t *testing.T) (*Table, ethernet.MAC, ethernet.MAC) {
+	t.Helper()
+	tb := NewTable()
+	src := ethernet.MAC{0x02, 0, 0, 0, 0, 1}
+	dst := ethernet.MAC{0x02, 0, 0, 0, 0, 2}
+	tb.AddRoute(Route{
+		DstMAC: dst, DstQual: QualExact, SrcQual: QualAny,
+		Dest:      Destination{Type: DestLink, ID: "primary"},
+		Backup:    Destination{Type: DestLink, ID: "backup"},
+		HasBackup: true,
+	})
+	return tb, src, dst
+}
+
+func lookupOne(t *testing.T, tb *Table, src, dst ethernet.MAC) Destination {
+	t.Helper()
+	dests, _, err := tb.Lookup(src, dst)
+	if err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	if len(dests) != 1 {
+		t.Fatalf("got %d destinations: %v", len(dests), dests)
+	}
+	return dests[0]
+}
+
+func TestFailDestSwitchesToBackup(t *testing.T) {
+	tb, src, dst := failoverTable(t)
+	if d := lookupOne(t, tb, src, dst); d.ID != "primary" {
+		t.Fatalf("healthy lookup hit %v", d)
+	}
+	if n := tb.FailDest(Destination{Type: DestLink, ID: "primary"}); n != 1 {
+		t.Fatalf("FailDest failed over %d routes, want 1", n)
+	}
+	if d := lookupOne(t, tb, src, dst); d.ID != "backup" {
+		t.Fatalf("failed-over lookup hit %v, want backup", d)
+	}
+	// Idempotent: a second mark reports nothing new.
+	if n := tb.FailDest(Destination{Type: DestLink, ID: "primary"}); n != 0 {
+		t.Fatalf("repeat FailDest reported %d", n)
+	}
+	failed := tb.FailedDests()
+	if len(failed) != 1 || failed[0].ID != "primary" {
+		t.Fatalf("FailedDests = %v", failed)
+	}
+}
+
+func TestFailDestInvalidatesCache(t *testing.T) {
+	tb, src, dst := failoverTable(t)
+	// Warm the cache on the primary answer.
+	lookupOne(t, tb, src, dst)
+	if d, cached, _ := tb.Lookup(src, dst); !cached || d[0].ID != "primary" {
+		t.Fatalf("warm lookup cached=%v dest=%v", cached, d)
+	}
+	tb.FailDest(Destination{Type: DestLink, ID: "primary"})
+	d, cached, err := tb.Lookup(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("lookup after FailDest served the stale cache entry")
+	}
+	if d[0].ID != "backup" {
+		t.Fatalf("post-failover lookup hit %v", d[0])
+	}
+}
+
+func TestRestoreDestFailsBack(t *testing.T) {
+	tb, src, dst := failoverTable(t)
+	tb.FailDest(Destination{Type: DestLink, ID: "primary"})
+	lookupOne(t, tb, src, dst) // warm cache on the backup answer
+	if n := tb.RestoreDest(Destination{Type: DestLink, ID: "primary"}); n != 1 {
+		t.Fatalf("RestoreDest restored %d routes, want 1", n)
+	}
+	if d := lookupOne(t, tb, src, dst); d.ID != "primary" {
+		t.Fatalf("failback lookup hit %v, want primary", d)
+	}
+	if n := tb.RestoreDest(Destination{Type: DestLink, ID: "primary"}); n != 0 {
+		t.Fatalf("repeat RestoreDest reported %d", n)
+	}
+	if len(tb.FailedDests()) != 0 {
+		t.Fatalf("FailedDests = %v after restore", tb.FailedDests())
+	}
+}
+
+func TestFailDestWithoutBackupKeepsPrimary(t *testing.T) {
+	tb := NewTable()
+	src := ethernet.MAC{0x02, 0, 0, 0, 0, 1}
+	dst := ethernet.MAC{0x02, 0, 0, 0, 0, 2}
+	tb.AddRoute(Route{
+		DstMAC: dst, DstQual: QualExact, SrcQual: QualAny,
+		Dest: Destination{Type: DestLink, ID: "only"},
+	})
+	if n := tb.FailDest(Destination{Type: DestLink, ID: "only"}); n != 0 {
+		t.Fatalf("FailDest counted %d backup-less routes", n)
+	}
+	// Without a backup the route keeps resolving to its (failed) primary:
+	// degraded delivery beats a black hole.
+	if d := lookupOne(t, tb, src, dst); d.ID != "only" {
+		t.Fatalf("lookup hit %v", d)
+	}
+}
+
+func TestBroadcastDedupsFailedOverRoutes(t *testing.T) {
+	// Two broadcast-matching routes: one already points at "shared", the
+	// other fails over onto it. The frame must go to "shared" once.
+	tb := NewTable()
+	src := ethernet.MAC{0x02, 0, 0, 0, 0, 1}
+	tb.AddRoute(Route{
+		DstQual: QualAny, SrcQual: QualAny,
+		Dest: Destination{Type: DestLink, ID: "shared"},
+	})
+	tb.AddRoute(Route{
+		DstQual: QualAny, SrcQual: QualAny,
+		Dest:      Destination{Type: DestLink, ID: "primary"},
+		Backup:    Destination{Type: DestLink, ID: "shared"},
+		HasBackup: true,
+	})
+	tb.FailDest(Destination{Type: DestLink, ID: "primary"})
+	dests, _, err := tb.Lookup(src, ethernet.Broadcast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dests) != 1 || dests[0].ID != "shared" {
+		t.Fatalf("broadcast dests = %v, want [shared] once", dests)
+	}
+}
+
+func TestRouteStringShowsBackup(t *testing.T) {
+	_, _, dst := failoverTable(t)
+	r := Route{
+		DstMAC: dst, DstQual: QualExact, SrcQual: QualAny,
+		Dest:      Destination{Type: DestLink, ID: "primary"},
+		Backup:    Destination{Type: DestLink, ID: "backup"},
+		HasBackup: true,
+	}
+	s := r.String()
+	if want := "(backup link:backup)"; !strings.Contains(s, want) {
+		t.Fatalf("Route.String() = %q, missing %q", s, want)
+	}
+}

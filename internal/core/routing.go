@@ -71,13 +71,20 @@ type Destination struct {
 func (d Destination) String() string { return fmt.Sprintf("%s:%s", d.Type, d.ID) }
 
 // Route is one routing-table entry: a (source, destination) MAC pattern
-// mapping to a destination.
+// mapping to a destination, with an optional backup destination used
+// while the primary is marked failed.
 type Route struct {
 	DstMAC  ethernet.MAC
 	DstQual Qualifier
 	SrcMAC  ethernet.MAC
 	SrcQual Qualifier
 	Dest    Destination
+
+	// Backup, when HasBackup is set, is substituted for Dest while Dest
+	// is marked failed (Table.FailDest) — the failover path the link
+	// health monitor flips traffic onto when a link goes Down.
+	Backup    Destination
+	HasBackup bool
 }
 
 // matches reports whether the route matches the packet addresses, and the
@@ -125,7 +132,11 @@ func (r *Route) String() string {
 			return m.String()
 		}
 	}
-	return fmt.Sprintf("src=%s dst=%s -> %s", q(r.SrcMAC, r.SrcQual), q(r.DstMAC, r.DstQual), r.Dest)
+	s := fmt.Sprintf("src=%s dst=%s -> %s", q(r.SrcMAC, r.SrcQual), q(r.DstMAC, r.DstQual), r.Dest)
+	if r.HasBackup {
+		s += fmt.Sprintf(" (backup %s)", r.Backup)
+	}
+	return s
 }
 
 // ErrNoRoute is returned when no routing entry matches a packet.
@@ -144,6 +155,7 @@ type Table struct {
 	mu     sync.RWMutex
 	routes []*Route
 	cache  map[cacheKey][]Destination
+	failed map[Destination]bool // destinations currently failed over
 
 	// CacheEnabled can be cleared to measure the cache's contribution
 	// (ablation benchmark). Enabled by default.
@@ -155,7 +167,73 @@ type Table struct {
 
 // NewTable returns an empty routing table with the cache enabled.
 func NewTable() *Table {
-	return &Table{cache: make(map[cacheKey][]Destination), CacheEnabled: true}
+	return &Table{
+		cache:        make(map[cacheKey][]Destination),
+		failed:       make(map[Destination]bool),
+		CacheEnabled: true,
+	}
+}
+
+// FailDest marks a destination as failed: routes pointing at it that
+// carry a backup resolve to the backup until RestoreDest. The routing
+// cache is invalidated atomically, so in-flight traffic switches on the
+// next lookup. Returns how many routes failed over (idempotent: marking
+// an already-failed destination returns 0).
+func (t *Table) FailDest(d Destination) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.failed[d] {
+		return 0
+	}
+	t.failed[d] = true
+	t.cache = make(map[cacheKey][]Destination)
+	n := 0
+	for _, r := range t.routes {
+		if r.Dest == d && r.HasBackup {
+			n++
+		}
+	}
+	return n
+}
+
+// RestoreDest clears a destination's failed mark (failback), returning
+// how many routes switched back to their primary.
+func (t *Table) RestoreDest(d Destination) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.failed[d] {
+		return 0
+	}
+	delete(t.failed, d)
+	t.cache = make(map[cacheKey][]Destination)
+	n := 0
+	for _, r := range t.routes {
+		if r.Dest == d && r.HasBackup {
+			n++
+		}
+	}
+	return n
+}
+
+// FailedDests snapshots the destinations currently marked failed.
+func (t *Table) FailedDests() []Destination {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Destination, 0, len(t.failed))
+	for d := range t.failed {
+		out = append(out, d)
+	}
+	return out
+}
+
+// resolveLocked maps a matched route to the destination traffic should
+// use right now: the backup while the primary is failed, the primary
+// otherwise. Caller holds at least a read lock.
+func (t *Table) resolveLocked(r *Route) Destination {
+	if r.HasBackup && t.failed[r.Dest] {
+		return r.Backup
+	}
+	return r.Dest
 }
 
 // AddRoute appends a route and invalidates the routing cache.
@@ -255,9 +333,12 @@ func (t *Table) Lookup(src, dst ethernet.MAC) ([]Destination, bool, error) {
 	if dst.IsBroadcast() || dst.IsMulticast() {
 		seen := make(map[Destination]bool)
 		for _, r := range t.routes {
-			if ok, _ := r.matches(src, dst); ok && !seen[r.Dest] {
-				seen[r.Dest] = true
-				dests = append(dests, r.Dest)
+			if ok, _ := r.matches(src, dst); ok {
+				d := t.resolveLocked(r)
+				if !seen[d] {
+					seen[d] = true
+					dests = append(dests, d)
+				}
 			}
 		}
 	} else {
@@ -266,7 +347,7 @@ func (t *Table) Lookup(src, dst ethernet.MAC) ([]Destination, bool, error) {
 		for _, r := range t.routes {
 			if ok, score := r.matches(src, dst); ok && score > best {
 				best = score
-				bestDest = r.Dest
+				bestDest = t.resolveLocked(r)
 			}
 		}
 		if best >= 0 {

@@ -1,0 +1,174 @@
+// Package faultnet injects configurable network faults — loss,
+// duplication, reordering, added delay/jitter, and hard partition — into
+// a packet path. A Conduit wraps the point where a datagram leaves one
+// component for another and decides, per packet, whether it passes,
+// duplicates, waits, or dies.
+//
+// The same Conduit plugs into both halves of the system: the real-socket
+// overlay (overlay.Node.SetLinkFault, real time via time.AfterFunc) and
+// the simulated physical wire (vmm.Host.SetFault, virtual time via the
+// engine's scheduler). Chaos scenarios therefore run identically in
+// integration tests against real sockets and in deterministic
+// simulations.
+package faultnet
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Scheduler defers fn by delay. The default (real-time) scheduler is
+// time.AfterFunc; simulations pass the event engine's Schedule.
+type Scheduler func(delay time.Duration, fn func())
+
+// Config sets the fault mix. Zero values disable each fault, so the zero
+// Config is a transparent pass-through (useful as a partition-only
+// switch).
+type Config struct {
+	// Seed makes the fault pattern reproducible. Zero means seed 1.
+	Seed int64
+	// DropProb is the independent per-packet loss probability [0,1].
+	DropProb float64
+	// DupProb is the probability a packet is delivered twice.
+	DupProb float64
+	// ReorderProb is the probability a packet is held back and released
+	// immediately after the next packet passes (adjacent swap).
+	ReorderProb float64
+	// Delay is a fixed added latency per packet; Jitter adds a uniform
+	// random component on top. Either being nonzero defers delivery
+	// through the scheduler.
+	Delay  time.Duration
+	Jitter time.Duration
+}
+
+// heldPacket is a packet parked by the reordering fault.
+type heldPacket struct {
+	pkt     any
+	deliver func(any)
+}
+
+// Conduit applies a Config's faults to packets. Safe for concurrent use.
+type Conduit struct {
+	mu          sync.Mutex
+	cfg         Config
+	rng         *rand.Rand
+	partitioned bool
+	held        *heldPacket
+	sched       Scheduler
+
+	// Counters, readable at any time.
+	Passed     atomic.Uint64 // packets handed to deliver (incl. delayed)
+	Dropped    atomic.Uint64 // lost to DropProb or partition
+	Duplicated atomic.Uint64 // extra copies emitted
+	Reordered  atomic.Uint64 // packets held for the adjacent swap
+	Delayed    atomic.Uint64 // deliveries deferred through the scheduler
+}
+
+// New returns a Conduit running on real time (time.AfterFunc).
+func New(cfg Config) *Conduit {
+	return NewWithScheduler(cfg, func(d time.Duration, fn func()) { time.AfterFunc(d, fn) })
+}
+
+// NewWithScheduler returns a Conduit deferring delayed deliveries through
+// sched — pass a simulation engine's Schedule to keep faults in virtual
+// time.
+func NewWithScheduler(cfg Config, sched Scheduler) *Conduit {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Conduit{cfg: cfg, rng: rand.New(rand.NewSource(seed)), sched: sched}
+}
+
+// SetConfig swaps the fault mix (the RNG stream continues).
+func (c *Conduit) SetConfig(cfg Config) {
+	c.mu.Lock()
+	c.cfg = cfg
+	c.mu.Unlock()
+}
+
+// Partition hard-partitions the conduit: every packet is dropped until
+// the partition heals. A packet already held for reordering stays held.
+func (c *Conduit) Partition(on bool) {
+	c.mu.Lock()
+	c.partitioned = on
+	c.mu.Unlock()
+}
+
+// Partitioned reports whether the conduit is currently partitioned.
+func (c *Conduit) Partitioned() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.partitioned
+}
+
+// roll draws one Bernoulli trial. Caller holds c.mu.
+func (c *Conduit) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return c.rng.Float64() < p
+}
+
+// Send passes pkt through the fault mix, invoking deliver zero, one, or
+// two times, now or later. deliver may run on a timer goroutine when
+// delay/jitter is configured.
+func (c *Conduit) Send(pkt any, deliver func(any)) {
+	c.mu.Lock()
+	if c.partitioned || c.roll(c.cfg.DropProb) {
+		c.mu.Unlock()
+		c.Dropped.Add(1)
+		return
+	}
+	dup := c.roll(c.cfg.DupProb)
+	var release *heldPacket
+	if c.held != nil {
+		release = c.held
+		c.held = nil
+	} else if c.roll(c.cfg.ReorderProb) {
+		c.held = &heldPacket{pkt: pkt, deliver: deliver}
+		c.Reordered.Add(1)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	c.emit(pkt, deliver)
+	if dup {
+		c.Duplicated.Add(1)
+		c.emit(pkt, deliver)
+	}
+	if release != nil {
+		c.emit(release.pkt, release.deliver)
+	}
+}
+
+// Flush releases a packet held by the reordering fault, if any.
+func (c *Conduit) Flush() {
+	c.mu.Lock()
+	h := c.held
+	c.held = nil
+	c.mu.Unlock()
+	if h != nil {
+		c.emit(h.pkt, h.deliver)
+	}
+}
+
+// emit performs one delivery, deferring it when delay/jitter applies.
+func (c *Conduit) emit(pkt any, deliver func(any)) {
+	c.mu.Lock()
+	d := c.cfg.Delay
+	if c.cfg.Jitter > 0 {
+		d += time.Duration(c.rng.Float64() * float64(c.cfg.Jitter))
+	}
+	sched := c.sched
+	c.mu.Unlock()
+	c.Passed.Add(1)
+	if d <= 0 {
+		deliver(pkt)
+		return
+	}
+	c.Delayed.Add(1)
+	sched(d, func() { deliver(pkt) })
+}

@@ -1,0 +1,157 @@
+package faultnet
+
+import (
+	"testing"
+	"time"
+)
+
+// collect returns a deliver func appending payloads to a slice.
+func collect(out *[]string) func(any) {
+	return func(p any) { *out = append(*out, p.(string)) }
+}
+
+func TestPassThrough(t *testing.T) {
+	c := New(Config{})
+	var got []string
+	for _, s := range []string{"a", "b", "c"} {
+		c.Send(s, collect(&got))
+	}
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("got %v", got)
+	}
+	if c.Passed.Load() != 3 || c.Dropped.Load() != 0 {
+		t.Fatalf("counters passed=%d dropped=%d", c.Passed.Load(), c.Dropped.Load())
+	}
+}
+
+func TestDropAll(t *testing.T) {
+	c := New(Config{DropProb: 1})
+	var got []string
+	for i := 0; i < 10; i++ {
+		c.Send("x", collect(&got))
+	}
+	if len(got) != 0 || c.Dropped.Load() != 10 {
+		t.Fatalf("delivered %d, dropped %d", len(got), c.Dropped.Load())
+	}
+}
+
+func TestDuplicateAll(t *testing.T) {
+	c := New(Config{DupProb: 1})
+	var got []string
+	c.Send("p", collect(&got))
+	if len(got) != 2 || got[0] != "p" || got[1] != "p" {
+		t.Fatalf("got %v", got)
+	}
+	if c.Duplicated.Load() != 1 {
+		t.Fatalf("duplicated = %d", c.Duplicated.Load())
+	}
+}
+
+func TestPartitionTogglesDelivery(t *testing.T) {
+	c := New(Config{})
+	var got []string
+	c.Partition(true)
+	if !c.Partitioned() {
+		t.Fatal("not partitioned")
+	}
+	c.Send("lost", collect(&got))
+	c.Partition(false)
+	c.Send("kept", collect(&got))
+	if len(got) != 1 || got[0] != "kept" {
+		t.Fatalf("got %v", got)
+	}
+	if c.Dropped.Load() != 1 {
+		t.Fatalf("dropped = %d", c.Dropped.Load())
+	}
+}
+
+func TestReorderSwapsAdjacent(t *testing.T) {
+	c := New(Config{ReorderProb: 1})
+	var got []string
+	for _, s := range []string{"1", "2", "3", "4"} {
+		c.Send(s, collect(&got))
+	}
+	// Every odd packet is held and released behind its successor.
+	if len(got) != 4 || got[0] != "2" || got[1] != "1" || got[2] != "4" || got[3] != "3" {
+		t.Fatalf("got %v, want [2 1 4 3]", got)
+	}
+	if c.Reordered.Load() != 2 {
+		t.Fatalf("reordered = %d", c.Reordered.Load())
+	}
+}
+
+func TestFlushReleasesHeld(t *testing.T) {
+	c := New(Config{ReorderProb: 1})
+	var got []string
+	c.Send("only", collect(&got))
+	if len(got) != 0 {
+		t.Fatal("held packet delivered early")
+	}
+	c.Flush()
+	if len(got) != 1 || got[0] != "only" {
+		t.Fatalf("got %v", got)
+	}
+	c.Flush() // idempotent
+	if len(got) != 1 {
+		t.Fatal("double flush duplicated the packet")
+	}
+}
+
+func TestDelayUsesScheduler(t *testing.T) {
+	var fired []struct {
+		d  time.Duration
+		fn func()
+	}
+	sched := func(d time.Duration, fn func()) {
+		fired = append(fired, struct {
+			d  time.Duration
+			fn func()
+		}{d, fn})
+	}
+	c := NewWithScheduler(Config{Delay: 5 * time.Millisecond}, sched)
+	var got []string
+	c.Send("later", collect(&got))
+	if len(got) != 0 {
+		t.Fatal("delayed packet delivered synchronously")
+	}
+	if len(fired) != 1 || fired[0].d != 5*time.Millisecond {
+		t.Fatalf("scheduler calls: %v", len(fired))
+	}
+	fired[0].fn()
+	if len(got) != 1 || got[0] != "later" {
+		t.Fatalf("got %v", got)
+	}
+	if c.Delayed.Load() != 1 {
+		t.Fatalf("delayed = %d", c.Delayed.Load())
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	run := func() []bool {
+		c := New(Config{DropProb: 0.5, Seed: 99})
+		var pattern []bool
+		for i := 0; i < 64; i++ {
+			delivered := false
+			c.Send(i, func(any) { delivered = true })
+			pattern = append(pattern, delivered)
+		}
+		return pattern
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pattern diverged at %d", i)
+		}
+	}
+}
+
+func TestSetConfigSwapsFaults(t *testing.T) {
+	c := New(Config{DropProb: 1})
+	var got []string
+	c.Send("lost", collect(&got))
+	c.SetConfig(Config{})
+	c.Send("kept", collect(&got))
+	if len(got) != 1 || got[0] != "kept" {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,487 @@
+// Link liveness for the real overlay: each link carries periodic
+// lightweight probe datagrams over its existing encapsulation channel
+// (UDP datagrams or the TCP stream) and tracks a per-link state machine
+//
+//	Up → Degraded → Down
+//
+// with hysteresis: FailThreshold consecutive missed probes take a link
+// Down, RecoverThreshold consecutive replies bring it back. A Down link
+// atomically fails its backup-equipped routes over to their backups
+// (core.Table.FailDest) and fails back on recovery, so overlay traffic
+// resumes without guest-visible reconfiguration — the "adaptive IaaS"
+// behavior the paper's Sect. 2–3 assumes. Sustained-lossy UDP links can
+// be configured to auto-upgrade to TCP encapsulation, the paper's own
+// lossy-path escape hatch, and failed TCP transports redial with capped
+// exponential backoff.
+package overlay
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"vnetp/internal/bridge"
+	"vnetp/internal/core"
+)
+
+// LinkState is a monitored link's liveness verdict.
+type LinkState int
+
+const (
+	// LinkUp carries traffic normally.
+	LinkUp LinkState = iota
+	// LinkDegraded is lossy beyond the configured threshold but not
+	// dead; routing is unchanged, but the state is surfaced and can
+	// trigger a UDP→TCP upgrade.
+	LinkDegraded
+	// LinkDown has missed FailThreshold consecutive probes; routes with
+	// backups have failed over.
+	LinkDown
+)
+
+func (s LinkState) String() string {
+	switch s {
+	case LinkUp:
+		return "up"
+	case LinkDegraded:
+		return "degraded"
+	case LinkDown:
+		return "down"
+	}
+	return "unknown"
+}
+
+// HealthConfig tunes the link-health monitor.
+type HealthConfig struct {
+	// Interval between probes on each link.
+	Interval time.Duration
+	// ProbeTimeout is how long a probe may stay unanswered before it
+	// counts as lost. Defaults to Interval.
+	ProbeTimeout time.Duration
+	// FailThreshold consecutive lost probes take a link Down.
+	FailThreshold int
+	// RecoverThreshold consecutive replies bring a Down link back Up.
+	RecoverThreshold int
+	// DegradeLossPct is the loss fraction over the window at or above
+	// which an Up link is marked Degraded (it returns to Up below half
+	// the threshold — hysteresis against flapping).
+	DegradeLossPct float64
+	// LossWindow is how many recent probes the loss rate is measured
+	// over.
+	LossWindow int
+	// AutoUpgradeLossPct, when > 0, switches a UDP link whose full
+	// window's loss meets it to TCP encapsulation.
+	AutoUpgradeLossPct float64
+	// RedialMin and RedialMax bound the capped exponential backoff used
+	// to re-establish failed TCP transports.
+	RedialMin, RedialMax time.Duration
+}
+
+// DefaultHealthConfig returns moderate production-style thresholds.
+func DefaultHealthConfig() HealthConfig {
+	return HealthConfig{
+		Interval:         200 * time.Millisecond,
+		FailThreshold:    3,
+		RecoverThreshold: 2,
+		DegradeLossPct:   0.25,
+		LossWindow:       16,
+		RedialMin:        100 * time.Millisecond,
+		RedialMax:        5 * time.Second,
+	}
+}
+
+func (c *HealthConfig) normalize() {
+	if c.Interval <= 0 {
+		c.Interval = 200 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.Interval
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.RecoverThreshold <= 0 {
+		c.RecoverThreshold = 2
+	}
+	if c.DegradeLossPct <= 0 {
+		c.DegradeLossPct = 0.25
+	}
+	if c.LossWindow <= 0 {
+		c.LossWindow = 16
+	}
+	if c.RedialMin <= 0 {
+		c.RedialMin = 100 * time.Millisecond
+	}
+	if c.RedialMax < c.RedialMin {
+		c.RedialMax = c.RedialMin
+	}
+}
+
+// linkHealth is per-link liveness state, guarded by the node mutex.
+type linkHealth struct {
+	state        LinkState
+	seq          uint64
+	pending      map[uint64]time.Time // outstanding probes by sequence
+	consecMissed int
+	consecOK     int
+	window       []bool // ring of recent outcomes (true = replied)
+	windowPos    int
+	windowLen    int
+	rtt          time.Duration // EWMA of measured probe RTTs
+
+	probesSent, probesLost, repliesRecv     uint64
+	failovers, failbacks, redials, upgrades uint64
+}
+
+func newLinkHealth(windowSize int) *linkHealth {
+	if windowSize <= 0 {
+		windowSize = 16
+	}
+	return &linkHealth{pending: make(map[uint64]time.Time), window: make([]bool, windowSize)}
+}
+
+func (h *linkHealth) push(ok bool) {
+	h.window[h.windowPos] = ok
+	h.windowPos = (h.windowPos + 1) % len(h.window)
+	if h.windowLen < len(h.window) {
+		h.windowLen++
+	}
+}
+
+func (h *linkHealth) lossRate() float64 {
+	if h.windowLen == 0 {
+		return 0
+	}
+	lost := 0
+	for i := 0; i < h.windowLen; i++ {
+		if !h.window[i] {
+			lost++
+		}
+	}
+	return float64(lost) / float64(h.windowLen)
+}
+
+// resetWindow clears loss history (after a transport change).
+func (h *linkHealth) resetWindow() {
+	h.windowLen, h.windowPos, h.consecMissed, h.consecOK = 0, 0, 0, 0
+}
+
+// EnableHealth starts (or retunes — it restarts an active monitor) the
+// link-health monitor: periodic probes on every link, Up/Degraded/Down
+// tracking with hysteresis, failover of backup-equipped routes when a
+// link goes Down, failback on recovery, and TCP transport redial with
+// capped exponential backoff.
+func (n *Node) EnableHealth(cfg HealthConfig) error {
+	cfg.normalize()
+	n.DisableHealth()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return errors.New("overlay: node closed")
+	}
+	n.healthCfg = cfg
+	n.healthOn = true
+	quit := make(chan struct{})
+	n.healthQuit = quit
+	for _, lk := range n.links {
+		if lk.health == nil || len(lk.health.window) != cfg.LossWindow {
+			lk.health = newLinkHealth(cfg.LossWindow)
+		}
+	}
+	n.wg.Add(1)
+	go n.healthLoop(quit, cfg.Interval)
+	return nil
+}
+
+// DisableHealth stops the monitor. Link states and counters are kept.
+func (n *Node) DisableHealth() {
+	n.mu.Lock()
+	if !n.healthOn {
+		n.mu.Unlock()
+		return
+	}
+	n.healthOn = false
+	quit := n.healthQuit
+	n.healthQuit = nil
+	n.mu.Unlock()
+	if quit != nil {
+		close(quit)
+	}
+}
+
+func (n *Node) healthLoop(quit chan struct{}, interval time.Duration) {
+	defer n.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-quit:
+			return
+		case <-n.quit:
+			return
+		case <-t.C:
+			n.healthTick()
+		}
+	}
+}
+
+// healthTick runs one monitor round: expire unanswered probes, evaluate
+// state transitions, launch this round's probes, and redial broken TCP
+// transports whose backoff has elapsed.
+func (n *Node) healthTick() {
+	now := time.Now()
+	type outProbe struct {
+		lk *link
+		d  []byte
+	}
+	var probes []outProbe
+	var redials []*link
+
+	n.mu.Lock()
+	if !n.healthOn || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	cfg := n.healthCfg
+	for _, lk := range n.links {
+		h := lk.health
+		if h == nil {
+			h = newLinkHealth(cfg.LossWindow)
+			lk.health = h
+		}
+		for seq, at := range h.pending {
+			if now.Sub(at) >= cfg.ProbeTimeout {
+				delete(h.pending, seq)
+				n.noteProbeLocked(lk, false)
+			}
+		}
+		if lk.proto == "tcp" && lk.tcp == nil {
+			// No transport: probing is impossible. Count the round as a
+			// miss so the state machine converges on Down, and redial
+			// once the backoff allows.
+			n.noteProbeLocked(lk, false)
+			if now.After(lk.redialAt) {
+				redials = append(redials, lk)
+			}
+			continue
+		}
+		h.seq++
+		h.pending[h.seq] = now
+		h.probesSent++
+		probes = append(probes, outProbe{lk, marshalProbe(lk.id, h.seq)})
+	}
+	n.mu.Unlock()
+
+	for _, p := range probes {
+		// Best effort: a failed send surfaces as a lost probe.
+		n.sendOnLink(p.lk, p.d)
+	}
+	for _, lk := range redials {
+		n.dialTCP(lk) // errors advance the backoff internally
+	}
+}
+
+// noteProbeLocked feeds one probe outcome into a link's state machine
+// and performs failover/failback/upgrade transitions. Caller holds n.mu.
+func (n *Node) noteProbeLocked(lk *link, ok bool) {
+	if !n.healthOn {
+		return
+	}
+	h := lk.health
+	cfg := n.healthCfg
+	h.push(ok)
+	if ok {
+		h.consecOK++
+		h.consecMissed = 0
+	} else {
+		h.probesLost++
+		h.consecMissed++
+		h.consecOK = 0
+	}
+	dest := core.Destination{Type: core.DestLink, ID: lk.id}
+	switch {
+	case h.state != LinkDown && h.consecMissed >= cfg.FailThreshold:
+		h.state = LinkDown
+		h.failovers++
+		n.table.FailDest(dest)
+	case h.state == LinkDown && h.consecOK >= cfg.RecoverThreshold:
+		h.state = LinkUp
+		h.failbacks++
+		n.table.RestoreDest(dest)
+	case h.state == LinkUp && h.windowLen == len(h.window) && h.lossRate() >= cfg.DegradeLossPct:
+		h.state = LinkDegraded
+	case h.state == LinkDegraded && h.lossRate() < cfg.DegradeLossPct/2:
+		h.state = LinkUp
+	}
+	// Sustained-lossy UDP links escape to TCP encapsulation (the paper's
+	// lossy/wide-area path transport).
+	if lk.proto == "udp" && cfg.AutoUpgradeLossPct > 0 &&
+		h.windowLen == len(h.window) && h.lossRate() >= cfg.AutoUpgradeLossPct {
+		lk.proto = "tcp"
+		h.upgrades++
+		h.resetWindow() // the TCP transport starts with a clean history
+	}
+}
+
+// LinkHealth reports a link's current state and whether it has health
+// history (probed at least once or created under an active monitor).
+func (n *Node) LinkHealth(id string) (LinkState, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lk := n.links[id]
+	if lk == nil || lk.health == nil {
+		return LinkUp, false
+	}
+	return lk.health.state, true
+}
+
+// --- control.HealthTarget implementation ---
+
+// LinkStatus reports one link's health detail (LINK STATUS <id>).
+func (n *Node) LinkStatus(id string) ([]string, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lk, ok := n.links[id]
+	if !ok {
+		return nil, fmt.Errorf("overlay: no link %q", id)
+	}
+	lines := []string{fmt.Sprintf("link %s proto %s remote %s", lk.id, lk.proto, lk.remote)}
+	h := lk.health
+	if h == nil {
+		return append(lines, "state unmonitored"), nil
+	}
+	return append(lines,
+		fmt.Sprintf("state %s", h.state),
+		fmt.Sprintf("rtt_us %d", h.rtt.Microseconds()),
+		fmt.Sprintf("loss_pct %.1f", h.lossRate()*100),
+		fmt.Sprintf("probes_sent %d", h.probesSent),
+		fmt.Sprintf("probes_lost %d", h.probesLost),
+		fmt.Sprintf("replies_recv %d", h.repliesRecv),
+		fmt.Sprintf("failovers %d", h.failovers),
+		fmt.Sprintf("failbacks %d", h.failbacks),
+		fmt.Sprintf("redials %d", h.redials),
+		fmt.Sprintf("upgrades %d", h.upgrades),
+	), nil
+}
+
+// HealthSummary reports one line per link (LIST HEALTH).
+func (n *Node) HealthSummary() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ids := make([]string, 0, len(n.links))
+	for id := range n.links {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		lk := n.links[id]
+		h := lk.health
+		if h == nil {
+			out = append(out, fmt.Sprintf("%s %s unmonitored", id, lk.proto))
+			continue
+		}
+		out = append(out, fmt.Sprintf("%s %s %s rtt_us=%d loss_pct=%.1f sent=%d lost=%d",
+			id, lk.proto, h.state, h.rtt.Microseconds(), h.lossRate()*100,
+			h.probesSent, h.probesLost))
+	}
+	return out
+}
+
+// SetProbeConfig retunes the heartbeat monitor (LINK PROBE command),
+// enabling it if it was off. Zero arguments keep the current values.
+func (n *Node) SetProbeConfig(interval time.Duration, failN, recoverN int) error {
+	n.mu.Lock()
+	cfg := n.healthCfg
+	on := n.healthOn
+	n.mu.Unlock()
+	if !on {
+		cfg = DefaultHealthConfig()
+	}
+	if interval > 0 {
+		cfg.Interval = interval
+		cfg.ProbeTimeout = 0 // renormalize to the new interval
+	}
+	if failN > 0 {
+		cfg.FailThreshold = failN
+	}
+	if recoverN > 0 {
+		cfg.RecoverThreshold = recoverN
+	}
+	return n.EnableHealth(cfg)
+}
+
+// --- probe wire format ---
+//
+// A probe is an encapsulation datagram with the Probe flag; the reply
+// echoes the payload with ProbeReply set. Payload layout:
+//
+//	seq(8) | sent-unix-nano(8) | idlen(1) | linkID
+//
+// The link ID names the *sender's* link, so the sender can match the
+// echoed reply to a link no matter which channel carries it back.
+
+const probeHeadLen = 17
+
+func marshalProbe(linkID string, seq uint64) []byte {
+	if len(linkID) > 255 {
+		linkID = linkID[:255]
+	}
+	p := make([]byte, 0, probeHeadLen+len(linkID))
+	p = binary.BigEndian.AppendUint64(p, seq)
+	p = binary.BigEndian.AppendUint64(p, uint64(time.Now().UnixNano()))
+	p = append(p, byte(len(linkID)))
+	p = append(p, linkID...)
+	h := bridge.EncapHeader{ID: uint32(seq), TotalLen: uint16(len(p)), Probe: true}
+	return append(h.Marshal(nil), p...)
+}
+
+func marshalProbeReply(payload []byte) []byte {
+	h := bridge.EncapHeader{TotalLen: uint16(len(payload)), ProbeReply: true}
+	return append(h.Marshal(nil), payload...)
+}
+
+func parseProbePayload(p []byte) (seq uint64, linkID string, ok bool) {
+	if len(p) < probeHeadLen {
+		return 0, "", false
+	}
+	seq = binary.BigEndian.Uint64(p)
+	idLen := int(p[16])
+	if len(p) < probeHeadLen+idLen {
+		return 0, "", false
+	}
+	return seq, string(p[probeHeadLen : probeHeadLen+idLen]), true
+}
+
+// handleProbeReply matches an echoed probe to its link and records the
+// outcome. Called from the UDP read loop and TCP readers.
+func (n *Node) handleProbeReply(payload []byte) {
+	seq, linkID, ok := parseProbePayload(payload)
+	if !ok {
+		n.BadPackets.Add(1)
+		return
+	}
+	now := time.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lk := n.links[linkID]
+	if lk == nil || lk.health == nil {
+		return
+	}
+	h := lk.health
+	at, pending := h.pending[seq]
+	if !pending {
+		return // late duplicate or already expired
+	}
+	delete(h.pending, seq)
+	h.repliesRecv++
+	sample := now.Sub(at)
+	if h.rtt == 0 {
+		h.rtt = sample
+	} else {
+		h.rtt = (h.rtt*7 + sample) / 8
+	}
+	n.noteProbeLocked(lk, true)
+}

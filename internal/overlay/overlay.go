@@ -18,6 +18,7 @@ import (
 	"vnetp/internal/bridge"
 	"vnetp/internal/core"
 	"vnetp/internal/ethernet"
+	"vnetp/internal/faultnet"
 )
 
 // maxDatagram is the UDP payload budget per encapsulated datagram,
@@ -93,8 +94,15 @@ type link struct {
 	id     string
 	proto  string
 	remote string
-	addr   *net.UDPAddr // UDP links
-	tcp    *tcpConn     // TCP links, dialed lazily
+	addr   *net.UDPAddr      // UDP links (kept after an upgrade to TCP)
+	tcp    *tcpConn          // TCP links, dialed lazily
+	fault  *faultnet.Conduit // optional fault injection on the send path
+	health *linkHealth       // liveness state, nil until monitored
+
+	// TCP redial backoff state (capped exponential).
+	redialAt      time.Time
+	redialBackoff time.Duration
+	dialed        bool // a transport existed before, so the next dial is a redial
 }
 
 // Node is one overlay routing point: the real-socket analogue of a
@@ -110,12 +118,17 @@ type Node struct {
 	mu       sync.Mutex
 	links    map[string]*link
 	eps      map[string]*Endpoint
-	tcpConns map[net.Conn]struct{} // accepted inbound TCP transports
+	tcpConns map[*tcpConn]struct{} // accepted inbound TCP transports
 	reasm    *bridge.Reassembler
 	nextID   atomic.Uint32
 	closed   bool
 	quit     chan struct{}
 	wg       sync.WaitGroup
+
+	// Link health monitor state (EnableHealth).
+	healthOn   bool
+	healthCfg  HealthConfig
+	healthQuit chan struct{}
 
 	// Stats
 	EncapSent   atomic.Uint64
@@ -147,7 +160,7 @@ func NewNode(name, bindAddr string) (*Node, error) {
 		conn:     conn,
 		links:    make(map[string]*link),
 		eps:      make(map[string]*Endpoint),
-		tcpConns: make(map[net.Conn]struct{}),
+		tcpConns: make(map[*tcpConn]struct{}),
 		reasm:    bridge.NewReassembler(),
 		quit:     make(chan struct{}),
 	}
@@ -179,13 +192,18 @@ func (n *Node) Close() error {
 		return nil
 	}
 	n.closed = true
+	n.healthOn = false
+	if n.healthQuit != nil {
+		close(n.healthQuit)
+		n.healthQuit = nil
+	}
 	for _, lk := range n.links {
 		if lk.tcp != nil {
 			lk.tcp.close()
 		}
 	}
 	for c := range n.tcpConns {
-		c.Close()
+		c.close()
 	}
 	n.mu.Unlock()
 	close(n.quit)
@@ -241,35 +259,86 @@ func (n *Node) AddLink(id, remote string, proto string) error {
 	if proto == "" {
 		proto = "udp"
 	}
+	var addr *net.UDPAddr
 	switch proto {
 	case "udp":
-		addr, err := net.ResolveUDPAddr("udp", remote)
+		var err error
+		addr, err = net.ResolveUDPAddr("udp", remote)
 		if err != nil {
 			return err
 		}
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		n.links[id] = &link{id: id, proto: proto, remote: remote, addr: addr}
-		return nil
 	case "tcp":
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		n.links[id] = &link{id: id, proto: proto, remote: remote}
-		return nil
+	default:
+		return fmt.Errorf("overlay: unknown link protocol %q", proto)
 	}
-	return fmt.Errorf("overlay: unknown link protocol %q", proto)
+	lk := &link{id: id, proto: proto, remote: remote, addr: addr}
+	n.mu.Lock()
+	if n.healthOn {
+		lk.health = newLinkHealth(n.healthCfg.LossWindow)
+	}
+	old := n.links[id]
+	n.links[id] = lk
+	var oldTCP *tcpConn
+	if old != nil {
+		oldTCP = old.tcp
+		old.tcp = nil
+	}
+	n.mu.Unlock()
+	if oldTCP != nil { // replaced link: don't leak its transport
+		oldTCP.close()
+	}
+	return nil
 }
 
-// DelLink removes a link and its routes.
+// DelLink removes a link, its routes, and — closing the gap that used to
+// leak the connection and its read goroutine — any dialed TCP transport.
 func (n *Node) DelLink(id string) error {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	if _, ok := n.links[id]; !ok {
+	lk, ok := n.links[id]
+	if !ok {
+		n.mu.Unlock()
 		return fmt.Errorf("overlay: no link %q", id)
 	}
 	delete(n.links, id)
-	n.table.RemoveByDest(core.Destination{Type: core.DestLink, ID: id})
+	tcp := lk.tcp
+	lk.tcp = nil
+	dest := core.Destination{Type: core.DestLink, ID: id}
+	n.table.RemoveByDest(dest)
+	n.table.RestoreDest(dest) // drop any lingering failed-over mark
+	n.mu.Unlock()
+	if tcp != nil {
+		tcp.close()
+	}
 	return nil
+}
+
+// SetLinkFault installs (or clears, with nil) a fault-injection conduit
+// on a link's outbound datagram path. Heartbeat probes and data both
+// traverse it, so chaos tests exercise exactly the datapath real traffic
+// uses.
+func (n *Node) SetLinkFault(id string, c *faultnet.Conduit) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lk, ok := n.links[id]
+	if !ok {
+		return fmt.Errorf("overlay: no link %q", id)
+	}
+	lk.fault = c
+	return nil
+}
+
+// ActiveTCP reports how many TCP transports (inbound accepted plus
+// outbound dialed) the node currently holds.
+func (n *Node) ActiveTCP() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := len(n.tcpConns)
+	for _, lk := range n.links {
+		if lk.tcp != nil {
+			c++
+		}
+	}
+	return c
 }
 
 // AddRoute installs a routing rule.
@@ -301,9 +370,22 @@ func (n *Node) Links() []string {
 }
 
 // Stats reports the node's traffic counters (LIST STATS in the control
-// language).
+// language), including the aggregate link-health counters.
 func (n *Node) Stats() []string {
 	hits, misses := n.table.CacheStats()
+	var probesSent, probesLost, failovers, failbacks, redials, upgrades uint64
+	n.mu.Lock()
+	for _, lk := range n.links {
+		if h := lk.health; h != nil {
+			probesSent += h.probesSent
+			probesLost += h.probesLost
+			failovers += h.failovers
+			failbacks += h.failbacks
+			redials += h.redials
+			upgrades += h.upgrades
+		}
+	}
+	n.mu.Unlock()
 	return []string{
 		fmt.Sprintf("encap_sent %d", n.EncapSent.Load()),
 		fmt.Sprintf("encap_recv %d", n.EncapRecv.Load()),
@@ -312,6 +394,12 @@ func (n *Node) Stats() []string {
 		fmt.Sprintf("bad_packets %d", n.BadPackets.Load()),
 		fmt.Sprintf("route_cache_hits %d", hits),
 		fmt.Sprintf("route_cache_misses %d", misses),
+		fmt.Sprintf("probes_sent %d", probesSent),
+		fmt.Sprintf("probes_lost %d", probesLost),
+		fmt.Sprintf("failovers %d", failovers),
+		fmt.Sprintf("failbacks %d", failbacks),
+		fmt.Sprintf("redials %d", redials),
+		fmt.Sprintf("link_upgrades %d", upgrades),
 	}
 }
 
@@ -369,36 +457,19 @@ func (n *Node) route(f *ethernet.Frame, from *Endpoint) error {
 // to the datagram budget.
 func (n *Node) sendEncap(lk *link, f *ethernet.Frame) error {
 	id := n.nextID.Add(1)
+	n.mu.Lock()
+	proto := lk.proto
+	n.mu.Unlock()
 	budget := maxDatagram
-	if lk.proto == "tcp" {
+	if proto == "tcp" {
 		budget = tcpMaxDatagram
 	}
 	datagrams, err := bridge.Encapsulate(f, id, budget)
 	if err != nil {
 		return err
 	}
-	if lk.proto == "tcp" {
-		c, err := n.dialTCP(lk)
-		if err != nil {
-			return err
-		}
-		for _, d := range datagrams {
-			if err := c.sendDatagram(d); err != nil {
-				// Drop the broken transport; the next send redials.
-				n.mu.Lock()
-				if lk.tcp == c {
-					lk.tcp = nil
-				}
-				n.mu.Unlock()
-				c.close()
-				return err
-			}
-		}
-		n.EncapSent.Add(1)
-		return nil
-	}
 	for _, d := range datagrams {
-		if _, err := n.conn.WriteToUDP(d, lk.addr); err != nil {
+		if err := n.sendOnLink(lk, d); err != nil {
 			return err
 		}
 	}
@@ -406,7 +477,37 @@ func (n *Node) sendEncap(lk *link, f *ethernet.Frame) error {
 	return nil
 }
 
-// readLoop receives encapsulated datagrams, reassembles and routes them.
+// sendOnLink pushes one encapsulation datagram onto a link's transport,
+// through the link's fault conduit when one is installed. Both data and
+// heartbeat probes funnel through here.
+func (n *Node) sendOnLink(lk *link, d []byte) error {
+	n.mu.Lock()
+	fault, proto, addr := lk.fault, lk.proto, lk.addr
+	n.mu.Unlock()
+	send := func(p []byte) error {
+		if proto == "tcp" {
+			c, err := n.dialTCP(lk)
+			if err != nil {
+				return err
+			}
+			if err := c.sendDatagram(p); err != nil {
+				n.dropTransport(lk, c)
+				return err
+			}
+			return nil
+		}
+		_, err := n.conn.WriteToUDP(p, addr)
+		return err
+	}
+	if fault != nil {
+		fault.Send(d, func(p any) { send(p.([]byte)) })
+		return nil
+	}
+	return send(d)
+}
+
+// readLoop receives encapsulated datagrams, answers liveness probes, and
+// reassembles and routes data.
 func (n *Node) readLoop() {
 	defer n.wg.Done()
 	buf := make([]byte, 65536)
@@ -417,18 +518,30 @@ func (n *Node) readLoop() {
 		}
 		pkt := make([]byte, sz)
 		copy(pkt, buf[:sz])
-		n.mu.Lock()
-		frame, err := n.reasm.Add(from.String(), pkt)
-		n.mu.Unlock()
+		h, payload, err := bridge.ParseEncap(pkt)
 		if err != nil {
 			n.BadPackets.Add(1)
 			continue
 		}
-		if frame == nil {
-			continue // more fragments pending
+		switch {
+		case h.Probe:
+			n.conn.WriteToUDP(marshalProbeReply(payload), from)
+		case h.ProbeReply:
+			n.handleProbeReply(payload)
+		default:
+			n.mu.Lock()
+			frame, err := n.reasm.AddParsed(from.String(), h, payload)
+			n.mu.Unlock()
+			if err != nil {
+				n.BadPackets.Add(1)
+				continue
+			}
+			if frame == nil {
+				continue // more fragments pending
+			}
+			n.EncapRecv.Add(1)
+			n.route(frame, nil)
 		}
-		n.EncapRecv.Add(1)
-		n.route(frame, nil)
 	}
 }
 

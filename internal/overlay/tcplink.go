@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"vnetp/internal/bridge"
 )
@@ -22,8 +23,12 @@ import (
 // 16-bit length fields.
 const tcpMaxDatagram = 32 << 10
 
-// tcpConn is one direction-agnostic TCP transport attached to a link (for
-// outbound) or to the accept loop (inbound).
+// tcpDialTimeout bounds how long a lazy dial may block a send path.
+const tcpDialTimeout = 2 * time.Second
+
+// tcpConn is one direction-agnostic TCP transport attached to a link
+// (outbound) or to the accept loop (inbound). The mutex serializes
+// writers: data sends, probe sends, and probe replies all share it.
 type tcpConn struct {
 	mu   sync.Mutex
 	conn net.Conn
@@ -73,31 +78,38 @@ func (n *Node) acceptTCP() {
 		if err != nil {
 			return
 		}
+		c := &tcpConn{conn: conn, w: bufio.NewWriter(conn)}
 		n.mu.Lock()
 		if n.closed {
 			n.mu.Unlock()
 			conn.Close()
 			return
 		}
-		n.tcpConns[conn] = struct{}{}
+		n.tcpConns[c] = struct{}{}
 		n.mu.Unlock()
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			n.readTCP(conn)
+			n.readTCP(c, nil)
 			n.mu.Lock()
-			delete(n.tcpConns, conn)
+			delete(n.tcpConns, c)
 			n.mu.Unlock()
 		}()
 	}
 }
 
 // readTCP consumes length-prefixed encapsulation datagrams from one TCP
-// connection and routes the reassembled frames.
-func (n *Node) readTCP(conn net.Conn) {
-	defer conn.Close()
-	key := "tcp/" + conn.RemoteAddr().String()
-	r := bufio.NewReader(conn)
+// connection: it answers liveness probes, matches probe replies, and
+// routes reassembled frames. lk is the link that dialed the connection,
+// or nil for accepted inbound connections; when set, the link's
+// transport slot is cleared on exit so the health monitor redials.
+func (n *Node) readTCP(c *tcpConn, lk *link) {
+	defer c.close()
+	if lk != nil {
+		defer n.dropTransport(lk, c)
+	}
+	key := "tcp/" + c.conn.RemoteAddr().String()
+	r := bufio.NewReader(c.conn)
 	var hdr [4]byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -112,22 +124,37 @@ func (n *Node) readTCP(conn net.Conn) {
 		if _, err := io.ReadFull(r, pkt); err != nil {
 			return
 		}
-		n.mu.Lock()
-		frame, err := n.reasm.Add(key, pkt)
-		n.mu.Unlock()
+		h, payload, err := bridge.ParseEncap(pkt)
 		if err != nil {
 			n.BadPackets.Add(1)
 			continue
 		}
-		if frame == nil {
-			continue
+		switch {
+		case h.Probe:
+			// Echo on the same connection; a failed write surfaces as a
+			// lost probe on the sender.
+			c.sendDatagram(marshalProbeReply(payload))
+		case h.ProbeReply:
+			n.handleProbeReply(payload)
+		default:
+			n.mu.Lock()
+			frame, err := n.reasm.AddParsed(key, h, payload)
+			n.mu.Unlock()
+			if err != nil {
+				n.BadPackets.Add(1)
+				continue
+			}
+			if frame == nil {
+				continue
+			}
+			n.EncapRecv.Add(1)
+			n.route(frame, nil)
 		}
-		n.EncapRecv.Add(1)
-		n.route(frame, nil)
 	}
 }
 
-// dialTCP (re)establishes a link's TCP transport. Caller holds no locks.
+// dialTCP (re)establishes a link's TCP transport, respecting the link's
+// redial backoff window. Caller holds no locks.
 func (n *Node) dialTCP(lk *link) (*tcpConn, error) {
 	n.mu.Lock()
 	if lk.tcp != nil {
@@ -135,18 +162,82 @@ func (n *Node) dialTCP(lk *link) (*tcpConn, error) {
 		n.mu.Unlock()
 		return c, nil
 	}
+	if now := time.Now(); now.Before(lk.redialAt) {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("overlay: tcp link %q backing off %v", lk.id, time.Until(lk.redialAt).Round(time.Millisecond))
+	}
+	remote := lk.remote
 	n.mu.Unlock()
-	conn, err := net.Dial("tcp", lk.remote)
+
+	conn, err := net.DialTimeout("tcp", remote, tcpDialTimeout)
+
+	n.mu.Lock()
 	if err != nil {
+		n.bumpBackoffLocked(lk)
+		n.mu.Unlock()
 		return nil, fmt.Errorf("overlay: tcp link %q: %w", lk.id, err)
 	}
-	c := &tcpConn{conn: conn, w: bufio.NewWriter(conn)}
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	if lk.tcp != nil { // lost the race; keep the first
+		existing := lk.tcp
+		n.mu.Unlock()
 		conn.Close()
-		return lk.tcp, nil
+		return existing, nil
 	}
+	if n.closed {
+		n.mu.Unlock()
+		conn.Close()
+		return nil, fmt.Errorf("overlay: node closed")
+	}
+	c := &tcpConn{conn: conn, w: bufio.NewWriter(conn)}
 	lk.tcp = c
+	lk.redialBackoff = 0
+	lk.redialAt = time.Time{}
+	if lk.dialed { // a transport existed before: this is a redial
+		if lk.health != nil {
+			lk.health.redials++
+		}
+	}
+	lk.dialed = true
+	// The outbound connection needs its own reader: probe replies (and
+	// any data the peer pushes back on the stream) arrive here.
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.readTCP(c, lk)
+	}()
+	n.mu.Unlock()
 	return c, nil
+}
+
+// dropTransport detaches a dead TCP transport from its link (if still
+// attached) and starts the redial backoff clock.
+func (n *Node) dropTransport(lk *link, c *tcpConn) {
+	n.mu.Lock()
+	if lk.tcp == c {
+		lk.tcp = nil
+		n.bumpBackoffLocked(lk)
+	}
+	n.mu.Unlock()
+	c.close()
+}
+
+// bumpBackoffLocked advances a link's capped exponential redial backoff.
+// Caller holds n.mu.
+func (n *Node) bumpBackoffLocked(lk *link) {
+	min, max := n.healthCfg.RedialMin, n.healthCfg.RedialMax
+	if min <= 0 {
+		min = 100 * time.Millisecond
+	}
+	if max < min {
+		max = 5 * time.Second
+	}
+	if lk.redialBackoff == 0 {
+		lk.redialBackoff = min
+	} else {
+		lk.redialBackoff *= 2
+		if lk.redialBackoff > max {
+			lk.redialBackoff = max
+		}
+	}
+	lk.redialAt = time.Now().Add(lk.redialBackoff)
 }

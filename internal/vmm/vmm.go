@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"time"
 
+	"vnetp/internal/faultnet"
 	"vnetp/internal/phys"
 	"vnetp/internal/sim"
 	"vnetp/internal/trace"
@@ -54,6 +55,7 @@ type Host struct {
 	net    *Network
 	recvFn func(pkt *WirePacket)
 	noise  *rand.Rand
+	fault  *faultnet.Conduit // optional fault injection on the TX wire
 
 	// Stats
 	RxPackets, TxPackets uint64
@@ -93,9 +95,19 @@ func (h *Host) MemCopy(n int, done func()) {
 	h.MemBus.Transmit(n, done)
 }
 
+// SetFault installs (or clears, with nil) a fault-injection conduit on
+// the host's outbound wire. Build it with faultnet.NewWithScheduler and
+// the engine's Schedule so delays advance in simulated, not wall-clock,
+// time:
+//
+//	c := faultnet.NewWithScheduler(cfg, func(d time.Duration, fn func()) { eng.Schedule(d, fn) })
+func (h *Host) SetFault(c *faultnet.Conduit) { h.fault = c }
+
 // Send transmits a packet to another host on the same network: TX
 // serialization at this host, base one-way latency, then RX serialization
-// at the destination, then the destination's receive handler.
+// at the destination, then the destination's receive handler. An
+// installed fault conduit sits before TX serialization, so dropped
+// packets consume no wire time (the switch port never saw them).
 func (h *Host) Send(dst string, size int, payload any) {
 	peer, ok := h.net.hosts[dst]
 	if !ok {
@@ -103,9 +115,18 @@ func (h *Host) Send(dst string, size int, payload any) {
 	}
 	h.TxPackets++
 	pkt := &WirePacket{Src: h.Name, Dst: dst, Size: size, Payload: payload}
-	h.TxLink.Transmit(size, func() {
+	if h.fault != nil {
+		h.fault.Send(pkt, func(p any) { h.sendWire(peer, p.(*WirePacket)) })
+		return
+	}
+	h.sendWire(peer, pkt)
+}
+
+// sendWire is the fault-free wire path.
+func (h *Host) sendWire(peer *Host, pkt *WirePacket) {
+	h.TxLink.Transmit(pkt.Size, func() {
 		h.Eng.Schedule(h.Dev.BaseLatency, func() {
-			peer.RxLink.Transmit(size, func() {
+			peer.RxLink.Transmit(pkt.Size, func() {
 				peer.RxPackets++
 				if peer.recvFn != nil {
 					peer.recvFn(pkt)

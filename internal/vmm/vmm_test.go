@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"vnetp/internal/faultnet"
 	"vnetp/internal/phys"
 	"vnetp/internal/sim"
 )
@@ -182,5 +183,63 @@ func TestGuestCoreSerializes(t *testing.T) {
 		// only enqueued after the 2µs injection delay, so app runs first,
 		// then the IRQ path.
 		t.Fatalf("order = %v, want [app irq]", order)
+	}
+}
+
+func TestSetFaultDropsOnWire(t *testing.T) {
+	e, _, a, b := testNet(t, phys.Eth10G)
+	c := faultnet.New(faultnet.Config{DropProb: 1})
+	a.SetFault(c)
+	count := 0
+	b.SetReceiver(func(p *WirePacket) { count++ })
+	for i := 0; i < 5; i++ {
+		a.Send("b", 1500, nil)
+	}
+	e.Run()
+	if count != 0 {
+		t.Fatalf("delivered %d packets through a total-loss conduit", count)
+	}
+	if c.Dropped.Load() != 5 {
+		t.Fatalf("dropped = %d", c.Dropped.Load())
+	}
+	// TxPackets counts attempts; RxPackets proves nothing crossed.
+	if a.TxPackets != 5 || b.RxPackets != 0 {
+		t.Fatalf("tx=%d rx=%d", a.TxPackets, b.RxPackets)
+	}
+}
+
+func TestSetFaultDelayInVirtualTime(t *testing.T) {
+	e, _, a, b := testNet(t, phys.Eth10G)
+	const extra = 500 * time.Microsecond
+	c := faultnet.NewWithScheduler(faultnet.Config{Delay: extra},
+		func(d time.Duration, fn func()) { e.Schedule(d, fn) })
+	a.SetFault(c)
+	var at sim.Time
+	b.SetReceiver(func(p *WirePacket) { at = e.Now() })
+	a.Send("b", 1500, nil)
+	e.Run()
+	want := extra + phys.Eth10G.TxTime(1500)*2 + phys.Eth10G.BaseLatency
+	if at.Duration() != want {
+		t.Fatalf("arrival at %v, want %v (delay must advance simulated time)", at, want)
+	}
+}
+
+func TestSetFaultPartitionHealsCleanly(t *testing.T) {
+	e, _, a, b := testNet(t, phys.Eth10G)
+	c := faultnet.New(faultnet.Config{})
+	a.SetFault(c)
+	count := 0
+	b.SetReceiver(func(p *WirePacket) { count++ })
+	c.Partition(true)
+	a.Send("b", 1500, nil)
+	e.Run()
+	if count != 0 {
+		t.Fatal("partitioned wire delivered a packet")
+	}
+	c.Partition(false)
+	a.Send("b", 1500, nil)
+	e.Run()
+	if count != 1 {
+		t.Fatalf("healed wire delivered %d packets, want 1", count)
 	}
 }
