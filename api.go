@@ -81,14 +81,27 @@ func NewRoutingTable() *core.Table { return core.NewTable() }
 // --- Functional overlay (real UDP sockets) ---
 
 // Node is an overlay routing node; Endpoint an in-process guest NIC
-// attached to one.
+// attached to one. NodeConfig tunes the receive datapath (dispatcher pool
+// size and per-dispatcher ring depth).
 type (
-	Node     = overlay.Node
-	Endpoint = overlay.Endpoint
+	Node       = overlay.Node
+	Endpoint   = overlay.Endpoint
+	NodeConfig = overlay.NodeConfig
 )
 
-// NewNode binds an overlay node to a UDP address.
+// NewNode binds an overlay node to a UDP address with the default receive
+// configuration (min(4, GOMAXPROCS) packet dispatchers).
 func NewNode(name, bindAddr string) (*Node, error) { return overlay.NewNode(name, bindAddr) }
+
+// NewNodeWithConfig binds an overlay node with an explicit receive
+// datapath configuration — the real-socket analogue of the paper's
+// multiple-packet-dispatcher VMM-driven mode (Sect. 4.3, Fig. 5).
+func NewNodeWithConfig(name, bindAddr string, cfg NodeConfig) (*Node, error) {
+	return overlay.NewNodeWithConfig(name, bindAddr, cfg)
+}
+
+// DefaultDispatchers reports the default receive dispatcher pool size.
+func DefaultDispatchers() int { return overlay.DefaultDispatchers() }
 
 // --- Link health and fault injection ---
 

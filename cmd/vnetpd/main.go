@@ -34,18 +34,20 @@ func main() {
 	ctrlAddr := flag.String("control", "", "TCP address for the control console (empty: disabled)")
 	config := flag.String("config", "", "configuration script applied at startup")
 	echo := flag.String("echo", "", "attach an echo endpoint: <ifname>:<mac>")
+	dispatchers := flag.Int("dispatchers", 0, "receive dispatcher workers (0: min(4, GOMAXPROCS))")
 	health := flag.Bool("health", false, "enable the link health monitor (heartbeats, failover, redial)")
 	probeInterval := flag.Duration("probe-interval", 200*time.Millisecond, "heartbeat probe interval (with -health)")
 	probeFail := flag.Int("probe-fail", 3, "consecutive missed probes before a link is down (with -health)")
 	probeRecover := flag.Int("probe-recover", 2, "consecutive replies before a down link is up (with -health)")
 	flag.Parse()
 
-	node, err := overlay.NewNode(*name, *bind)
+	node, err := overlay.NewNodeWithConfig(*name, *bind, overlay.NodeConfig{Dispatchers: *dispatchers})
 	if err != nil {
 		log.Fatalf("vnetpd: %v", err)
 	}
 	defer node.Close()
-	log.Printf("vnetpd: node %q carrying traffic on %s", *name, node.Addr())
+	log.Printf("vnetpd: node %q carrying traffic on %s (%d dispatchers)",
+		*name, node.Addr(), node.Dispatchers())
 
 	if *health {
 		cfg := overlay.DefaultHealthConfig()

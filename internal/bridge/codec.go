@@ -16,15 +16,21 @@ import (
 	"vnetp/internal/ethernet"
 )
 
-// Encapsulation header layout (12 bytes), VNET/U-compatible in spirit:
+// Encapsulation header layout (16 bytes), VNET/U-compatible in spirit:
 //
-//	magic(2) | version(1) | flags(1) | id(4) | fragOff(2) | totalLen(2)
+//	magic(2) | version(1) | flags(1) | id(4) | fragOff(4) | totalLen(4)
 //
 // followed by a slice of the marshalled inner Ethernet frame.
+//
+// Version 2 widened fragOff and totalLen from 16 to 32 bits: with the
+// 64 KB overlay MTU (ethernet.MaxMTU = 65535) a maximum-size frame
+// marshals to 65549 bytes, which wrapped the v1 uint16 length fields and
+// corrupted exactly the jumbo frames the large MTU exists for. v1
+// datagrams are rejected with ErrBadVersion.
 const (
 	EncapMagic     = 0x564e // "VN"
-	EncapVersion   = 1
-	EncapHeaderLen = 12
+	EncapVersion   = 2
+	EncapHeaderLen = 16
 
 	flagMoreFrags  = 0x01
 	flagProbe      = 0x02
@@ -36,8 +42,8 @@ const (
 // set; their payload is the probe body, not an inner-frame slice.
 type EncapHeader struct {
 	ID         uint32 // per-sender packet id, shared by all fragments
-	FragOff    uint16 // byte offset of this fragment's payload
-	TotalLen   uint16 // total inner-frame length
+	FragOff    uint32 // byte offset of this fragment's payload
+	TotalLen   uint32 // total inner-frame length
 	MoreFrags  bool
 	Probe      bool // liveness probe request
 	ProbeReply bool // liveness probe echo
@@ -65,9 +71,18 @@ func (h *EncapHeader) Marshal(b []byte) []byte {
 	}
 	b = append(b, EncapVersion, flags)
 	b = binary.BigEndian.AppendUint32(b, h.ID)
-	b = binary.BigEndian.AppendUint16(b, h.FragOff)
-	b = binary.BigEndian.AppendUint16(b, h.TotalLen)
+	b = binary.BigEndian.AppendUint32(b, h.FragOff)
+	b = binary.BigEndian.AppendUint32(b, h.TotalLen)
 	return b
+}
+
+// EncapIsControl peeks at a datagram's flag byte and reports whether it
+// is a probe or probe-reply (control) datagram, without a full parse.
+// Receive-path producers use it to steer control traffic off the data
+// dispatchers; malformed datagrams report false and are rejected by the
+// full ParseEncap downstream.
+func EncapIsControl(b []byte) bool {
+	return len(b) >= 4 && b[3]&(flagProbe|flagProbeReply) != 0
 }
 
 // ParseEncap splits an encapsulated datagram into header and fragment
@@ -87,8 +102,8 @@ func ParseEncap(b []byte) (*EncapHeader, []byte, error) {
 		Probe:      b[3]&flagProbe != 0,
 		ProbeReply: b[3]&flagProbeReply != 0,
 		ID:         binary.BigEndian.Uint32(b[4:]),
-		FragOff:    binary.BigEndian.Uint16(b[8:]),
-		TotalLen:   binary.BigEndian.Uint16(b[10:]),
+		FragOff:    binary.BigEndian.Uint32(b[8:]),
+		TotalLen:   binary.BigEndian.Uint32(b[12:]),
 	}
 	payload := b[EncapHeaderLen:]
 	if int(h.FragOff)+len(payload) > int(h.TotalLen) {
@@ -118,8 +133,8 @@ func Encapsulate(f *ethernet.Frame, id uint32, maxPayload int) ([][]byte, error)
 		}
 		h := EncapHeader{
 			ID:        id,
-			FragOff:   uint16(off),
-			TotalLen:  uint16(len(inner)),
+			FragOff:   uint32(off),
+			TotalLen:  uint32(len(inner)),
 			MoreFrags: end < len(inner),
 		}
 		buf := make([]byte, 0, EncapHeaderLen+end-off)

@@ -173,8 +173,8 @@ func TestEvictStale(t *testing.T) {
 func TestFragmentCount(t *testing.T) {
 	cases := []struct{ inner, max, want int }{
 		{100, 1472, 1},
-		{1460, 1472, 1},
-		{1461, 1472, 2},
+		{1456, 1472, 1}, // exactly one v2 chunk (1472 - 16 header)
+		{1457, 1472, 2},
 		{4014, 1472, 3},
 		{0, 100, 1},
 	}
@@ -182,6 +182,55 @@ func TestFragmentCount(t *testing.T) {
 		if got := FragmentCount(c.inner, c.max); got != c.want {
 			t.Errorf("FragmentCount(%d,%d) = %d, want %d", c.inner, c.max, got, c.want)
 		}
+	}
+}
+
+// TestJumboFrameBoundary covers the v1 wire-corruption bug: with
+// MaxMTU = 65535 a maximum-size frame marshals to 65549 bytes, which
+// wrapped the 16-bit totalLen/fragOff fields and corrupted the wire. The
+// v2 32-bit fields must round-trip payloads straddling the old uint16
+// boundary (inner length 65535) losslessly under fragmentation.
+func TestJumboFrameBoundary(t *testing.T) {
+	// 65521-byte payload marshals to exactly 65535 inner bytes; ±1
+	// brackets the uint16 wrap point.
+	for _, payload := range []int{65520, 65521, 65522, ethernet.MaxMTU} {
+		f := testFrame(payload)
+		ds, err := Encapsulate(f, 77, 1400)
+		if err != nil {
+			t.Fatalf("payload %d: %v", payload, err)
+		}
+		if want := FragmentCount(f.Len(), 1400); len(ds) != want {
+			t.Fatalf("payload %d: %d datagrams, want %d", payload, len(ds), want)
+		}
+		r := NewReassembler()
+		var got *ethernet.Frame
+		for i, d := range ds {
+			g, err := r.Add("jumbo-peer", d)
+			if err != nil {
+				t.Fatalf("payload %d frag %d: %v", payload, i, err)
+			}
+			if g != nil {
+				got = g
+			}
+		}
+		if got == nil {
+			t.Fatalf("payload %d: frame did not reassemble", payload)
+		}
+		if !bytes.Equal(got.Payload, f.Payload) {
+			t.Fatalf("payload %d: corrupted across the wire", payload)
+		}
+	}
+}
+
+// TestV1Rejected ensures the codec refuses version-1 datagrams instead of
+// misreading their narrower header.
+func TestV1Rejected(t *testing.T) {
+	h := EncapHeader{ID: 1, TotalLen: 10}
+	b := h.Marshal(nil)
+	b = append(b, make([]byte, 10)...)
+	b[2] = 1 // rewrite version to v1
+	if _, _, err := ParseEncap(b); err != ErrBadVersion {
+		t.Fatalf("v1 datagram: got %v, want ErrBadVersion", err)
 	}
 }
 

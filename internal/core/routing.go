@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"vnetp/internal/ethernet"
 )
@@ -146,31 +147,80 @@ type cacheKey struct {
 	src, dst ethernet.MAC
 }
 
+// cacheShards is the number of independent routing-cache segments. Hits
+// on different shards never touch the same lock, and hits on the same
+// shard share only a read lock, so the cache fast path is contention-free
+// under the overlay's dispatcher pool. Power of two for cheap masking.
+const cacheShards = 16
+
+// cacheShard is one segment of the routing cache. Shard maps are written
+// only while the table's exclusive lock is held (miss fill, invalidation),
+// so a fill can never race an invalidation; the shard lock alone protects
+// readers on the hit path.
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[cacheKey][]Destination
+}
+
+// shardIndex hashes a flow key onto a cache shard (FNV-1a over the 12
+// address bytes).
+func shardIndex(k cacheKey) int {
+	h := uint32(2166136261)
+	for _, b := range k.src {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	for _, b := range k.dst {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return int(h & (cacheShards - 1))
+}
+
 // Table is the VNET/P routing table: a linear-scan rule list indexed by
-// source and destination MAC, with a hash routing cache layered on top so
-// the common case is a constant-time lookup (paper Sect. 4.3). Table is
-// safe for concurrent use; the real-socket overlay calls it from multiple
-// goroutines, while the simulation is single-threaded.
+// source and destination MAC, with a sharded hash routing cache layered on
+// top so the common case is a constant-time lookup (paper Sect. 4.3).
+// Table is safe for concurrent use; the real-socket overlay calls it from
+// multiple dispatcher goroutines, while the simulation is single-threaded.
+// Cache hits take only a per-shard read lock and bump atomic counters —
+// no exclusive lock anywhere on the hit path.
 type Table struct {
 	mu     sync.RWMutex
 	routes []*Route
-	cache  map[cacheKey][]Destination
+	shards [cacheShards]cacheShard
 	failed map[Destination]bool // destinations currently failed over
 
 	// CacheEnabled can be cleared to measure the cache's contribution
-	// (ablation benchmark). Enabled by default.
+	// (ablation benchmark). Set it before the table carries concurrent
+	// traffic. Enabled by default.
 	CacheEnabled bool
 
-	// Stats
-	Hits, Misses uint64
+	// Stats. Atomic so the hot lookup path never takes an exclusive lock
+	// just to bump a counter.
+	Hits, Misses atomic.Uint64
 }
 
 // NewTable returns an empty routing table with the cache enabled.
 func NewTable() *Table {
-	return &Table{
-		cache:        make(map[cacheKey][]Destination),
+	t := &Table{
 		failed:       make(map[Destination]bool),
 		CacheEnabled: true,
+	}
+	for i := range t.shards {
+		t.shards[i].m = make(map[cacheKey][]Destination)
+	}
+	return t
+}
+
+// invalidateCacheLocked clears every cache shard. Caller holds t.mu
+// exclusively, which serializes the clear against miss-path fills: a
+// lookup that resolved routes under the old state can never insert its
+// stale answer after the clear, so invalidation is atomic with respect to
+// FailDest/RestoreDest and route mutations.
+func (t *Table) invalidateCacheLocked() {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[cacheKey][]Destination)
+		sh.mu.Unlock()
 	}
 }
 
@@ -186,7 +236,7 @@ func (t *Table) FailDest(d Destination) int {
 		return 0
 	}
 	t.failed[d] = true
-	t.cache = make(map[cacheKey][]Destination)
+	t.invalidateCacheLocked()
 	n := 0
 	for _, r := range t.routes {
 		if r.Dest == d && r.HasBackup {
@@ -205,7 +255,7 @@ func (t *Table) RestoreDest(d Destination) int {
 		return 0
 	}
 	delete(t.failed, d)
-	t.cache = make(map[cacheKey][]Destination)
+	t.invalidateCacheLocked()
 	n := 0
 	for _, r := range t.routes {
 		if r.Dest == d && r.HasBackup {
@@ -242,7 +292,7 @@ func (t *Table) AddRoute(r Route) {
 	defer t.mu.Unlock()
 	rc := r
 	t.routes = append(t.routes, &rc)
-	t.cache = make(map[cacheKey][]Destination)
+	t.invalidateCacheLocked()
 }
 
 // RemoveRoute removes the first route exactly equal to r, reporting
@@ -253,7 +303,7 @@ func (t *Table) RemoveRoute(r Route) bool {
 	for i, have := range t.routes {
 		if *have == r {
 			t.routes = append(t.routes[:i], t.routes[i+1:]...)
-			t.cache = make(map[cacheKey][]Destination)
+			t.invalidateCacheLocked()
 			return true
 		}
 	}
@@ -276,7 +326,7 @@ func (t *Table) RemoveByDest(dest Destination) int {
 	}
 	t.routes = kept
 	if removed > 0 {
-		t.cache = make(map[cacheKey][]Destination)
+		t.invalidateCacheLocked()
 	}
 	return removed
 }
@@ -301,9 +351,7 @@ func (t *Table) Routes() []Route {
 
 // CacheStats reports the routing cache's hit and miss counts.
 func (t *Table) CacheStats() (hits, misses uint64) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.Hits, t.Misses
+	return t.Hits.Load(), t.Misses.Load()
 }
 
 // Lookup resolves the destinations for a packet. Unicast packets get the
@@ -312,23 +360,28 @@ func (t *Table) CacheStats() (hits, misses uint64) {
 // to its source interface (the caller excludes that by name). The second
 // result reports whether the answer came from the routing cache, so the
 // simulated datapath can charge the linear-scan cost only on misses.
+//
+// The hit path takes only the flow's shard read lock — concurrent hits
+// (the overlay's steady state) contend on nothing exclusive. Misses fall
+// back to the table lock to scan the rules and fill the cache; holding it
+// across resolve-and-fill keeps the fill atomic with invalidation.
 func (t *Table) Lookup(src, dst ethernet.MAC) ([]Destination, bool, error) {
 	key := cacheKey{src, dst}
-	t.mu.RLock()
+	var sh *cacheShard
 	if t.CacheEnabled {
-		if dests, ok := t.cache[key]; ok {
-			t.mu.RUnlock()
-			t.mu.Lock()
-			t.Hits++
-			t.mu.Unlock()
+		sh = &t.shards[shardIndex(key)]
+		sh.mu.RLock()
+		dests, ok := sh.m[key]
+		sh.mu.RUnlock()
+		if ok {
+			t.Hits.Add(1)
 			return dests, true, nil
 		}
 	}
-	t.mu.RUnlock()
 
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.Misses++
+	t.Misses.Add(1)
 	var dests []Destination
 	if dst.IsBroadcast() || dst.IsMulticast() {
 		seen := make(map[Destination]bool)
@@ -358,7 +411,9 @@ func (t *Table) Lookup(src, dst ethernet.MAC) ([]Destination, bool, error) {
 		return nil, false, ErrNoRoute
 	}
 	if t.CacheEnabled {
-		t.cache[key] = dests
+		sh.mu.Lock()
+		sh.m[key] = dests
+		sh.mu.Unlock()
 	}
 	return dests, false, nil
 }

@@ -28,8 +28,8 @@ func TestLookupExact(t *testing.T) {
 	if err != nil || !hit || dests[0] != linkDest("l1") {
 		t.Fatalf("cached lookup = %v hit=%v err=%v", dests, hit, err)
 	}
-	if tb.Hits != 1 || tb.Misses != 1 {
-		t.Fatalf("hits=%d misses=%d", tb.Hits, tb.Misses)
+	if tb.Hits.Load() != 1 || tb.Misses.Load() != 1 {
+		t.Fatalf("hits=%d misses=%d", tb.Hits.Load(), tb.Misses.Load())
 	}
 }
 
@@ -139,8 +139,8 @@ func TestCacheDisabled(t *testing.T) {
 			t.Fatal("cache hit with cache disabled")
 		}
 	}
-	if tb.Hits != 0 || tb.Misses != 3 {
-		t.Fatalf("hits=%d misses=%d", tb.Hits, tb.Misses)
+	if tb.Hits.Load() != 0 || tb.Misses.Load() != 3 {
+		t.Fatalf("hits=%d misses=%d", tb.Hits.Load(), tb.Misses.Load())
 	}
 }
 

@@ -350,7 +350,10 @@ func (n *Node) LinkStatus(id string) ([]string, error) {
 	lines := []string{fmt.Sprintf("link %s proto %s remote %s", lk.id, lk.proto, lk.remote)}
 	h := lk.health
 	if h == nil {
-		return append(lines, "state unmonitored"), nil
+		return append(lines,
+			"state unmonitored",
+			fmt.Sprintf("send_errors %d", lk.sendErrors.Load()),
+		), nil
 	}
 	return append(lines,
 		fmt.Sprintf("state %s", h.state),
@@ -359,6 +362,7 @@ func (n *Node) LinkStatus(id string) ([]string, error) {
 		fmt.Sprintf("probes_sent %d", h.probesSent),
 		fmt.Sprintf("probes_lost %d", h.probesLost),
 		fmt.Sprintf("replies_recv %d", h.repliesRecv),
+		fmt.Sprintf("send_errors %d", lk.sendErrors.Load()),
 		fmt.Sprintf("failovers %d", h.failovers),
 		fmt.Sprintf("failbacks %d", h.failbacks),
 		fmt.Sprintf("redials %d", h.redials),
@@ -383,9 +387,9 @@ func (n *Node) HealthSummary() []string {
 			out = append(out, fmt.Sprintf("%s %s unmonitored", id, lk.proto))
 			continue
 		}
-		out = append(out, fmt.Sprintf("%s %s %s rtt_us=%d loss_pct=%.1f sent=%d lost=%d",
+		out = append(out, fmt.Sprintf("%s %s %s rtt_us=%d loss_pct=%.1f sent=%d lost=%d send_errors=%d",
 			id, lk.proto, h.state, h.rtt.Microseconds(), h.lossRate()*100,
-			h.probesSent, h.probesLost))
+			h.probesSent, h.probesLost, lk.sendErrors.Load()))
 	}
 	return out
 }
@@ -434,12 +438,12 @@ func marshalProbe(linkID string, seq uint64) []byte {
 	p = binary.BigEndian.AppendUint64(p, uint64(time.Now().UnixNano()))
 	p = append(p, byte(len(linkID)))
 	p = append(p, linkID...)
-	h := bridge.EncapHeader{ID: uint32(seq), TotalLen: uint16(len(p)), Probe: true}
+	h := bridge.EncapHeader{ID: uint32(seq), TotalLen: uint32(len(p)), Probe: true}
 	return append(h.Marshal(nil), p...)
 }
 
 func marshalProbeReply(payload []byte) []byte {
-	h := bridge.EncapHeader{TotalLen: uint16(len(payload)), ProbeReply: true}
+	h := bridge.EncapHeader{TotalLen: uint32(len(payload)), ProbeReply: true}
 	return append(h.Marshal(nil), payload...)
 }
 

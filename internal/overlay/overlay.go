@@ -99,6 +99,13 @@ type link struct {
 	fault  *faultnet.Conduit // optional fault injection on the send path
 	health *linkHealth       // liveness state, nil until monitored
 
+	// sendErrors counts transport send failures on this link, including
+	// ones inside an installed fault conduit (whose delivery callback may
+	// run on the conduit's own goroutine — hence atomic). The health
+	// monitor and LINK STATUS surface it so chaos tests can observe
+	// transport failures instead of having them swallowed.
+	sendErrors atomic.Uint64
+
 	// TCP redial backoff state (capped exponential).
 	redialAt      time.Time
 	redialBackoff time.Duration
@@ -119,7 +126,8 @@ type Node struct {
 	links    map[string]*link
 	eps      map[string]*Endpoint
 	tcpConns map[*tcpConn]struct{} // accepted inbound TCP transports
-	reasm    *bridge.Reassembler
+	shards   []*rxShard            // dispatcher pool; reassembly sharded by sender
+	probeCh  chan probeEvent       // control traffic, split off the data path
 	nextID   atomic.Uint32
 	closed   bool
 	quit     chan struct{}
@@ -138,8 +146,16 @@ type Node struct {
 	BadPackets  atomic.Uint64
 }
 
-// NewNode binds a node to a UDP address ("127.0.0.1:0" for tests).
+// NewNode binds a node to a UDP address ("127.0.0.1:0" for tests) with
+// the default receive configuration.
 func NewNode(name, bindAddr string) (*Node, error) {
+	return NewNodeWithConfig(name, bindAddr, NodeConfig{})
+}
+
+// NewNodeWithConfig binds a node with an explicit receive-datapath
+// configuration (dispatcher pool size, ring depth).
+func NewNodeWithConfig(name, bindAddr string, cfg NodeConfig) (*Node, error) {
+	cfg.normalize()
 	addr, err := net.ResolveUDPAddr("udp", bindAddr)
 	if err != nil {
 		return nil, err
@@ -149,8 +165,8 @@ func NewNode(name, bindAddr string) (*Node, error) {
 		return nil, err
 	}
 	// Deep socket buffers: encapsulated bursts from many guests arrive
-	// faster than the single read loop drains under load, and kernel-side
-	// drops would surface as overlay loss. Best effort (the OS may clamp).
+	// faster than the read loop drains under load, and kernel-side drops
+	// would surface as overlay loss. Best effort (the OS may clamp).
 	conn.SetReadBuffer(4 << 20)
 	conn.SetWriteBuffer(4 << 20)
 	n := &Node{
@@ -161,13 +177,25 @@ func NewNode(name, bindAddr string) (*Node, error) {
 		links:    make(map[string]*link),
 		eps:      make(map[string]*Endpoint),
 		tcpConns: make(map[*tcpConn]struct{}),
-		reasm:    bridge.NewReassembler(),
+		probeCh:  make(chan probeEvent, 256),
 		quit:     make(chan struct{}),
 	}
+	n.shards = make([]*rxShard, cfg.Dispatchers)
+	for i := range n.shards {
+		n.shards[i] = &rxShard{
+			idx:   i,
+			in:    make(chan inDatagram, cfg.QueueDepth),
+			reasm: bridge.NewReassembler(),
+		}
+	}
 	n.startTCP()
-	n.wg.Add(2)
+	n.wg.Add(3 + len(n.shards))
 	go n.readLoop()
+	go n.probeLoop()
 	go n.evictLoop()
+	for _, s := range n.shards {
+		go n.dispatchLoop(s)
+	}
 	return n, nil
 }
 
@@ -370,12 +398,14 @@ func (n *Node) Links() []string {
 }
 
 // Stats reports the node's traffic counters (LIST STATS in the control
-// language), including the aggregate link-health counters.
+// language), including the aggregate link-health counters and the
+// per-dispatcher receive-path counters.
 func (n *Node) Stats() []string {
 	hits, misses := n.table.CacheStats()
-	var probesSent, probesLost, failovers, failbacks, redials, upgrades uint64
+	var probesSent, probesLost, failovers, failbacks, redials, upgrades, sendErrors uint64
 	n.mu.Lock()
 	for _, lk := range n.links {
+		sendErrors += lk.sendErrors.Load()
 		if h := lk.health; h != nil {
 			probesSent += h.probesSent
 			probesLost += h.probesLost
@@ -386,12 +416,13 @@ func (n *Node) Stats() []string {
 		}
 	}
 	n.mu.Unlock()
-	return []string{
+	out := []string{
 		fmt.Sprintf("encap_sent %d", n.EncapSent.Load()),
 		fmt.Sprintf("encap_recv %d", n.EncapRecv.Load()),
 		fmt.Sprintf("delivered %d", n.Delivered.Load()),
 		fmt.Sprintf("no_route_drops %d", n.NoRouteDrop.Load()),
 		fmt.Sprintf("bad_packets %d", n.BadPackets.Load()),
+		fmt.Sprintf("send_errors %d", sendErrors),
 		fmt.Sprintf("route_cache_hits %d", hits),
 		fmt.Sprintf("route_cache_misses %d", misses),
 		fmt.Sprintf("probes_sent %d", probesSent),
@@ -400,7 +431,16 @@ func (n *Node) Stats() []string {
 		fmt.Sprintf("failbacks %d", failbacks),
 		fmt.Sprintf("redials %d", redials),
 		fmt.Sprintf("link_upgrades %d", upgrades),
+		fmt.Sprintf("dispatchers %d", len(n.shards)),
 	}
+	for _, s := range n.shards {
+		out = append(out,
+			fmt.Sprintf("dispatcher_%d_datagrams %d", s.idx, s.Datagrams.Load()),
+			fmt.Sprintf("dispatcher_%d_frames %d", s.idx, s.Frames.Load()),
+			fmt.Sprintf("dispatcher_%d_drops %d", s.idx, s.Drops.Load()),
+		)
+	}
+	return out
 }
 
 // Interfaces lists attached endpoint names.
@@ -416,7 +456,10 @@ func (n *Node) Interfaces() []string {
 
 // route forwards a frame per the routing table. from is non-nil for
 // locally originated frames (their source endpoint is skipped on
-// broadcast).
+// broadcast). A failing destination does not abort the fan-out: every
+// remaining destination (including local endpoints) still gets its copy,
+// and the per-destination errors are aggregated — a broadcast hitting one
+// dead link must not starve the rest of the LAN.
 func (n *Node) route(f *ethernet.Frame, from *Endpoint) error {
 	if from != nil {
 		n.flows.Record(f.Src, f.Dst, f.Len())
@@ -426,6 +469,7 @@ func (n *Node) route(f *ethernet.Frame, from *Endpoint) error {
 		n.NoRouteDrop.Add(1)
 		return err
 	}
+	var errs []error
 	for _, d := range dests {
 		switch d.Type {
 		case core.DestInterface:
@@ -446,11 +490,11 @@ func (n *Node) route(f *ethernet.Frame, from *Endpoint) error {
 				continue
 			}
 			if err := n.sendEncap(lk, f); err != nil {
-				return err
+				errs = append(errs, fmt.Errorf("link %q: %w", d.ID, err))
 			}
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // sendEncap encapsulates and transmits a frame over a link, fragmenting
@@ -479,7 +523,10 @@ func (n *Node) sendEncap(lk *link, f *ethernet.Frame) error {
 
 // sendOnLink pushes one encapsulation datagram onto a link's transport,
 // through the link's fault conduit when one is installed. Both data and
-// heartbeat probes funnel through here.
+// heartbeat probes funnel through here. Every transport failure — even
+// inside a conduit's (possibly asynchronous) delivery callback, where the
+// error cannot be returned — lands in the link's send_errors counter so
+// chaos tests and the health monitor observe it.
 func (n *Node) sendOnLink(lk *link, d []byte) error {
 	n.mu.Lock()
 	fault, proto, addr := lk.fault, lk.proto, lk.addr
@@ -500,17 +547,40 @@ func (n *Node) sendOnLink(lk *link, d []byte) error {
 		return err
 	}
 	if fault != nil {
-		fault.Send(d, func(p any) { send(p.([]byte)) })
+		fault.Send(d, func(p any) {
+			if err := send(p.([]byte)); err != nil {
+				lk.sendErrors.Add(1)
+			}
+		})
 		return nil
 	}
-	return send(d)
+	if err := send(d); err != nil {
+		lk.sendErrors.Add(1)
+		return err
+	}
+	return nil
 }
 
-// readLoop receives encapsulated datagrams, answers liveness probes, and
-// reassembles and routes data.
+// probeEvent is one control datagram (probe or probe reply) handed from
+// the read loop to the probe handler.
+type probeEvent struct {
+	pkt  []byte
+	from *net.UDPAddr
+}
+
+// readLoop is the receive producer: it pulls datagrams off the UDP
+// socket, steers control traffic to the probe handler, and hands raw data
+// datagrams to the dispatcher pool keyed by sender. It does no parsing
+// beyond a one-byte flag peek, so the socket drains at wire rate and the
+// heavy work (parse, reassemble, route) parallelizes across workers.
 func (n *Node) readLoop() {
 	defer n.wg.Done()
 	buf := make([]byte, 65536)
+	// Cache the sender-key string for the common case of consecutive
+	// datagrams from one peer (a fragmented jumbo frame arrives as a burst
+	// from the same address): String() per datagram would allocate.
+	var lastAddr net.UDPAddr
+	var lastKey string
 	for {
 		sz, from, err := n.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -518,34 +588,49 @@ func (n *Node) readLoop() {
 		}
 		pkt := make([]byte, sz)
 		copy(pkt, buf[:sz])
-		h, payload, err := bridge.ParseEncap(pkt)
-		if err != nil {
-			n.BadPackets.Add(1)
+		if bridge.EncapIsControl(pkt) {
+			select {
+			case n.probeCh <- probeEvent{pkt: pkt, from: from}:
+			default:
+				// Control ring full: the dropped probe surfaces as a lost
+				// heartbeat at its sender, which is the correct signal.
+			}
 			continue
 		}
-		switch {
-		case h.Probe:
-			n.conn.WriteToUDP(marshalProbeReply(payload), from)
-		case h.ProbeReply:
-			n.handleProbeReply(payload)
-		default:
-			n.mu.Lock()
-			frame, err := n.reasm.AddParsed(from.String(), h, payload)
-			n.mu.Unlock()
+		if lastKey == "" || from.Port != lastAddr.Port || !from.IP.Equal(lastAddr.IP) {
+			lastAddr = *from
+			lastKey = from.String()
+		}
+		n.enqueue(lastKey, pkt)
+	}
+}
+
+// probeLoop handles control traffic (liveness probes and replies) off the
+// data path, so heartbeats stay responsive while the dispatchers chew
+// through bulk traffic — and bulk traffic never waits on probe replies.
+func (n *Node) probeLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case ev := <-n.probeCh:
+			h, payload, err := bridge.ParseEncap(ev.pkt)
 			if err != nil {
 				n.BadPackets.Add(1)
 				continue
 			}
-			if frame == nil {
-				continue // more fragments pending
+			switch {
+			case h.Probe:
+				n.conn.WriteToUDP(marshalProbeReply(payload), ev.from)
+			case h.ProbeReply:
+				n.handleProbeReply(payload)
 			}
-			n.EncapRecv.Add(1)
-			n.route(frame, nil)
 		}
 	}
 }
 
-// evictLoop ages out stale partial reassemblies.
+// evictLoop ages out stale partial reassemblies on every shard.
 func (n *Node) evictLoop() {
 	defer n.wg.Done()
 	t := time.NewTicker(time.Second)
@@ -555,9 +640,11 @@ func (n *Node) evictLoop() {
 		case <-n.quit:
 			return
 		case <-t.C:
-			n.mu.Lock()
-			n.reasm.EvictStale()
-			n.mu.Unlock()
+			for _, s := range n.shards {
+				s.mu.Lock()
+				s.reasm.EvictStale()
+				s.mu.Unlock()
+			}
 		}
 	}
 }

@@ -109,6 +109,7 @@ func (n *Node) readTCP(c *tcpConn, lk *link) {
 		defer n.dropTransport(lk, c)
 	}
 	key := "tcp/" + c.conn.RemoteAddr().String()
+	shard := n.shardFor(key)
 	r := bufio.NewReader(c.conn)
 	var hdr [4]byte
 	for {
@@ -137,18 +138,10 @@ func (n *Node) readTCP(c *tcpConn, lk *link) {
 		case h.ProbeReply:
 			n.handleProbeReply(payload)
 		default:
-			n.mu.Lock()
-			frame, err := n.reasm.AddParsed(key, h, payload)
-			n.mu.Unlock()
-			if err != nil {
-				n.BadPackets.Add(1)
-				continue
-			}
-			if frame == nil {
-				continue
-			}
-			n.EncapRecv.Add(1)
-			n.route(frame, nil)
+			// The connection reader is already a dedicated goroutine, so
+			// data is processed inline on the sender's reassembly shard
+			// rather than re-queued behind the UDP dispatchers.
+			n.processData(shard, key, h, payload)
 		}
 	}
 }
