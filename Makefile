@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench clean
+.PHONY: build test vet race verify bench bench-json clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,10 @@ verify: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Machine-readable microbenchmark results (CI uploads the JSON artifact).
+bench-json:
+	$(GO) run ./cmd/vnetbench -json BENCH_microbench.json
 
 clean:
 	$(GO) clean ./...

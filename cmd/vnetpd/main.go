@@ -26,6 +26,7 @@ import (
 	"vnetp/internal/control"
 	"vnetp/internal/ethernet"
 	"vnetp/internal/overlay"
+	"vnetp/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func main() {
 	config := flag.String("config", "", "configuration script applied at startup")
 	echo := flag.String("echo", "", "attach an echo endpoint: <ifname>:<mac>")
 	dispatchers := flag.Int("dispatchers", 0, "receive dispatcher workers (0: min(4, GOMAXPROCS))")
+	telemetryAddr := flag.String("telemetry-addr", "", "HTTP address for /metrics, /debug/pprof/, /healthz (empty: disabled)")
 	health := flag.Bool("health", false, "enable the link health monitor (heartbeats, failover, redial)")
 	probeInterval := flag.Duration("probe-interval", 200*time.Millisecond, "heartbeat probe interval (with -health)")
 	probeFail := flag.Int("probe-fail", 3, "consecutive missed probes before a link is down (with -health)")
@@ -48,6 +50,15 @@ func main() {
 	defer node.Close()
 	log.Printf("vnetpd: node %q carrying traffic on %s (%d dispatchers)",
 		*name, node.Addr(), node.Dispatchers())
+
+	if *telemetryAddr != "" {
+		srv, err := telemetry.Serve(*telemetryAddr, node.Telemetry())
+		if err != nil {
+			log.Fatalf("vnetpd: telemetry: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("vnetpd: telemetry on http://%s/metrics (pprof under /debug/pprof/)", srv.Addr())
+	}
 
 	if *health {
 		cfg := overlay.DefaultHealthConfig()

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Record is one machine-readable benchmark result: the JSON shape
+// emitted by `vnetbench -json` and consumed by CI artifact tooling.
+type Record struct {
+	ID     string  `json:"id"`     // experiment, e.g. "fig8"
+	Metric string  `json:"metric"` // one series within it, e.g. "tcp_native_1g"
+	Value  float64 `json:"value"`
+	Unit   string  `json:"unit"`
+}
+
+// slug reduces a human-facing configuration label to a metric-safe
+// token: lowercase, runs of non-alphanumerics collapsed to "_".
+func slug(label string) string {
+	var b strings.Builder
+	lastSep := true
+	for _, r := range strings.ToLower(label) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastSep = false
+		case !lastSep:
+			b.WriteByte('_')
+			lastSep = true
+		}
+	}
+	return strings.TrimSuffix(b.String(), "_")
+}
+
+// CollectMicrobench runs the microbenchmark experiments (the fig5
+// dispatcher sweep, the fig8 throughput chart, the fig9 latency sweep)
+// and returns their results as flat records.
+func CollectMicrobench() []Record {
+	var recs []Record
+	for _, r := range measureFig5() {
+		recs = append(recs, Record{
+			ID: "fig5", Metric: fmt.Sprintf("udp_goodput_cores_%d", r.Cores),
+			Value: mbps(r.Goodput), Unit: "MB/s",
+		})
+	}
+	for _, r := range measureFig8() {
+		recs = append(recs,
+			Record{ID: "fig8", Metric: "tcp_" + slug(r.Label), Value: mbps(r.TCP), Unit: "MB/s"},
+			Record{ID: "fig8", Metric: "udp_" + slug(r.Label), Value: mbps(r.UDP), Unit: "MB/s"},
+		)
+	}
+	for _, r := range measureFig9() {
+		for _, s := range []struct {
+			net string
+			rtt float64
+		}{
+			{"native_1g", us(r.Native1G)},
+			{"vnet_p_1g", us(r.VNETP1G)},
+			{"native_10g", us(r.Native10G)},
+			{"vnet_p_10g", us(r.VNETP10G)},
+		} {
+			recs = append(recs, Record{
+				ID: "fig9", Metric: fmt.Sprintf("rtt_%s_%db", s.net, r.Size),
+				Value: s.rtt, Unit: "us",
+			})
+		}
+	}
+	return recs
+}
+
+// WriteJSON emits records as an indented JSON array.
+func WriteJSON(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}

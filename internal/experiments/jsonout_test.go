@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Native-1G":                "native_1g",
+		"VNET/U-1G (Palacios tap)": "vnet_u_1g_palacios_tap",
+		"VNET/P-10G (MTU 9000)":    "vnet_p_10g_mtu_9000",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	recs := []Record{{ID: "fig5", Metric: "udp_goodput_cores_1", Value: 773.5, Unit: "MB/s"}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	var back []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("got %d records", len(back))
+	}
+	for _, key := range []string{"id", "metric", "value", "unit"} {
+		if _, ok := back[0][key]; !ok {
+			t.Errorf("record missing %q key: %v", key, back[0])
+		}
+	}
+}

@@ -28,10 +28,16 @@ func init() {
 	register("table1", "VNET/P tuning parameters (Table 1)", runTable1)
 }
 
-// runFig5: receive throughput scaling by spreading the VMM-side VNET/P
-// components over 1..4 cores, 1500-byte MTU.
-func runFig5(w io.Writer) error {
-	fmt.Fprintf(w, "%-8s %14s\n", "cores", "UDP goodput")
+// fig5Row is one point of the dispatcher-scaling curve.
+type fig5Row struct {
+	Cores   int
+	Goodput float64 // bits/s
+}
+
+// measureFig5 runs the receive-throughput scaling sweep: the VMM-side
+// VNET/P components spread over 1..4 cores, 1500-byte MTU.
+func measureFig5() []fig5Row {
+	var rows []fig5Row
 	for cores := 1; cores <= 4; cores++ {
 		p := core.DefaultParams()
 		p.Mode = core.VMMDriven
@@ -47,22 +53,35 @@ func runFig5(w io.Writer) error {
 		tb := lab.NewVNETPTestbed(sim.New(), lab.Config{
 			Dev: phys.Eth10GStd, N: 2, Params: p, BridgeSharesDispatcher: shared,
 		})
-		g := microbench.TTCPUDP(tb, 0, 1, 64000, udpWindow)
-		fmt.Fprintf(w, "%-8d %11.0f MB/s\n", cores, mbps(g))
+		rows = append(rows, fig5Row{Cores: cores, Goodput: microbench.TTCPUDP(tb, 0, 1, 64000, udpWindow)})
+	}
+	return rows
+}
+
+func runFig5(w io.Writer) error {
+	fmt.Fprintf(w, "%-8s %14s\n", "cores", "UDP goodput")
+	for _, r := range measureFig5() {
+		fmt.Fprintf(w, "%-8d %11.0f MB/s\n", r.Cores, mbps(r.Goodput))
 	}
 	return nil
 }
 
-// runFig8: the throughput bar chart.
-func runFig8(w io.Writer) error {
-	type row struct {
+// fig8Row is one bar pair of the throughput chart.
+type fig8Row struct {
+	Label    string
+	TCP, UDP float64 // bits/s
+}
+
+// measureFig8 runs the throughput bar chart configurations.
+func measureFig8() []fig8Row {
+	type cfg struct {
 		label string
 		tb    func() *lab.Testbed
 		write int
 	}
 	std := 64 << 10
 	jumboWrite := microbench.StreamWriteFor(lab.GuestMTUFor(phys.Eth10G))
-	rows := []row{
+	cfgs := []cfg{
 		{"Native-1G", func() *lab.Testbed { return nativePair(phys.Eth1G) }, std},
 		{"VNET/U-1G (Palacios tap)", func() *lab.Testbed {
 			return lab.NewVNETUTestbed(sim.New(), phys.Eth1G, 2, vnetu.PalaciosTap)
@@ -73,30 +92,53 @@ func runFig8(w io.Writer) error {
 		{"Native-10G (MTU 9000)", func() *lab.Testbed { return nativePair(phys.Eth10G) }, jumboWrite},
 		{"VNET/P-10G (MTU 9000)", func() *lab.Testbed { return vnetpPair(phys.Eth10G) }, jumboWrite},
 	}
-	fmt.Fprintf(w, "%-26s %12s %12s\n", "configuration", "TCP", "UDP")
-	for _, r := range rows {
-		tcp := microbench.TTCPStream(r.tb(), 0, 1, r.write, tcpBytes)
-		udpWrite := r.write
+	var rows []fig8Row
+	for _, c := range cfgs {
+		tcp := microbench.TTCPStream(c.tb(), 0, 1, c.write, tcpBytes)
+		udpWrite := c.write
 		if udpWrite > 60000 {
 			udpWrite = 8900
 		}
-		udp := microbench.TTCPUDP(r.tb(), 0, 1, udpWrite, udpWindow)
-		fmt.Fprintf(w, "%-26s %7.0f MB/s %7.0f MB/s\n", r.label, mbps(tcp), mbps(udp))
+		udp := microbench.TTCPUDP(c.tb(), 0, 1, udpWrite, udpWindow)
+		rows = append(rows, fig8Row{Label: c.label, TCP: tcp, UDP: udp})
+	}
+	return rows
+}
+
+func runFig8(w io.Writer) error {
+	fmt.Fprintf(w, "%-26s %12s %12s\n", "configuration", "TCP", "UDP")
+	for _, r := range measureFig8() {
+		fmt.Fprintf(w, "%-26s %7.0f MB/s %7.0f MB/s\n", r.Label, mbps(r.TCP), mbps(r.UDP))
 	}
 	return nil
 }
 
-// runFig9: ping RTT vs ICMP payload size on both networks.
+// fig9Row is one payload size's RTT across the four networks.
+type fig9Row struct {
+	Size                                   int
+	Native1G, VNETP1G, Native10G, VNETP10G time.Duration
+}
+
+// measureFig9 runs the ping RTT vs ICMP payload sweep on both networks.
+func measureFig9() []fig9Row {
+	var rows []fig9Row
+	for _, size := range []int{56, 256, 1024, 4096, 8192} {
+		rows = append(rows, fig9Row{
+			Size:      size,
+			Native1G:  microbench.PingRTT(nativePair(phys.Eth1G), 0, 1, size, 10),
+			VNETP1G:   microbench.PingRTT(vnetpPair(phys.Eth1G), 0, 1, size, 10),
+			Native10G: microbench.PingRTT(nativePair(phys.Eth10G), 0, 1, size, 10),
+			VNETP10G:  microbench.PingRTT(vnetpPair(phys.Eth10G), 0, 1, size, 10),
+		})
+	}
+	return rows
+}
+
 func runFig9(w io.Writer) error {
-	sizes := []int{56, 256, 1024, 4096, 8192}
 	fmt.Fprintf(w, "%-8s %14s %14s %14s %14s\n", "size", "Native-1G", "VNET/P-1G", "Native-10G", "VNET/P-10G")
-	for _, size := range sizes {
-		n1 := microbench.PingRTT(nativePair(phys.Eth1G), 0, 1, size, 10)
-		v1 := microbench.PingRTT(vnetpPair(phys.Eth1G), 0, 1, size, 10)
-		n10 := microbench.PingRTT(nativePair(phys.Eth10G), 0, 1, size, 10)
-		v10 := microbench.PingRTT(vnetpPair(phys.Eth10G), 0, 1, size, 10)
+	for _, r := range measureFig9() {
 		fmt.Fprintf(w, "%-8d %11.1fus %11.1fus %11.1fus %11.1fus\n",
-			size, us(n1), us(v1), us(n10), us(v10))
+			r.Size, us(r.Native1G), us(r.VNETP1G), us(r.Native10G), us(r.VNETP10G))
 	}
 	return nil
 }

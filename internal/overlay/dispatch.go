@@ -13,9 +13,10 @@ package overlay
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"vnetp/internal/bridge"
+	"vnetp/internal/telemetry"
 )
 
 // defaultQueueDepth is each dispatcher's inbound ring size. Like a NIC RX
@@ -57,10 +58,12 @@ func (c *NodeConfig) normalize() {
 }
 
 // inDatagram is one raw encapsulation datagram handed from the read loop
-// to a dispatcher worker.
+// to a dispatcher worker. at is the socket-read timestamp, carried so
+// the RX latency histogram measures datagram-in → frame delivery.
 type inDatagram struct {
 	sender string
 	pkt    []byte
+	at     time.Time
 }
 
 // rxShard is one dispatcher worker's state: its inbound ring, its slice
@@ -75,8 +78,10 @@ type rxShard struct {
 	reasm *bridge.Reassembler
 
 	// Datagrams counts data datagrams processed, Frames completed inner
-	// frames routed, Drops producer-side ring-full losses.
-	Datagrams, Frames, Drops atomic.Uint64
+	// frames routed, Drops producer-side ring-full losses. All are
+	// children of the node's per-worker registry families
+	// (vnetp_dispatcher_*_total{worker="<idx>"}).
+	Datagrams, Frames, Drops *telemetry.Counter
 }
 
 // shardFor maps a sender key onto its dispatcher shard (FNV-1a). All
@@ -103,7 +108,7 @@ func (n *Node) dispatchLoop(s *rxShard) {
 				n.BadPackets.Add(1)
 				continue
 			}
-			n.processData(s, d.sender, h, payload)
+			n.processData(s, d.sender, h, payload, d.at)
 		}
 	}
 }
@@ -112,7 +117,7 @@ func (n *Node) dispatchLoop(s *rxShard) {
 // reassembly, then routing of any completed frame. Shared by the UDP
 // dispatcher workers and the TCP connection readers (which parse on their
 // own goroutines and call in directly).
-func (n *Node) processData(s *rxShard, sender string, h *bridge.EncapHeader, payload []byte) {
+func (n *Node) processData(s *rxShard, sender string, h *bridge.EncapHeader, payload []byte, at time.Time) {
 	s.Datagrams.Add(1)
 	s.mu.Lock()
 	frame, err := s.reasm.AddParsed(sender, h, payload)
@@ -127,15 +132,20 @@ func (n *Node) processData(s *rxShard, sender string, h *bridge.EncapHeader, pay
 	s.Frames.Add(1)
 	n.EncapRecv.Add(1)
 	n.route(frame, nil)
+	// The Fig. 7 RX stage budget on the real path: the completing
+	// datagram's socket read to the frame handed off past routing.
+	if !at.IsZero() {
+		n.metrics.rxLatency.Observe(time.Since(at).Seconds())
+	}
 }
 
 // enqueue offers a datagram to its sender's dispatcher without blocking
 // the socket read; ring-full datagrams are dropped and counted, like a
 // NIC RX ring under overrun.
-func (n *Node) enqueue(sender string, pkt []byte) {
+func (n *Node) enqueue(sender string, pkt []byte, at time.Time) {
 	s := n.shardFor(sender)
 	select {
-	case s.in <- inDatagram{sender: sender, pkt: pkt}:
+	case s.in <- inDatagram{sender: sender, pkt: pkt, at: at}:
 	default:
 		s.Drops.Add(1)
 	}
@@ -147,7 +157,7 @@ func (n *Node) enqueue(sender string, pkt []byte) {
 func (n *Node) inject(sender string, pkt []byte) {
 	s := n.shardFor(sender)
 	select {
-	case s.in <- inDatagram{sender: sender, pkt: pkt}:
+	case s.in <- inDatagram{sender: sender, pkt: pkt, at: time.Now()}:
 	case <-n.quit:
 	}
 }

@@ -24,6 +24,7 @@ import (
 
 	"vnetp/internal/bridge"
 	"vnetp/internal/core"
+	"vnetp/internal/telemetry"
 )
 
 // LinkState is a monitored link's liveness verdict.
@@ -119,7 +120,10 @@ func (c *HealthConfig) normalize() {
 	}
 }
 
-// linkHealth is per-link liveness state, guarded by the node mutex.
+// linkHealth is per-link liveness state, guarded by the node mutex. Its
+// counters are children of the node's per-link registry families: the
+// health monitor increments the exact objects /metrics scrapes and
+// LINK STATUS renders.
 type linkHealth struct {
 	state        LinkState
 	seq          uint64
@@ -131,15 +135,37 @@ type linkHealth struct {
 	windowLen    int
 	rtt          time.Duration // EWMA of measured probe RTTs
 
-	probesSent, probesLost, repliesRecv     uint64
-	failovers, failbacks, redials, upgrades uint64
+	probesSent, probesLost, repliesRecv     *telemetry.Counter
+	failovers, failbacks, redials, upgrades *telemetry.Counter
+	stateGauge                              *telemetry.Gauge
+	rttHist                                 *telemetry.Histogram
 }
 
-func newLinkHealth(windowSize int) *linkHealth {
+// newLinkHealth creates liveness state for lk wired to the node's
+// per-link metric families. Recreating health for a link id (retuned
+// window) reattaches the same registry children, so the counters stay
+// cumulative, matching Prometheus counter semantics.
+func (n *Node) newLinkHealth(lk *link, windowSize int) *linkHealth {
 	if windowSize <= 0 {
 		windowSize = 16
 	}
-	return &linkHealth{pending: make(map[uint64]time.Time), window: make([]bool, windowSize)}
+	m := n.metrics
+	h := &linkHealth{
+		pending: make(map[uint64]time.Time),
+		window:  make([]bool, windowSize),
+
+		probesSent:  m.linkProbesSent.With(lk.id),
+		probesLost:  m.linkProbesLost.With(lk.id),
+		repliesRecv: m.linkReplies.With(lk.id),
+		failovers:   m.linkFailovers.With(lk.id),
+		failbacks:   m.linkFailbacks.With(lk.id),
+		redials:     m.linkRedials.With(lk.id),
+		upgrades:    m.linkUpgrades.With(lk.id),
+		stateGauge:  m.linkState.With(lk.id),
+		rttHist:     m.linkRTT.With(lk.id),
+	}
+	h.stateGauge.Set(float64(h.state))
+	return h
 }
 
 func (h *linkHealth) push(ok bool) {
@@ -187,7 +213,7 @@ func (n *Node) EnableHealth(cfg HealthConfig) error {
 	n.healthQuit = quit
 	for _, lk := range n.links {
 		if lk.health == nil || len(lk.health.window) != cfg.LossWindow {
-			lk.health = newLinkHealth(cfg.LossWindow)
+			lk.health = n.newLinkHealth(lk, cfg.LossWindow)
 		}
 	}
 	n.wg.Add(1)
@@ -248,7 +274,7 @@ func (n *Node) healthTick() {
 	for _, lk := range n.links {
 		h := lk.health
 		if h == nil {
-			h = newLinkHealth(cfg.LossWindow)
+			h = n.newLinkHealth(lk, cfg.LossWindow)
 			lk.health = h
 		}
 		for seq, at := range h.pending {
@@ -269,7 +295,7 @@ func (n *Node) healthTick() {
 		}
 		h.seq++
 		h.pending[h.seq] = now
-		h.probesSent++
+		h.probesSent.Inc()
 		probes = append(probes, outProbe{lk, marshalProbe(lk.id, h.seq)})
 	}
 	n.mu.Unlock()
@@ -296,7 +322,7 @@ func (n *Node) noteProbeLocked(lk *link, ok bool) {
 		h.consecOK++
 		h.consecMissed = 0
 	} else {
-		h.probesLost++
+		h.probesLost.Inc()
 		h.consecMissed++
 		h.consecOK = 0
 	}
@@ -304,23 +330,24 @@ func (n *Node) noteProbeLocked(lk *link, ok bool) {
 	switch {
 	case h.state != LinkDown && h.consecMissed >= cfg.FailThreshold:
 		h.state = LinkDown
-		h.failovers++
+		h.failovers.Inc()
 		n.table.FailDest(dest)
 	case h.state == LinkDown && h.consecOK >= cfg.RecoverThreshold:
 		h.state = LinkUp
-		h.failbacks++
+		h.failbacks.Inc()
 		n.table.RestoreDest(dest)
 	case h.state == LinkUp && h.windowLen == len(h.window) && h.lossRate() >= cfg.DegradeLossPct:
 		h.state = LinkDegraded
 	case h.state == LinkDegraded && h.lossRate() < cfg.DegradeLossPct/2:
 		h.state = LinkUp
 	}
+	h.stateGauge.Set(float64(h.state))
 	// Sustained-lossy UDP links escape to TCP encapsulation (the paper's
 	// lossy/wide-area path transport).
 	if lk.proto == "udp" && cfg.AutoUpgradeLossPct > 0 &&
 		h.windowLen == len(h.window) && h.lossRate() >= cfg.AutoUpgradeLossPct {
 		lk.proto = "tcp"
-		h.upgrades++
+		h.upgrades.Inc()
 		h.resetWindow() // the TCP transport starts with a clean history
 	}
 }
@@ -339,7 +366,9 @@ func (n *Node) LinkHealth(id string) (LinkState, bool) {
 
 // --- control.HealthTarget implementation ---
 
-// LinkStatus reports one link's health detail (LINK STATUS <id>).
+// LinkStatus reports one link's health detail (LINK STATUS <id>),
+// rendered from the link's registry snapshot — the same counters
+// /metrics scrapes.
 func (n *Node) LinkStatus(id string) ([]string, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -347,30 +376,11 @@ func (n *Node) LinkStatus(id string) ([]string, error) {
 	if !ok {
 		return nil, fmt.Errorf("overlay: no link %q", id)
 	}
-	lines := []string{fmt.Sprintf("link %s proto %s remote %s", lk.id, lk.proto, lk.remote)}
-	h := lk.health
-	if h == nil {
-		return append(lines,
-			"state unmonitored",
-			fmt.Sprintf("send_errors %d", lk.sendErrors.Load()),
-		), nil
-	}
-	return append(lines,
-		fmt.Sprintf("state %s", h.state),
-		fmt.Sprintf("rtt_us %d", h.rtt.Microseconds()),
-		fmt.Sprintf("loss_pct %.1f", h.lossRate()*100),
-		fmt.Sprintf("probes_sent %d", h.probesSent),
-		fmt.Sprintf("probes_lost %d", h.probesLost),
-		fmt.Sprintf("replies_recv %d", h.repliesRecv),
-		fmt.Sprintf("send_errors %d", lk.sendErrors.Load()),
-		fmt.Sprintf("failovers %d", h.failovers),
-		fmt.Sprintf("failbacks %d", h.failbacks),
-		fmt.Sprintf("redials %d", h.redials),
-		fmt.Sprintf("upgrades %d", h.upgrades),
-	), nil
+	return n.snapshotLinkLocked(lk).statusLines(), nil
 }
 
-// HealthSummary reports one line per link (LIST HEALTH).
+// HealthSummary reports one line per link (LIST HEALTH), rendered from
+// the same registry snapshots as LINK STATUS and /metrics.
 func (n *Node) HealthSummary() []string {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -381,15 +391,7 @@ func (n *Node) HealthSummary() []string {
 	sort.Strings(ids)
 	out := make([]string, 0, len(ids))
 	for _, id := range ids {
-		lk := n.links[id]
-		h := lk.health
-		if h == nil {
-			out = append(out, fmt.Sprintf("%s %s unmonitored", id, lk.proto))
-			continue
-		}
-		out = append(out, fmt.Sprintf("%s %s %s rtt_us=%d loss_pct=%.1f sent=%d lost=%d send_errors=%d",
-			id, lk.proto, h.state, h.rtt.Microseconds(), h.lossRate()*100,
-			h.probesSent, h.probesLost, lk.sendErrors.Load()))
+		out = append(out, n.snapshotLinkLocked(n.links[id]).summaryLine())
 	}
 	return out
 }
@@ -480,8 +482,9 @@ func (n *Node) handleProbeReply(payload []byte) {
 		return // late duplicate or already expired
 	}
 	delete(h.pending, seq)
-	h.repliesRecv++
+	h.repliesRecv.Inc()
 	sample := now.Sub(at)
+	h.rttHist.Observe(sample.Seconds())
 	if h.rtt == 0 {
 		h.rtt = sample
 	} else {

@@ -19,6 +19,7 @@ import (
 	"vnetp/internal/core"
 	"vnetp/internal/ethernet"
 	"vnetp/internal/faultnet"
+	"vnetp/internal/telemetry"
 )
 
 // maxDatagram is the UDP payload budget per encapsulated datagram,
@@ -39,8 +40,9 @@ type Endpoint struct {
 	mtu  int
 	rx   chan *ethernet.Frame
 
-	// Drops counts frames lost to a full receive ring.
-	Drops atomic.Uint64
+	// Drops counts frames lost to a full receive ring
+	// (vnetp_endpoint_ring_drops_total in /metrics).
+	Drops *telemetry.Counter
 }
 
 // Name returns the interface name the endpoint is registered under.
@@ -102,9 +104,14 @@ type link struct {
 	// sendErrors counts transport send failures on this link, including
 	// ones inside an installed fault conduit (whose delivery callback may
 	// run on the conduit's own goroutine — hence atomic). The health
-	// monitor and LINK STATUS surface it so chaos tests can observe
-	// transport failures instead of having them swallowed.
-	sendErrors atomic.Uint64
+	// monitor, LINK STATUS, and /metrics surface it so chaos tests can
+	// observe transport failures instead of having them swallowed.
+	// bytesSent/bytesRecv account every encapsulation byte the link
+	// carries (data and probes alike). All are children of the node's
+	// per-link registry families.
+	sendErrors *telemetry.Counter
+	bytesSent  *telemetry.Counter
+	bytesRecv  *telemetry.Counter
 
 	// TCP redial backoff state (capped exponential).
 	redialAt      time.Time
@@ -122,28 +129,35 @@ type Node struct {
 	conn  *net.UDPConn
 	tcpLn net.Listener // inbound TCP encapsulation (same port as UDP)
 
-	mu       sync.Mutex
-	links    map[string]*link
-	eps      map[string]*Endpoint
-	tcpConns map[*tcpConn]struct{} // accepted inbound TCP transports
-	shards   []*rxShard            // dispatcher pool; reassembly sharded by sender
-	probeCh  chan probeEvent       // control traffic, split off the data path
-	nextID   atomic.Uint32
-	closed   bool
-	quit     chan struct{}
-	wg       sync.WaitGroup
+	mu         sync.Mutex
+	links      map[string]*link
+	linkByAddr map[string]*link      // UDP remote address → link, for receive-byte attribution
+	eps        map[string]*Endpoint
+	tcpConns   map[*tcpConn]struct{} // accepted inbound TCP transports
+	shards     []*rxShard            // dispatcher pool; reassembly sharded by sender
+	probeCh    chan probeEvent       // control traffic, split off the data path
+	nextID     atomic.Uint32
+	linkEpoch  atomic.Uint64 // bumped on AddLink/DelLink; readLoop's addr→link cache key
+	closed     bool
+	quit       chan struct{}
+	wg         sync.WaitGroup
 
 	// Link health monitor state (EnableHealth).
 	healthOn   bool
 	healthCfg  HealthConfig
 	healthQuit chan struct{}
 
+	// metrics is the node's telemetry registry and labeled families;
+	// the exported counters below are registry children too, so LIST
+	// STATS and /metrics read the same values.
+	metrics *nodeMetrics
+
 	// Stats
-	EncapSent   atomic.Uint64
-	EncapRecv   atomic.Uint64
-	Delivered   atomic.Uint64
-	NoRouteDrop atomic.Uint64
-	BadPackets  atomic.Uint64
+	EncapSent   *telemetry.Counter
+	EncapRecv   *telemetry.Counter
+	Delivered   *telemetry.Counter
+	NoRouteDrop *telemetry.Counter
+	BadPackets  *telemetry.Counter
 }
 
 // NewNode binds a node to a UDP address ("127.0.0.1:0" for tests) with
@@ -170,24 +184,37 @@ func NewNodeWithConfig(name, bindAddr string, cfg NodeConfig) (*Node, error) {
 	conn.SetReadBuffer(4 << 20)
 	conn.SetWriteBuffer(4 << 20)
 	n := &Node{
-		name:     name,
-		table:    core.NewTable(),
-		flows:    core.NewFlowStats(),
-		conn:     conn,
-		links:    make(map[string]*link),
-		eps:      make(map[string]*Endpoint),
-		tcpConns: make(map[*tcpConn]struct{}),
-		probeCh:  make(chan probeEvent, 256),
-		quit:     make(chan struct{}),
+		name:       name,
+		table:      core.NewTable(),
+		flows:      core.NewFlowStats(),
+		conn:       conn,
+		links:      make(map[string]*link),
+		linkByAddr: make(map[string]*link),
+		eps:        make(map[string]*Endpoint),
+		tcpConns:   make(map[*tcpConn]struct{}),
+		probeCh:    make(chan probeEvent, 256),
+		quit:       make(chan struct{}),
 	}
+	reg := telemetry.NewRegistry()
+	n.metrics = newNodeMetrics(reg)
+	n.EncapSent = reg.Counter("vnetp_encap_sent_total", "Inner frames encapsulated and sent over links.")
+	n.EncapRecv = reg.Counter("vnetp_encap_recv_total", "Inner frames reassembled from links.")
+	n.Delivered = reg.Counter("vnetp_frames_delivered_total", "Frames delivered to local endpoints.")
+	n.NoRouteDrop = reg.Counter("vnetp_no_route_drops_total", "Frames dropped for lack of a route or link.")
+	n.BadPackets = reg.Counter("vnetp_bad_packets_total", "Malformed encapsulation datagrams rejected.")
 	n.shards = make([]*rxShard, cfg.Dispatchers)
 	for i := range n.shards {
+		w := fmt.Sprint(i)
 		n.shards[i] = &rxShard{
-			idx:   i,
-			in:    make(chan inDatagram, cfg.QueueDepth),
-			reasm: bridge.NewReassembler(),
+			idx:       i,
+			in:        make(chan inDatagram, cfg.QueueDepth),
+			reasm:     bridge.NewReassembler(),
+			Datagrams: n.metrics.dispDatagrams.With(w),
+			Frames:    n.metrics.dispFrames.With(w),
+			Drops:     n.metrics.dispDrops.With(w),
 		}
 	}
+	n.registerNodeFuncs()
 	n.startTCP()
 	n.wg.Add(3 + len(n.shards))
 	go n.readLoop()
@@ -259,7 +286,8 @@ func (n *Node) AttachEndpoint(ifName string, mac ethernet.MAC, mtu int) (*Endpoi
 	}
 	ep := &Endpoint{
 		node: n, name: ifName, mac: mac, mtu: mtu,
-		rx: make(chan *ethernet.Frame, epQueueDepth),
+		rx:    make(chan *ethernet.Frame, epQueueDepth),
+		Drops: n.metrics.epDrops.With(ifName),
 	}
 	n.eps[ifName] = ep
 	n.table.AddRoute(core.Route{
@@ -275,6 +303,7 @@ func (n *Node) DetachEndpoint(ifName string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.eps, ifName)
+	n.metrics.epDrops.Delete(ifName)
 	n.table.RemoveByDest(core.Destination{Type: core.DestInterface, ID: ifName})
 }
 
@@ -301,11 +330,22 @@ func (n *Node) AddLink(id, remote string, proto string) error {
 	}
 	lk := &link{id: id, proto: proto, remote: remote, addr: addr}
 	n.mu.Lock()
-	if n.healthOn {
-		lk.health = newLinkHealth(n.healthCfg.LossWindow)
-	}
 	old := n.links[id]
+	if old != nil {
+		// Replaced link: detach its metric children so the new link's
+		// counters restart from zero, as a fresh link's always have.
+		n.unmapLinkAddrLocked(old)
+		n.dropLinkMetrics(id)
+	}
+	n.newLinkCounters(lk)
+	if n.healthOn {
+		lk.health = n.newLinkHealth(lk, n.healthCfg.LossWindow)
+	}
 	n.links[id] = lk
+	if addr != nil {
+		n.linkByAddr[addr.String()] = lk
+	}
+	n.linkEpoch.Add(1)
 	var oldTCP *tcpConn
 	if old != nil {
 		oldTCP = old.tcp
@@ -318,6 +358,17 @@ func (n *Node) AddLink(id, remote string, proto string) error {
 	return nil
 }
 
+// unmapLinkAddrLocked removes a link's addr→link attribution entry if it
+// still points at lk. Caller holds n.mu.
+func (n *Node) unmapLinkAddrLocked(lk *link) {
+	if lk.addr != nil {
+		key := lk.addr.String()
+		if n.linkByAddr[key] == lk {
+			delete(n.linkByAddr, key)
+		}
+	}
+}
+
 // DelLink removes a link, its routes, and — closing the gap that used to
 // leak the connection and its read goroutine — any dialed TCP transport.
 func (n *Node) DelLink(id string) error {
@@ -328,6 +379,9 @@ func (n *Node) DelLink(id string) error {
 		return fmt.Errorf("overlay: no link %q", id)
 	}
 	delete(n.links, id)
+	n.unmapLinkAddrLocked(lk)
+	n.dropLinkMetrics(id)
+	n.linkEpoch.Add(1)
 	tcp := lk.tcp
 	lk.tcp = nil
 	dest := core.Destination{Type: core.DestLink, ID: id}
@@ -399,45 +453,47 @@ func (n *Node) Links() []string {
 
 // Stats reports the node's traffic counters (LIST STATS in the control
 // language), including the aggregate link-health counters and the
-// per-dispatcher receive-path counters.
+// per-dispatcher receive-path counters. Every value is read from the
+// same registry handle /metrics scrapes, so the two surfaces agree by
+// construction; the line set and order are pinned for backward
+// compatibility (TestListStatsBackcompat).
 func (n *Node) Stats() []string {
 	hits, misses := n.table.CacheStats()
 	var probesSent, probesLost, failovers, failbacks, redials, upgrades, sendErrors uint64
 	n.mu.Lock()
 	for _, lk := range n.links {
-		sendErrors += lk.sendErrors.Load()
-		if h := lk.health; h != nil {
-			probesSent += h.probesSent
-			probesLost += h.probesLost
-			failovers += h.failovers
-			failbacks += h.failbacks
-			redials += h.redials
-			upgrades += h.upgrades
-		}
+		s := n.snapshotLinkLocked(lk)
+		sendErrors += s.sendErrors
+		probesSent += s.probesSent
+		probesLost += s.probesLost
+		failovers += s.failovers
+		failbacks += s.failbacks
+		redials += s.redials
+		upgrades += s.upgrades
 	}
 	n.mu.Unlock()
 	out := []string{
-		fmt.Sprintf("encap_sent %d", n.EncapSent.Load()),
-		fmt.Sprintf("encap_recv %d", n.EncapRecv.Load()),
-		fmt.Sprintf("delivered %d", n.Delivered.Load()),
-		fmt.Sprintf("no_route_drops %d", n.NoRouteDrop.Load()),
-		fmt.Sprintf("bad_packets %d", n.BadPackets.Load()),
-		fmt.Sprintf("send_errors %d", sendErrors),
-		fmt.Sprintf("route_cache_hits %d", hits),
-		fmt.Sprintf("route_cache_misses %d", misses),
-		fmt.Sprintf("probes_sent %d", probesSent),
-		fmt.Sprintf("probes_lost %d", probesLost),
-		fmt.Sprintf("failovers %d", failovers),
-		fmt.Sprintf("failbacks %d", failbacks),
-		fmt.Sprintf("redials %d", redials),
-		fmt.Sprintf("link_upgrades %d", upgrades),
-		fmt.Sprintf("dispatchers %d", len(n.shards)),
+		statLine("encap_sent", n.EncapSent.Load()),
+		statLine("encap_recv", n.EncapRecv.Load()),
+		statLine("delivered", n.Delivered.Load()),
+		statLine("no_route_drops", n.NoRouteDrop.Load()),
+		statLine("bad_packets", n.BadPackets.Load()),
+		statLine("send_errors", sendErrors),
+		statLine("route_cache_hits", hits),
+		statLine("route_cache_misses", misses),
+		statLine("probes_sent", probesSent),
+		statLine("probes_lost", probesLost),
+		statLine("failovers", failovers),
+		statLine("failbacks", failbacks),
+		statLine("redials", redials),
+		statLine("link_upgrades", upgrades),
+		statLine("dispatchers", uint64(len(n.shards))),
 	}
 	for _, s := range n.shards {
 		out = append(out,
-			fmt.Sprintf("dispatcher_%d_datagrams %d", s.idx, s.Datagrams.Load()),
-			fmt.Sprintf("dispatcher_%d_frames %d", s.idx, s.Frames.Load()),
-			fmt.Sprintf("dispatcher_%d_drops %d", s.idx, s.Drops.Load()),
+			statLine(fmt.Sprintf("dispatcher_%d_datagrams", s.idx), s.Datagrams.Load()),
+			statLine(fmt.Sprintf("dispatcher_%d_frames", s.idx), s.Frames.Load()),
+			statLine(fmt.Sprintf("dispatcher_%d_drops", s.idx), s.Drops.Load()),
 		)
 	}
 	return out
@@ -461,7 +517,9 @@ func (n *Node) Interfaces() []string {
 // and the per-destination errors are aggregated — a broadcast hitting one
 // dead link must not starve the rest of the LAN.
 func (n *Node) route(f *ethernet.Frame, from *Endpoint) error {
+	var txStart time.Time
 	if from != nil {
+		txStart = time.Now()
 		n.flows.Record(f.Src, f.Dst, f.Len())
 	}
 	dests, _, err := n.table.Lookup(f.Src, f.Dst)
@@ -470,6 +528,7 @@ func (n *Node) route(f *ethernet.Frame, from *Endpoint) error {
 		return err
 	}
 	var errs []error
+	sentOnLink := false
 	for _, d := range dests {
 		switch d.Type {
 		case core.DestInterface:
@@ -491,8 +550,15 @@ func (n *Node) route(f *ethernet.Frame, from *Endpoint) error {
 			}
 			if err := n.sendEncap(lk, f); err != nil {
 				errs = append(errs, fmt.Errorf("link %q: %w", d.ID, err))
+			} else {
+				sentOnLink = true
 			}
 		}
+	}
+	// The Fig. 7 TX stage budget on the real path: locally originated
+	// frame arrival to its last encapsulation datagram leaving a link.
+	if from != nil && sentOnLink {
+		n.metrics.txLatency.Observe(time.Since(txStart).Seconds())
 	}
 	return errors.Join(errs...)
 }
@@ -550,6 +616,8 @@ func (n *Node) sendOnLink(lk *link, d []byte) error {
 		fault.Send(d, func(p any) {
 			if err := send(p.([]byte)); err != nil {
 				lk.sendErrors.Add(1)
+			} else {
+				lk.bytesSent.Add(uint64(len(p.([]byte))))
 			}
 		})
 		return nil
@@ -558,6 +626,7 @@ func (n *Node) sendOnLink(lk *link, d []byte) error {
 		lk.sendErrors.Add(1)
 		return err
 	}
+	lk.bytesSent.Add(uint64(len(d)))
 	return nil
 }
 
@@ -578,16 +647,35 @@ func (n *Node) readLoop() {
 	buf := make([]byte, 65536)
 	// Cache the sender-key string for the common case of consecutive
 	// datagrams from one peer (a fragmented jumbo frame arrives as a burst
-	// from the same address): String() per datagram would allocate.
+	// from the same address): String() per datagram would allocate. The
+	// sender's link (for receive-byte attribution) is cached alongside,
+	// invalidated when the key or the link table's epoch changes.
 	var lastAddr net.UDPAddr
 	var lastKey string
+	var lastLink *link
+	var lastEpoch uint64
 	for {
 		sz, from, err := n.conn.ReadFromUDP(buf)
 		if err != nil {
 			return
 		}
+		at := time.Now()
 		pkt := make([]byte, sz)
 		copy(pkt, buf[:sz])
+		changed := lastKey == "" || from.Port != lastAddr.Port || !from.IP.Equal(lastAddr.IP)
+		if changed {
+			lastAddr = *from
+			lastKey = from.String()
+		}
+		if epoch := n.linkEpoch.Load(); changed || epoch != lastEpoch {
+			lastEpoch = epoch
+			n.mu.Lock()
+			lastLink = n.linkByAddr[lastKey]
+			n.mu.Unlock()
+		}
+		if lastLink != nil {
+			lastLink.bytesRecv.Add(uint64(sz))
+		}
 		if bridge.EncapIsControl(pkt) {
 			select {
 			case n.probeCh <- probeEvent{pkt: pkt, from: from}:
@@ -597,11 +685,7 @@ func (n *Node) readLoop() {
 			}
 			continue
 		}
-		if lastKey == "" || from.Port != lastAddr.Port || !from.IP.Equal(lastAddr.IP) {
-			lastAddr = *from
-			lastKey = from.String()
-		}
-		n.enqueue(lastKey, pkt)
+		n.enqueue(lastKey, pkt, at)
 	}
 }
 
@@ -642,8 +726,11 @@ func (n *Node) evictLoop() {
 		case <-t.C:
 			for _, s := range n.shards {
 				s.mu.Lock()
-				s.reasm.EvictStale()
+				evicted := s.reasm.EvictStale()
 				s.mu.Unlock()
+				if evicted > 0 {
+					n.metrics.reasmEvictions.Add(uint64(evicted))
+				}
 			}
 		}
 	}

@@ -125,6 +125,10 @@ func (n *Node) readTCP(c *tcpConn, lk *link) {
 		if _, err := io.ReadFull(r, pkt); err != nil {
 			return
 		}
+		at := time.Now()
+		if lk != nil { // inbound accepted conns have no link to attribute to
+			lk.bytesRecv.Add(uint64(len(hdr) + len(pkt)))
+		}
 		h, payload, err := bridge.ParseEncap(pkt)
 		if err != nil {
 			n.BadPackets.Add(1)
@@ -141,7 +145,7 @@ func (n *Node) readTCP(c *tcpConn, lk *link) {
 			// The connection reader is already a dedicated goroutine, so
 			// data is processed inline on the sender's reassembly shard
 			// rather than re-queued behind the UDP dispatchers.
-			n.processData(shard, key, h, payload)
+			n.processData(shard, key, h, payload, at)
 		}
 	}
 }
@@ -187,7 +191,7 @@ func (n *Node) dialTCP(lk *link) (*tcpConn, error) {
 	lk.redialAt = time.Time{}
 	if lk.dialed { // a transport existed before: this is a redial
 		if lk.health != nil {
-			lk.health.redials++
+			lk.health.redials.Inc()
 		}
 	}
 	lk.dialed = true

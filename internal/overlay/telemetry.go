@@ -1,0 +1,246 @@
+// Runtime visibility for the live datapath. Every node owns a
+// telemetry.Registry; the node, link, health-monitor, and dispatcher
+// counters are registry-backed handles, and the control plane's LIST
+// STATS / LINK STATUS / LIST HEALTH render from the same handles that
+// /metrics scrapes — the two surfaces cannot drift. Naming scheme:
+// vnetp_<subsystem>_<name>{_total} with per-link ("link") and per-worker
+// ("worker") label families; latencies and RTTs are log-bucketed
+// histograms in seconds (the paper's Fig. 7 per-stage budget, measured
+// on the real path).
+package overlay
+
+import (
+	"fmt"
+	"strconv"
+
+	"vnetp/internal/telemetry"
+)
+
+// nodeMetrics holds a node's registered metric handles. Scalar node
+// counters live directly on Node (exported, used by examples and
+// tests); this struct carries the labeled families and histograms.
+type nodeMetrics struct {
+	reg *telemetry.Registry
+
+	epDrops *telemetry.CounterVec // interface
+
+	linkSendErrors *telemetry.CounterVec // link
+	linkBytesSent  *telemetry.CounterVec
+	linkBytesRecv  *telemetry.CounterVec
+	linkProbesSent *telemetry.CounterVec
+	linkProbesLost *telemetry.CounterVec
+	linkReplies    *telemetry.CounterVec
+	linkFailovers  *telemetry.CounterVec
+	linkFailbacks  *telemetry.CounterVec
+	linkRedials    *telemetry.CounterVec
+	linkUpgrades   *telemetry.CounterVec
+	linkState      *telemetry.GaugeVec
+	linkRTT        *telemetry.HistogramVec
+
+	dispDatagrams *telemetry.CounterVec // worker
+	dispFrames    *telemetry.CounterVec
+	dispDrops     *telemetry.CounterVec
+	dispRing      *telemetry.GaugeVec
+	reasmPending  *telemetry.GaugeVec
+
+	reasmEvictions *telemetry.Counter
+	txLatency      *telemetry.Histogram
+	rxLatency      *telemetry.Histogram
+}
+
+func newNodeMetrics(reg *telemetry.Registry) *nodeMetrics {
+	return &nodeMetrics{
+		reg: reg,
+
+		epDrops: reg.CounterVec("vnetp_endpoint_ring_drops_total",
+			"Frames dropped at a full endpoint receive ring.", "interface"),
+
+		linkSendErrors: reg.CounterVec("vnetp_link_send_errors_total",
+			"Transport send failures per link (including inside fault conduits).", "link"),
+		linkBytesSent: reg.CounterVec("vnetp_link_bytes_sent_total",
+			"Encapsulation bytes sent per link (data and probes).", "link"),
+		linkBytesRecv: reg.CounterVec("vnetp_link_bytes_recv_total",
+			"Encapsulation bytes received per link (data and probes).", "link"),
+		linkProbesSent: reg.CounterVec("vnetp_link_probes_sent_total",
+			"Liveness probes sent per link.", "link"),
+		linkProbesLost: reg.CounterVec("vnetp_link_probes_lost_total",
+			"Liveness probes lost (unanswered within the timeout) per link.", "link"),
+		linkReplies: reg.CounterVec("vnetp_link_probe_replies_total",
+			"Liveness probe replies received per link.", "link"),
+		linkFailovers: reg.CounterVec("vnetp_link_failovers_total",
+			"Down transitions that failed backup-equipped routes over.", "link"),
+		linkFailbacks: reg.CounterVec("vnetp_link_failbacks_total",
+			"Recoveries that restored failed-over routes.", "link"),
+		linkRedials: reg.CounterVec("vnetp_link_redials_total",
+			"TCP transport re-establishments per link.", "link"),
+		linkUpgrades: reg.CounterVec("vnetp_link_upgrades_total",
+			"UDP links auto-upgraded to TCP encapsulation.", "link"),
+		linkState: reg.GaugeVec("vnetp_link_state",
+			"Link liveness state: 0 up, 1 degraded, 2 down.", "link"),
+		linkRTT: reg.HistogramVec("vnetp_link_rtt_seconds",
+			"Liveness probe round-trip time per link.", telemetry.LatencyBuckets, "link"),
+
+		dispDatagrams: reg.CounterVec("vnetp_dispatcher_datagrams_total",
+			"Data datagrams processed per dispatcher worker.", "worker"),
+		dispFrames: reg.CounterVec("vnetp_dispatcher_frames_total",
+			"Completed inner frames routed per dispatcher worker.", "worker"),
+		dispDrops: reg.CounterVec("vnetp_dispatcher_drops_total",
+			"Datagrams dropped at a full dispatcher ring.", "worker"),
+		dispRing: reg.GaugeVec("vnetp_dispatcher_ring_depth",
+			"Datagrams queued in a dispatcher's inbound ring.", "worker"),
+		reasmPending: reg.GaugeVec("vnetp_reassembly_pending",
+			"Partially reassembled packets held per dispatcher worker.", "worker"),
+
+		reasmEvictions: reg.Counter("vnetp_reassembly_evictions_total",
+			"Stale partial reassemblies aged out."),
+		txLatency: reg.Histogram("vnetp_tx_latency_seconds",
+			"Frame-in to datagram-out latency for locally originated frames hitting a link.",
+			telemetry.LatencyBuckets),
+		rxLatency: reg.Histogram("vnetp_rx_latency_seconds",
+			"Datagram-in to frame-delivery latency on the receive path.",
+			telemetry.LatencyBuckets),
+	}
+}
+
+// registerNodeFuncs installs the snapshot-time metrics that read state
+// maintained elsewhere: node counters, routing-cache atomics, ring
+// depths, and reassembler occupancy. Called once the shards exist.
+func (n *Node) registerNodeFuncs() {
+	m := n.metrics
+	reg := m.reg
+	reg.GaugeFunc("vnetp_dispatchers", "Receive dispatcher pool size.",
+		func() float64 { return float64(len(n.shards)) })
+	reg.CounterFunc("vnetp_route_cache_hits_total", "Routing-cache hits.",
+		func() uint64 { h, _ := n.table.CacheStats(); return h })
+	reg.CounterFunc("vnetp_route_cache_misses_total", "Routing-cache misses.",
+		func() uint64 { _, m := n.table.CacheStats(); return m })
+	for _, s := range n.shards {
+		s := s
+		w := strconv.Itoa(s.idx)
+		m.dispRing.Func(func() float64 { return float64(len(s.in)) }, w)
+		m.reasmPending.Func(func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.reasm.Pending())
+		}, w)
+	}
+}
+
+// Telemetry exposes the node's metrics registry, e.g. for
+// telemetry.Serve (the vnetpd -telemetry-addr flag).
+func (n *Node) Telemetry() *telemetry.Registry { return n.metrics.reg }
+
+// newLinkCounters hands a fresh (or re-added) link its registry
+// children. Caller must have dropped any previous link of the same id
+// via dropLinkMetrics so counters restart from zero, matching the
+// pre-registry semantics of a replaced link.
+func (n *Node) newLinkCounters(lk *link) {
+	m := n.metrics
+	lk.sendErrors = m.linkSendErrors.With(lk.id)
+	lk.bytesSent = m.linkBytesSent.With(lk.id)
+	lk.bytesRecv = m.linkBytesRecv.With(lk.id)
+}
+
+// dropLinkMetrics removes a link's children from every per-link family
+// (link deleted or replaced).
+func (n *Node) dropLinkMetrics(id string) {
+	m := n.metrics
+	for _, v := range []*telemetry.CounterVec{
+		m.linkSendErrors, m.linkBytesSent, m.linkBytesRecv,
+		m.linkProbesSent, m.linkProbesLost, m.linkReplies,
+		m.linkFailovers, m.linkFailbacks, m.linkRedials, m.linkUpgrades,
+	} {
+		v.Delete(id)
+	}
+	m.linkState.Delete(id)
+	m.linkRTT.Delete(id)
+}
+
+// --- control-plane rendering ---
+//
+// The renderers below are the single source of the "name value" counter
+// lines the control language exposes (LIST STATS, LINK STATUS, LIST
+// HEALTH). They read exactly the registry handles /metrics scrapes.
+
+// statLine renders one control-plane counter line.
+func statLine(name string, v uint64) string {
+	return fmt.Sprintf("%s %d", name, v)
+}
+
+// linkSnapshot is one link's counter state, captured under n.mu and
+// rendered by both LINK STATUS and LIST HEALTH.
+type linkSnapshot struct {
+	id, proto, remote string
+	monitored         bool
+	state             LinkState
+	rttUS             int64
+	lossPct           float64
+
+	probesSent, probesLost, repliesRecv     uint64
+	failovers, failbacks, redials, upgrades uint64
+	sendErrors, bytesSent, bytesRecv        uint64
+}
+
+// snapshotLinkLocked captures a link's counters. Caller holds n.mu.
+func (n *Node) snapshotLinkLocked(lk *link) linkSnapshot {
+	s := linkSnapshot{
+		id: lk.id, proto: lk.proto, remote: lk.remote,
+		sendErrors: lk.sendErrors.Load(),
+		bytesSent:  lk.bytesSent.Load(),
+		bytesRecv:  lk.bytesRecv.Load(),
+	}
+	if h := lk.health; h != nil {
+		s.monitored = true
+		s.state = h.state
+		s.rttUS = h.rtt.Microseconds()
+		s.lossPct = h.lossRate() * 100
+		s.probesSent = h.probesSent.Load()
+		s.probesLost = h.probesLost.Load()
+		s.repliesRecv = h.repliesRecv.Load()
+		s.failovers = h.failovers.Load()
+		s.failbacks = h.failbacks.Load()
+		s.redials = h.redials.Load()
+		s.upgrades = h.upgrades.Load()
+	}
+	return s
+}
+
+// statusLines renders a snapshot in LINK STATUS form. The line set and
+// order up to "upgrades" are pinned for backward compatibility; the
+// bytes counters append after.
+func (s linkSnapshot) statusLines() []string {
+	lines := []string{fmt.Sprintf("link %s proto %s remote %s", s.id, s.proto, s.remote)}
+	if !s.monitored {
+		return append(lines,
+			"state unmonitored",
+			statLine("send_errors", s.sendErrors),
+			statLine("bytes_sent", s.bytesSent),
+			statLine("bytes_recv", s.bytesRecv),
+		)
+	}
+	return append(lines,
+		fmt.Sprintf("state %s", s.state),
+		statLine("rtt_us", uint64(s.rttUS)),
+		fmt.Sprintf("loss_pct %.1f", s.lossPct),
+		statLine("probes_sent", s.probesSent),
+		statLine("probes_lost", s.probesLost),
+		statLine("replies_recv", s.repliesRecv),
+		statLine("send_errors", s.sendErrors),
+		statLine("failovers", s.failovers),
+		statLine("failbacks", s.failbacks),
+		statLine("redials", s.redials),
+		statLine("upgrades", s.upgrades),
+		statLine("bytes_sent", s.bytesSent),
+		statLine("bytes_recv", s.bytesRecv),
+	)
+}
+
+// summaryLine renders a snapshot in LIST HEALTH one-line form.
+func (s linkSnapshot) summaryLine() string {
+	if !s.monitored {
+		return fmt.Sprintf("%s %s unmonitored", s.id, s.proto)
+	}
+	return fmt.Sprintf("%s %s %s rtt_us=%d loss_pct=%.1f sent=%d lost=%d send_errors=%d",
+		s.id, s.proto, s.state, s.rttUS, s.lossPct,
+		s.probesSent, s.probesLost, s.sendErrors)
+}

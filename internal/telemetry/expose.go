@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Prometheus text exposition content type.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string (backslash and newline only).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// labelString renders {a="x",b="y"}; extra appends one more pair (the
+// histogram "le" label). Empty input renders "".
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(values[i]))
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraName, escapeLabel(extraValue))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteText renders the registry in Prometheus text exposition format
+// (version 0.0.4): HELP and TYPE headers per family, one sample line per
+// child (histograms expand to cumulative _bucket lines plus _sum and
+// _count).
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.Gather() {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Type)
+		for _, s := range f.Samples {
+			if s.Hist == nil {
+				fmt.Fprintf(bw, "%s%s %s\n", f.Name, labelString(f.LabelNames, s.LabelValues, "", ""), formatFloat(s.Value))
+				continue
+			}
+			for i, bound := range s.Hist.Bounds {
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.Name,
+					labelString(f.LabelNames, s.LabelValues, "le", formatFloat(bound)), s.Hist.Cumulative[i])
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", f.Name,
+				labelString(f.LabelNames, s.LabelValues, "le", "+Inf"), s.Hist.Cumulative[len(s.Hist.Bounds)])
+			fmt.Fprintf(bw, "%s_sum%s %s\n", f.Name,
+				labelString(f.LabelNames, s.LabelValues, "", ""), formatFloat(s.Hist.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", f.Name,
+				labelString(f.LabelNames, s.LabelValues, "", ""), s.Hist.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+// Server is the exposition endpoint: /metrics (Prometheus text),
+// /debug/pprof/ (CPU/heap/goroutine profiling), and /healthz.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Handler returns the exposition mux for reg, usable standalone (tests,
+// embedding into an existing server).
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an exposition server on addr ("127.0.0.1:0" picks a free
+// port; Addr reports it).
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg)}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr reports the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately.
+func (s *Server) Close() error { return s.srv.Close() }
