@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-json clean
+.PHONY: build test vet race verify bench bench-json bench-baseline fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,21 @@ verify: build vet test race
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
-# Machine-readable microbenchmark results (CI uploads the JSON artifact).
+# Machine-readable microbenchmark results (CI uploads the JSON artifact),
+# gated against the committed baseline: >15% throughput regression fails.
+# Refresh the baseline intentionally with `make bench-baseline`.
 bench-json:
 	$(GO) run ./cmd/vnetbench -json BENCH_microbench.json
+	$(GO) run ./scripts/benchguard -bench BENCH_microbench.json -baseline scripts/benchguard/baseline.json
+
+bench-baseline:
+	$(GO) run ./cmd/vnetbench -json BENCH_microbench.json
+	$(GO) run ./scripts/benchguard -bench BENCH_microbench.json -baseline scripts/benchguard/baseline.json -update
+
+# Short coverage-guided runs of each fuzz target (the CI smoke).
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzEncapDecode -fuzztime=10s ./internal/bridge
+	$(GO) test -run=^$$ -fuzz=FuzzReassembler -fuzztime=10s ./internal/bridge
 
 clean:
 	$(GO) clean ./...

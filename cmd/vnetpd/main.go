@@ -36,6 +36,8 @@ func main() {
 	config := flag.String("config", "", "configuration script applied at startup")
 	echo := flag.String("echo", "", "attach an echo endpoint: <ifname>:<mac>")
 	dispatchers := flag.Int("dispatchers", 0, "receive dispatcher workers (0: min(4, GOMAXPROCS))")
+	txBatch := flag.Int("tx-batch", 1, "frames coalesced per link TX batch (1: synchronous sends)")
+	txFlush := flag.Duration("tx-flush", 100*time.Microsecond, "max wait for a partial TX batch (with -tx-batch > 1)")
 	telemetryAddr := flag.String("telemetry-addr", "", "HTTP address for /metrics, /debug/pprof/, /healthz (empty: disabled)")
 	health := flag.Bool("health", false, "enable the link health monitor (heartbeats, failover, redial)")
 	probeInterval := flag.Duration("probe-interval", 200*time.Millisecond, "heartbeat probe interval (with -health)")
@@ -43,13 +45,20 @@ func main() {
 	probeRecover := flag.Int("probe-recover", 2, "consecutive replies before a down link is up (with -health)")
 	flag.Parse()
 
-	node, err := overlay.NewNodeWithConfig(*name, *bind, overlay.NodeConfig{Dispatchers: *dispatchers})
+	node, err := overlay.NewNodeWithConfig(*name, *bind, overlay.NodeConfig{
+		Dispatchers:    *dispatchers,
+		TxBatch:        *txBatch,
+		TxFlushTimeout: *txFlush,
+	})
 	if err != nil {
 		log.Fatalf("vnetpd: %v", err)
 	}
 	defer node.Close()
 	log.Printf("vnetpd: node %q carrying traffic on %s (%d dispatchers)",
 		*name, node.Addr(), node.Dispatchers())
+	if *txBatch > 1 {
+		log.Printf("vnetpd: batched transmit on (batch %d, flush %v)", *txBatch, *txFlush)
+	}
 
 	if *telemetryAddr != "" {
 		srv, err := telemetry.Serve(*telemetryAddr, node.Telemetry())

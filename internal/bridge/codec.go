@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"vnetp/internal/ethernet"
 )
@@ -147,6 +149,100 @@ func Encapsulate(f *ethernet.Frame, id uint32, maxPayload int) ([][]byte, error)
 		out = [][]byte{h.Marshal(nil)}
 	}
 	return out, nil
+}
+
+// Encapsulator is a pooling variant of Encapsulate for the hot transmit
+// path: the inner-frame marshal scratch, the fragment wire buffers, and
+// the datagram slice headers for one frame all live in a single pooled
+// EncapPacket, so steady-state encapsulation allocates nothing. The
+// zero value is ready to use and safe for concurrent callers.
+type Encapsulator struct {
+	pool         sync.Pool // *EncapPacket
+	hits, misses atomic.Uint64
+}
+
+// EncapPacket is one frame's encapsulation: ready-to-send datagrams
+// whose backing buffers belong to the Encapsulator's pool. Callers must
+// not retain Datagrams (or slices of them) past Release.
+type EncapPacket struct {
+	Datagrams [][]byte
+
+	owner *Encapsulator
+	inner []byte // marshalled inner frame scratch
+	wire  []byte // backing storage for every datagram
+}
+
+// Encapsulate is the pooled equivalent of the package-level Encapsulate:
+// it marshals f and splits it into datagrams of at most maxPayload bytes
+// each (header included), reusing buffers from the pool. The returned
+// packet must be Released once every datagram has been handed to (and
+// copied or written by) the transport.
+func (e *Encapsulator) Encapsulate(f *ethernet.Frame, id uint32, maxPayload int) (*EncapPacket, error) {
+	if maxPayload <= EncapHeaderLen {
+		panic(fmt.Sprintf("bridge: maxPayload %d leaves no room for data", maxPayload))
+	}
+	p, _ := e.pool.Get().(*EncapPacket)
+	if p == nil {
+		p = &EncapPacket{owner: e}
+		e.misses.Add(1)
+	} else {
+		e.hits.Add(1)
+	}
+	inner, err := f.Marshal(p.inner[:0])
+	if err != nil {
+		e.pool.Put(p)
+		return nil, err
+	}
+	p.inner = inner
+	chunk := maxPayload - EncapHeaderLen
+	nfrags := (len(inner) + chunk - 1) / chunk
+	if nfrags == 0 {
+		nfrags = 1
+	}
+	// One contiguous wire buffer holds every fragment (header + slice);
+	// sizing it up front keeps the datagram sub-slices stable.
+	need := len(inner) + nfrags*EncapHeaderLen
+	if cap(p.wire) < need {
+		p.wire = make([]byte, 0, need)
+	}
+	wire := p.wire[:0]
+	dgs := p.Datagrams[:0]
+	for i := 0; i < nfrags; i++ {
+		off := i * chunk
+		end := off + chunk
+		if end > len(inner) {
+			end = len(inner)
+		}
+		h := EncapHeader{
+			ID:        id,
+			FragOff:   uint32(off),
+			TotalLen:  uint32(len(inner)),
+			MoreFrags: end < len(inner),
+		}
+		start := len(wire)
+		wire = h.Marshal(wire)
+		wire = append(wire, inner[off:end]...)
+		dgs = append(dgs, wire[start:len(wire):len(wire)])
+	}
+	p.wire = wire
+	p.Datagrams = dgs
+	return p, nil
+}
+
+// PoolStats reports how many Encapsulate calls were served from the pool
+// (hits) versus had to allocate a fresh packet (misses).
+func (e *Encapsulator) PoolStats() (hits, misses uint64) {
+	return e.hits.Load(), e.misses.Load()
+}
+
+// Release returns the packet's buffers to the pool. The packet and its
+// datagrams must not be used (or Released again) afterwards.
+func (p *EncapPacket) Release() {
+	if p.owner == nil {
+		return
+	}
+	p.Datagrams = p.Datagrams[:0]
+	p.owner.pool.Put(p)
 }
 
 // FragmentCount reports how many datagrams Encapsulate would produce for

@@ -38,7 +38,13 @@ func DefaultDispatchers() int {
 	return n
 }
 
-// NodeConfig tunes a node's receive datapath.
+// Default TX batching parameters (NodeConfig zero values).
+const (
+	defaultTxRing  = 1024
+	defaultTxFlush = 100 * time.Microsecond
+)
+
+// NodeConfig tunes a node's datapath.
 type NodeConfig struct {
 	// Dispatchers is the number of receive dispatcher workers. Zero means
 	// DefaultDispatchers().
@@ -46,6 +52,32 @@ type NodeConfig struct {
 	// QueueDepth is each dispatcher's inbound datagram ring. Zero means
 	// the default (512).
 	QueueDepth int
+
+	// TxBatch is the number of frames a link's sender goroutine coalesces
+	// per wakeup (the send-side analogue of the paper's VMM-driven batch
+	// dispatch, Sect. 4.3). Zero or one keeps the synchronous transmit
+	// path: Send encapsulates and writes inline, preserving guest-driven
+	// latency semantics. Above one, each link owns a bounded TX ring and
+	// a sender goroutine that drains it in batches, amortizing wakeups,
+	// buffer allocations, and (on Linux) syscalls via sendmmsg. In batched
+	// mode a frame handed to Send is retained until flushed and must not
+	// be modified by the caller afterwards.
+	TxBatch int
+	// TxRing is each link's TX ring depth in frames (batched mode only).
+	// Like a NIC TX ring, enqueue drops (and counts) when full rather
+	// than blocking the router. Zero means the default (1024).
+	TxRing int
+	// TxFlushTimeout bounds how long a partial batch may wait for more
+	// frames before it is flushed — the send-side half of the adaptive
+	// hysteresis idea from the paper's Table 1. Zero means the default
+	// (100µs).
+	TxFlushTimeout time.Duration
+
+	// EvictInterval is how often stale partial reassemblies are swept
+	// (generation-based eviction; a partial untouched for two sweeps is
+	// dropped). Zero means the default (1s). Tests shorten it to fake
+	// the clock.
+	EvictInterval time.Duration
 }
 
 func (c *NodeConfig) normalize() {
@@ -54,6 +86,18 @@ func (c *NodeConfig) normalize() {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = defaultQueueDepth
+	}
+	if c.TxBatch < 1 {
+		c.TxBatch = 1
+	}
+	if c.TxRing <= 0 {
+		c.TxRing = defaultTxRing
+	}
+	if c.TxFlushTimeout <= 0 {
+		c.TxFlushTimeout = defaultTxFlush
+	}
+	if c.EvictInterval <= 0 {
+		c.EvictInterval = time.Second
 	}
 }
 

@@ -56,12 +56,34 @@ func (ep *Endpoint) MTU() int { return ep.mtu }
 
 // Send routes a frame into the overlay. The frame's source should be the
 // endpoint's MAC (the overlay routes on whatever addresses the frame
-// carries, like a real switch).
+// carries, like a real switch). On a node running the batched transmit
+// path (NodeConfig.TxBatch > 1) the frame is retained until its link
+// batch flushes and must not be modified after Send returns.
 func (ep *Endpoint) Send(f *ethernet.Frame) error {
 	if f.PayloadLen() > ep.mtu {
 		return fmt.Errorf("overlay: frame payload %d exceeds endpoint MTU %d", f.PayloadLen(), ep.mtu)
 	}
 	return ep.node.route(f, ep)
+}
+
+// SendBatch routes a batch of frames in one call — the overlay-side
+// mirror of virtio's single-exit multi-packet dequeue. The whole batch
+// shares one arrival timestamp and per-frame errors (MTU violations,
+// synchronous transport failures) are aggregated rather than aborting
+// the rest of the batch.
+func (ep *Endpoint) SendBatch(frames []*ethernet.Frame) error {
+	at := time.Now()
+	var errs []error
+	for _, f := range frames {
+		if f.PayloadLen() > ep.mtu {
+			errs = append(errs, fmt.Errorf("overlay: frame payload %d exceeds endpoint MTU %d", f.PayloadLen(), ep.mtu))
+			continue
+		}
+		if err := ep.node.routeAt(f, ep, at); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Recv waits up to timeout for a delivered frame.
@@ -101,17 +123,26 @@ type link struct {
 	fault  *faultnet.Conduit // optional fault injection on the send path
 	health *linkHealth       // liveness state, nil until monitored
 
+	// Batched transmit state (NodeConfig.TxBatch > 1): a bounded ring of
+	// outbound frames drained by this link's sender goroutine (txLoop).
+	// txq is nil on nodes running the synchronous path. txQuit stops the
+	// sender when the link is deleted or replaced.
+	txq    chan txFrame
+	txQuit chan struct{}
+
 	// sendErrors counts transport send failures on this link, including
 	// ones inside an installed fault conduit (whose delivery callback may
 	// run on the conduit's own goroutine — hence atomic). The health
 	// monitor, LINK STATUS, and /metrics surface it so chaos tests can
 	// observe transport failures instead of having them swallowed.
 	// bytesSent/bytesRecv account every encapsulation byte the link
-	// carries (data and probes alike). All are children of the node's
-	// per-link registry families.
+	// carries (data and probes alike). txDrops counts frames lost to a
+	// full TX ring. All are children of the node's per-link registry
+	// families.
 	sendErrors *telemetry.Counter
 	bytesSent  *telemetry.Counter
 	bytesRecv  *telemetry.Counter
+	txDrops    *telemetry.Counter
 
 	// TCP redial backoff state (capped exponential).
 	redialAt      time.Time
@@ -124,10 +155,15 @@ type link struct {
 // the control daemon and the VNET/U-compatible language configure it.
 type Node struct {
 	name  string
+	cfg   NodeConfig // normalized datapath configuration
 	table *core.Table
 	flows *core.FlowStats
 	conn  *net.UDPConn
 	tcpLn net.Listener // inbound TCP encapsulation (same port as UDP)
+
+	// encap pools the per-frame encapsulation buffers for the whole TX
+	// path (both synchronous and batched sends).
+	encap bridge.Encapsulator
 
 	mu         sync.Mutex
 	links      map[string]*link
@@ -185,6 +221,7 @@ func NewNodeWithConfig(name, bindAddr string, cfg NodeConfig) (*Node, error) {
 	conn.SetWriteBuffer(4 << 20)
 	n := &Node{
 		name:       name,
+		cfg:        cfg,
 		table:      core.NewTable(),
 		flows:      core.NewFlowStats(),
 		conn:       conn,
@@ -330,12 +367,20 @@ func (n *Node) AddLink(id, remote string, proto string) error {
 	}
 	lk := &link{id: id, proto: proto, remote: remote, addr: addr}
 	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return errors.New("overlay: node closed")
+	}
 	old := n.links[id]
 	if old != nil {
 		// Replaced link: detach its metric children so the new link's
 		// counters restart from zero, as a fresh link's always have.
 		n.unmapLinkAddrLocked(old)
 		n.dropLinkMetrics(id)
+	}
+	if n.cfg.TxBatch > 1 {
+		lk.txq = make(chan txFrame, n.cfg.TxRing)
+		lk.txQuit = make(chan struct{})
 	}
 	n.newLinkCounters(lk)
 	if n.healthOn {
@@ -346,10 +391,17 @@ func (n *Node) AddLink(id, remote string, proto string) error {
 		n.linkByAddr[addr.String()] = lk
 	}
 	n.linkEpoch.Add(1)
+	if lk.txq != nil {
+		n.wg.Add(1)
+		go n.txLoop(lk)
+	}
 	var oldTCP *tcpConn
 	if old != nil {
 		oldTCP = old.tcp
 		old.tcp = nil
+		if old.txQuit != nil { // stop the replaced link's sender
+			close(old.txQuit)
+		}
 	}
 	n.mu.Unlock()
 	if oldTCP != nil { // replaced link: don't leak its transport
@@ -382,6 +434,9 @@ func (n *Node) DelLink(id string) error {
 	n.unmapLinkAddrLocked(lk)
 	n.dropLinkMetrics(id)
 	n.linkEpoch.Add(1)
+	if lk.txQuit != nil { // stop the TX sender; queued frames are dropped
+		close(lk.txQuit)
+	}
 	tcp := lk.tcp
 	lk.tcp = nil
 	dest := core.Destination{Type: core.DestLink, ID: id}
@@ -517,9 +572,18 @@ func (n *Node) Interfaces() []string {
 // and the per-destination errors are aggregated — a broadcast hitting one
 // dead link must not starve the rest of the LAN.
 func (n *Node) route(f *ethernet.Frame, from *Endpoint) error {
-	var txStart time.Time
+	var at time.Time
 	if from != nil {
-		txStart = time.Now()
+		at = time.Now()
+	}
+	return n.routeAt(f, from, at)
+}
+
+// routeAt is route with the frame-arrival timestamp supplied by the
+// caller, so batched senders (Endpoint.SendBatch) stamp a whole batch
+// once. at is zero for forwarded (remotely originated) frames.
+func (n *Node) routeAt(f *ethernet.Frame, from *Endpoint, at time.Time) error {
+	if from != nil {
 		n.flows.Record(f.Src, f.Dst, f.Len())
 	}
 	dests, _, err := n.table.Lookup(f.Src, f.Dst)
@@ -548,6 +612,14 @@ func (n *Node) route(f *ethernet.Frame, from *Endpoint) error {
 				n.NoRouteDrop.Add(1)
 				continue
 			}
+			if lk.txq != nil {
+				// Batched mode: hand the frame to the link's sender ring.
+				// Transport errors surface in the link's send_errors
+				// counter (txLoop), not here; the TX latency sample is
+				// taken after the batch actually hits the wire.
+				n.enqueueTx(lk, txFrame{f: f, at: at})
+				continue
+			}
 			if err := n.sendEncap(lk, f); err != nil {
 				errs = append(errs, fmt.Errorf("link %q: %w", d.ID, err))
 			} else {
@@ -557,14 +629,15 @@ func (n *Node) route(f *ethernet.Frame, from *Endpoint) error {
 	}
 	// The Fig. 7 TX stage budget on the real path: locally originated
 	// frame arrival to its last encapsulation datagram leaving a link.
-	if from != nil && sentOnLink {
-		n.metrics.txLatency.Observe(time.Since(txStart).Seconds())
+	if !at.IsZero() && sentOnLink {
+		n.metrics.txLatency.Observe(time.Since(at).Seconds())
 	}
 	return errors.Join(errs...)
 }
 
-// sendEncap encapsulates and transmits a frame over a link, fragmenting
-// to the datagram budget.
+// sendEncap encapsulates and transmits a frame over a link synchronously,
+// fragmenting to the datagram budget. Encapsulation buffers come from the
+// node's pool and are recycled before return.
 func (n *Node) sendEncap(lk *link, f *ethernet.Frame) error {
 	id := n.nextID.Add(1)
 	n.mu.Lock()
@@ -574,11 +647,12 @@ func (n *Node) sendEncap(lk *link, f *ethernet.Frame) error {
 	if proto == "tcp" {
 		budget = tcpMaxDatagram
 	}
-	datagrams, err := bridge.Encapsulate(f, id, budget)
+	pkt, err := n.encap.Encapsulate(f, id, budget)
 	if err != nil {
 		return err
 	}
-	for _, d := range datagrams {
+	defer pkt.Release()
+	for _, d := range pkt.Datagrams {
 		if err := n.sendOnLink(lk, d); err != nil {
 			return err
 		}
@@ -613,6 +687,10 @@ func (n *Node) sendOnLink(lk *link, d []byte) error {
 		return err
 	}
 	if fault != nil {
+		// The conduit may deliver asynchronously (delay/reorder faults),
+		// after the pooled encapsulation buffer behind d has been
+		// recycled — hand it a private copy.
+		d = append([]byte(nil), d...)
 		fault.Send(d, func(p any) {
 			if err := send(p.([]byte)); err != nil {
 				lk.sendErrors.Add(1)
@@ -714,10 +792,13 @@ func (n *Node) probeLoop() {
 	}
 }
 
-// evictLoop ages out stale partial reassemblies on every shard.
+// evictLoop ages out stale partial reassemblies on every shard: each
+// tick runs one generation sweep (NodeConfig.EvictInterval apart), so a
+// partial untouched for two ticks — a dead or partitioned sender — is
+// dropped and its buffers freed.
 func (n *Node) evictLoop() {
 	defer n.wg.Done()
-	t := time.NewTicker(time.Second)
+	t := time.NewTicker(n.cfg.EvictInterval)
 	defer t.Stop()
 	for {
 		select {

@@ -1,0 +1,12 @@
+//go:build !linux || !(amd64 || arm64)
+
+package overlay
+
+import "net"
+
+// sendBatchUDP on platforms without sendmmsg: the per-datagram loop.
+// Batching still amortizes wakeups and encapsulation buffers; only the
+// syscall count stays per-datagram.
+func sendBatchUDP(c *net.UDPConn, dgs [][]byte, addr *net.UDPAddr) (int, error) {
+	return sendBatchUDPFallback(c, dgs, addr)
+}

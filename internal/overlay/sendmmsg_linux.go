@@ -1,0 +1,125 @@
+//go:build linux && (amd64 || arm64)
+
+// sendmmsg(2) batch transmit: one syscall moves a whole TX batch, the
+// userspace analogue of the per-batch (not per-packet) VMM exits the
+// paper credits for VNET/P's throughput (Sect. 4.3). The netmap/mTCP
+// line of work (PAPERS.md) identifies exactly this — syscall batching —
+// as the dominant per-packet cost lever for user-level datapaths.
+
+package overlay
+
+import (
+	"net"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// mmsghdr mirrors struct mmsghdr on 64-bit Linux: a msghdr plus the
+// kernel-filled per-message byte count, padded so array elements stay
+// 8-byte aligned.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	cnt uint32
+	_   [4]byte
+}
+
+// sendBatchUDP transmits a batch of datagrams to addr in as few
+// syscalls as possible. Returns how many datagrams were sent; on error
+// the remainder were not. Falls back to the portable per-datagram loop
+// when the destination sockaddr cannot be prepared for the socket's
+// family (dual-stack wildcard binds, zoned IPv6).
+func sendBatchUDP(c *net.UDPConn, dgs [][]byte, addr *net.UDPAddr) (int, error) {
+	if len(dgs) == 0 {
+		return 0, nil
+	}
+	if len(dgs) == 1 {
+		if _, err := c.WriteToUDP(dgs[0], addr); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	sa, salen := sockaddrFor(c, addr)
+	if sa == nil {
+		return sendBatchUDPFallback(c, dgs, addr)
+	}
+	rc, err := c.SyscallConn()
+	if err != nil {
+		return sendBatchUDPFallback(c, dgs, addr)
+	}
+	iovs := make([]syscall.Iovec, len(dgs))
+	msgs := make([]mmsghdr, len(dgs))
+	for i, d := range dgs {
+		iovs[i].Base = &d[0]
+		iovs[i].SetLen(len(d))
+		msgs[i].hdr.Name = (*byte)(sa)
+		msgs[i].hdr.Namelen = salen
+		msgs[i].hdr.Iov = &iovs[i]
+		msgs[i].hdr.Iovlen = 1 // uint64 on both supported 64-bit arches
+	}
+	sent := 0
+	var opErr error
+	werr := rc.Write(func(fd uintptr) bool {
+		for sent < len(msgs) {
+			r1, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&msgs[sent])), uintptr(len(msgs)-sent), 0, 0, 0)
+			switch {
+			case errno == syscall.EINTR:
+				continue
+			case errno == syscall.EAGAIN:
+				return false // reschedule on the poller until writable
+			case errno != 0:
+				opErr = errno
+				return true
+			case r1 == 0:
+				opErr = syscall.EIO // defensive: sendmmsg never legally sends zero
+				return true
+			}
+			sent += int(r1)
+		}
+		return true
+	})
+	runtime.KeepAlive(dgs)
+	runtime.KeepAlive(iovs)
+	if opErr == nil {
+		opErr = werr
+	}
+	return sent, opErr
+}
+
+// sockaddrFor builds the raw destination sockaddr matching the socket's
+// address family, or nil when the combination needs the stdlib's
+// translation (dual-stack wildcard, v4/v6 mismatch, zoned address).
+func sockaddrFor(c *net.UDPConn, addr *net.UDPAddr) (unsafe.Pointer, uint32) {
+	local, _ := c.LocalAddr().(*net.UDPAddr)
+	if local == nil || len(local.IP) == 0 {
+		// Wildcard bind: the socket may be dual-stack AF_INET6 expecting
+		// v4-mapped destinations — let WriteToUDP translate.
+		return nil, 0
+	}
+	if local.IP.To4() != nil {
+		dst := addr.IP.To4()
+		if dst == nil {
+			return nil, 0
+		}
+		sa := &syscall.RawSockaddrInet4{Family: syscall.AF_INET}
+		copy(sa.Addr[:], dst)
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		p[0] = byte(addr.Port >> 8)
+		p[1] = byte(addr.Port)
+		return unsafe.Pointer(sa), uint32(unsafe.Sizeof(*sa))
+	}
+	if addr.Zone != "" {
+		return nil, 0
+	}
+	dst := addr.IP.To16()
+	if dst == nil {
+		return nil, 0
+	}
+	sa := &syscall.RawSockaddrInet6{Family: syscall.AF_INET6}
+	copy(sa.Addr[:], dst)
+	p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+	p[0] = byte(addr.Port >> 8)
+	p[1] = byte(addr.Port)
+	return unsafe.Pointer(sa), uint32(unsafe.Sizeof(*sa))
+}

@@ -1,0 +1,7 @@
+//go:build linux
+
+package overlay
+
+// sendmmsg(2) syscall number on linux/amd64; absent from the (frozen)
+// stdlib syscall table, which predates the call.
+const sysSendmmsg = 307

@@ -1,0 +1,6 @@
+//go:build linux
+
+package overlay
+
+// sendmmsg(2) syscall number on linux/arm64.
+const sysSendmmsg = 269

@@ -49,6 +49,26 @@ func (c *tcpConn) sendDatagram(d []byte) error {
 	return c.w.Flush()
 }
 
+// sendDatagrams writes a whole batch of length-prefixed datagrams under
+// one writer-lock acquisition and a single flush — the TCP analogue of
+// the UDP path's sendmmsg. On error the stream is mid-datagram and the
+// caller must drop the transport.
+func (c *tcpConn) sendDatagrams(ds [][]byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var hdr [4]byte
+	for _, d := range ds {
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(d)))
+		if _, err := c.w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := c.w.Write(d); err != nil {
+			return err
+		}
+	}
+	return c.w.Flush()
+}
+
 func (c *tcpConn) close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()

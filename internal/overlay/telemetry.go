@@ -34,6 +34,8 @@ type nodeMetrics struct {
 	linkFailbacks  *telemetry.CounterVec
 	linkRedials    *telemetry.CounterVec
 	linkUpgrades   *telemetry.CounterVec
+	linkTxDrops    *telemetry.CounterVec
+	linkTxDepth    *telemetry.GaugeVec
 	linkState      *telemetry.GaugeVec
 	linkRTT        *telemetry.HistogramVec
 
@@ -44,6 +46,7 @@ type nodeMetrics struct {
 	reasmPending  *telemetry.GaugeVec
 
 	reasmEvictions *telemetry.Counter
+	txBatchSize    *telemetry.Histogram
 	txLatency      *telemetry.Histogram
 	rxLatency      *telemetry.Histogram
 }
@@ -75,6 +78,10 @@ func newNodeMetrics(reg *telemetry.Registry) *nodeMetrics {
 			"TCP transport re-establishments per link.", "link"),
 		linkUpgrades: reg.CounterVec("vnetp_link_upgrades_total",
 			"UDP links auto-upgraded to TCP encapsulation.", "link"),
+		linkTxDrops: reg.CounterVec("vnetp_link_tx_ring_drops_total",
+			"Frames dropped at a full link TX ring (batched transmit).", "link"),
+		linkTxDepth: reg.GaugeVec("vnetp_link_tx_queue_depth",
+			"Frames queued in a link's TX ring (batched transmit).", "link"),
 		linkState: reg.GaugeVec("vnetp_link_state",
 			"Link liveness state: 0 up, 1 degraded, 2 down.", "link"),
 		linkRTT: reg.HistogramVec("vnetp_link_rtt_seconds",
@@ -93,6 +100,9 @@ func newNodeMetrics(reg *telemetry.Registry) *nodeMetrics {
 
 		reasmEvictions: reg.Counter("vnetp_reassembly_evictions_total",
 			"Stale partial reassemblies aged out."),
+		txBatchSize: reg.Histogram("vnetp_tx_batch_size",
+			"Frames coalesced per link TX batch flush.",
+			telemetry.HistogramOpts{Start: 1, Factor: 2, Count: 9}),
 		txLatency: reg.Histogram("vnetp_tx_latency_seconds",
 			"Frame-in to datagram-out latency for locally originated frames hitting a link.",
 			telemetry.LatencyBuckets),
@@ -114,6 +124,12 @@ func (n *Node) registerNodeFuncs() {
 		func() uint64 { h, _ := n.table.CacheStats(); return h })
 	reg.CounterFunc("vnetp_route_cache_misses_total", "Routing-cache misses.",
 		func() uint64 { _, m := n.table.CacheStats(); return m })
+	reg.CounterFunc("vnetp_encap_pool_hits_total",
+		"Encapsulation buffer pool hits on the transmit path.",
+		func() uint64 { h, _ := n.encap.PoolStats(); return h })
+	reg.CounterFunc("vnetp_encap_pool_misses_total",
+		"Encapsulation buffer pool misses (fresh allocations) on the transmit path.",
+		func() uint64 { _, m := n.encap.PoolStats(); return m })
 	for _, s := range n.shards {
 		s := s
 		w := strconv.Itoa(s.idx)
@@ -139,6 +155,10 @@ func (n *Node) newLinkCounters(lk *link) {
 	lk.sendErrors = m.linkSendErrors.With(lk.id)
 	lk.bytesSent = m.linkBytesSent.With(lk.id)
 	lk.bytesRecv = m.linkBytesRecv.With(lk.id)
+	lk.txDrops = m.linkTxDrops.With(lk.id)
+	if q := lk.txq; q != nil { // batched mode: snapshot-time ring depth
+		m.linkTxDepth.Func(func() float64 { return float64(len(q)) }, lk.id)
+	}
 }
 
 // dropLinkMetrics removes a link's children from every per-link family
@@ -149,11 +169,13 @@ func (n *Node) dropLinkMetrics(id string) {
 		m.linkSendErrors, m.linkBytesSent, m.linkBytesRecv,
 		m.linkProbesSent, m.linkProbesLost, m.linkReplies,
 		m.linkFailovers, m.linkFailbacks, m.linkRedials, m.linkUpgrades,
+		m.linkTxDrops,
 	} {
 		v.Delete(id)
 	}
 	m.linkState.Delete(id)
 	m.linkRTT.Delete(id)
+	m.linkTxDepth.Delete(id)
 }
 
 // --- control-plane rendering ---

@@ -85,19 +85,26 @@ func (q *Queue) Pop() (*ethernet.Frame, bool) {
 // ("one or more packets can be conveyed ... with a single VM exit") comes
 // from consuming with PopBatch.
 func (q *Queue) PopBatch(max int) []*ethernet.Frame {
+	if q.count == 0 {
+		return nil
+	}
+	return q.PopBatchInto(nil, max)
+}
+
+// PopBatchInto is PopBatch without the per-call allocation: up to max
+// frames (all if max <= 0) are appended to dst and the extended slice is
+// returned. Hot consumers (the overlay's batched TX drain) pass a reused
+// scratch slice so steady-state dequeue allocates nothing.
+func (q *Queue) PopBatchInto(dst []*ethernet.Frame, max int) []*ethernet.Frame {
 	n := q.count
 	if max > 0 && max < n {
 		n = max
 	}
-	if n == 0 {
-		return nil
-	}
-	out := make([]*ethernet.Frame, 0, n)
 	for i := 0; i < n; i++ {
 		f, _ := q.Pop()
-		out = append(out, f)
+		dst = append(dst, f)
 	}
-	return out
+	return dst
 }
 
 // SetNotify enables or disables producer→consumer notifications

@@ -1,0 +1,114 @@
+// Command benchguard is the bench-regression gate: it compares a fresh
+// BENCH_microbench.json against the committed baseline and fails (for
+// CI) when any throughput series regresses beyond the tolerance. The
+// microbenchmarks are deterministic simulations, so genuine regressions
+// separate cleanly from noise; latency-unit series are reported but not
+// gated (they trend with the same code paths the throughput gate
+// already covers).
+//
+// Usage:
+//
+//	go run ./scripts/benchguard -bench BENCH_microbench.json \
+//	    -baseline scripts/benchguard/baseline.json [-tolerance 0.15]
+//	go run ./scripts/benchguard -bench BENCH_microbench.json \
+//	    -baseline scripts/benchguard/baseline.json -update
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"vnetp/internal/experiments"
+)
+
+func load(path string) ([]experiments.Record, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []experiments.Record
+	if err := json.Unmarshal(b, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+func key(r experiments.Record) string { return r.ID + "/" + r.Metric }
+
+func main() {
+	bench := flag.String("bench", "BENCH_microbench.json", "freshly produced benchmark records")
+	baseline := flag.String("baseline", "scripts/benchguard/baseline.json", "committed baseline records")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional throughput drop before failing")
+	update := flag.Bool("update", false, "rewrite the baseline from -bench instead of comparing")
+	flag.Parse()
+
+	if *update {
+		src, err := os.Open(*bench)
+		if err != nil {
+			log.Fatalf("benchguard: %v", err)
+		}
+		defer src.Close()
+		dst, err := os.Create(*baseline)
+		if err != nil {
+			log.Fatalf("benchguard: %v", err)
+		}
+		if _, err := io.Copy(dst, src); err != nil {
+			log.Fatalf("benchguard: %v", err)
+		}
+		if err := dst.Close(); err != nil {
+			log.Fatalf("benchguard: %v", err)
+		}
+		fmt.Printf("benchguard: baseline %s updated from %s\n", *baseline, *bench)
+		return
+	}
+
+	baseRecs, err := load(*baseline)
+	if err != nil {
+		log.Fatalf("benchguard: %v", err)
+	}
+	benchRecs, err := load(*bench)
+	if err != nil {
+		log.Fatalf("benchguard: %v", err)
+	}
+	got := make(map[string]experiments.Record, len(benchRecs))
+	for _, r := range benchRecs {
+		got[key(r)] = r
+	}
+
+	failures := 0
+	for _, base := range baseRecs {
+		cur, ok := got[key(base)]
+		if !ok {
+			fmt.Printf("FAIL %-40s missing from %s\n", key(base), *bench)
+			failures++
+			continue
+		}
+		if base.Unit != "MB/s" { // latency series: informational only
+			fmt.Printf("info %-40s %10.2f -> %10.2f %s\n", key(base), base.Value, cur.Value, base.Unit)
+			continue
+		}
+		floor := base.Value * (1 - *tolerance)
+		delta := 0.0
+		if base.Value != 0 {
+			delta = (cur.Value - base.Value) / base.Value * 100
+		}
+		if cur.Value < floor {
+			fmt.Printf("FAIL %-40s %10.2f -> %10.2f MB/s (%+.1f%%, floor %.2f)\n",
+				key(base), base.Value, cur.Value, delta, floor)
+			failures++
+			continue
+		}
+		fmt.Printf("ok   %-40s %10.2f -> %10.2f MB/s (%+.1f%%)\n",
+			key(base), base.Value, cur.Value, delta)
+	}
+	if failures > 0 {
+		fmt.Printf("benchguard: %d series regressed beyond %.0f%% (or went missing)\n",
+			failures, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d series within tolerance\n", len(baseRecs))
+}
