@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-json bench-baseline fuzz-smoke clean
+.PHONY: build test vet race drift verify bench bench-json bench-baseline fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,14 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# Full verification: compile, static checks, plain suite, race suite.
-verify: build vet test race
+# Documentation drift gate: every vnetp_* metric family and trace stage
+# name must match between the code and DESIGN.md.
+drift:
+	$(GO) run ./scripts/driftcheck
+
+# Full verification: compile, static checks, plain suite, race suite,
+# doc drift.
+verify: build vet test race drift
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -10,7 +10,11 @@
 //	vnetbench -json BENCH_microbench.json
 //
 // The -json mode runs the microbenchmarks and writes a JSON array of
-// {id, metric, value, unit} records for CI artifact collection.
+// {id, metric, value, unit} records for CI artifact collection. Besides
+// the simulated figures this includes the live "tracebench" sweep: the
+// real-socket overlay transmit path with trace sampling off, 1-in-1024,
+// and 1-in-16, reported as sampled:off throughput ratios (unit "%") so
+// benchguard can gate tracing overhead machine-independently.
 package main
 
 import (

@@ -6,6 +6,13 @@
 //	vnetctl -server 127.0.0.1:7778 ADD LINK to-b REMOTE 10.0.0.2:7777
 //	vnetctl -server 127.0.0.1:7778 LIST ROUTES
 //	vnetctl -server 127.0.0.1:7778 -script overlay.conf
+//
+// Live tracing (see DESIGN.md "Packet tracing and flight recorder"):
+//
+//	vnetctl -server 127.0.0.1:7778 TRACE START SAMPLE 1024
+//	vnetctl -server 127.0.0.1:7778 TRACE START FLOW 02:56:00:00:00:01
+//	vnetctl -server 127.0.0.1:7778 TRACE DUMP
+//	vnetctl -server 127.0.0.1:7778 TRACE STOP
 package main
 
 import (

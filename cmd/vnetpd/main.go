@@ -11,12 +11,20 @@
 // The -echo flag attaches an in-process endpoint that reflects every
 // received test frame back to its sender (swapping the MAC addresses), so
 // two daemons can be smoke-tested end to end without guests.
+//
+// Observability: -log-level/-log-format select the structured log output,
+// -trace-sample enables 1-in-N live packet tracing at startup (also
+// switchable at runtime via the TRACE control verb), and -flight-depth
+// arms the per-dispatcher flight recorder. With -telemetry-addr set, the
+// HTTP server additionally serves /trace (sampled packet paths, JSON) and
+// /flight (flight-recorder contents; ?format=pcap downloads a capture).
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -25,6 +33,7 @@ import (
 
 	"vnetp/internal/control"
 	"vnetp/internal/ethernet"
+	"vnetp/internal/logging"
 	"vnetp/internal/overlay"
 	"vnetp/internal/telemetry"
 )
@@ -38,35 +47,64 @@ func main() {
 	dispatchers := flag.Int("dispatchers", 0, "receive dispatcher workers (0: min(4, GOMAXPROCS))")
 	txBatch := flag.Int("tx-batch", 1, "frames coalesced per link TX batch (1: synchronous sends)")
 	txFlush := flag.Duration("tx-flush", 100*time.Microsecond, "max wait for a partial TX batch (with -tx-batch > 1)")
-	telemetryAddr := flag.String("telemetry-addr", "", "HTTP address for /metrics, /debug/pprof/, /healthz (empty: disabled)")
+	telemetryAddr := flag.String("telemetry-addr", "", "HTTP address for /metrics, /trace, /flight, /debug/pprof/, /healthz (empty: disabled)")
 	health := flag.Bool("health", false, "enable the link health monitor (heartbeats, failover, redial)")
 	probeInterval := flag.Duration("probe-interval", 200*time.Millisecond, "heartbeat probe interval (with -health)")
 	probeFail := flag.Int("probe-fail", 3, "consecutive missed probes before a link is down (with -health)")
 	probeRecover := flag.Int("probe-recover", 2, "consecutive replies before a down link is up (with -health)")
+	traceSample := flag.Uint64("trace-sample", 0, "sample 1 in N transmitted frames for live tracing (0: off)")
+	flightDepth := flag.Int("flight-depth", 0, "flight recorder ring depth per dispatcher (0: off)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
 	flag.Parse()
+
+	logger, err := logging.New(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vnetpd: %v\n", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	node, err := overlay.NewNodeWithConfig(*name, *bind, overlay.NodeConfig{
 		Dispatchers:    *dispatchers,
 		TxBatch:        *txBatch,
 		TxFlushTimeout: *txFlush,
+		TraceSample:    *traceSample,
+		FlightDepth:    *flightDepth,
+		Logger:         logger,
 	})
 	if err != nil {
-		log.Fatalf("vnetpd: %v", err)
+		fatal("node startup failed", "err", err)
 	}
 	defer node.Close()
-	log.Printf("vnetpd: node %q carrying traffic on %s (%d dispatchers)",
-		*name, node.Addr(), node.Dispatchers())
+	logger.Info("vnetpd carrying traffic",
+		"node", *name, "addr", node.Addr(), "dispatchers", node.Dispatchers())
 	if *txBatch > 1 {
-		log.Printf("vnetpd: batched transmit on (batch %d, flush %v)", *txBatch, *txFlush)
+		logger.Info("batched transmit on", "batch", *txBatch, "flush", *txFlush)
+	}
+	if *traceSample > 0 {
+		logger.Info("live tracing on", "sample", fmt.Sprintf("1/%d", *traceSample))
+	}
+	if *flightDepth > 0 {
+		logger.Info("flight recorder armed", "depth", *flightDepth, "dispatchers", node.Dispatchers())
 	}
 
 	if *telemetryAddr != "" {
-		srv, err := telemetry.Serve(*telemetryAddr, node.Telemetry())
+		srv, err := telemetry.ServeWith(*telemetryAddr, node.Telemetry(), map[string]http.Handler{
+			"/trace":  node.TraceHandler(),
+			"/flight": node.FlightHandler(),
+		})
 		if err != nil {
-			log.Fatalf("vnetpd: telemetry: %v", err)
+			fatal("telemetry startup failed", "err", err)
 		}
 		defer srv.Close()
-		log.Printf("vnetpd: telemetry on http://%s/metrics (pprof under /debug/pprof/)", srv.Addr())
+		logger.Info("telemetry serving",
+			"metrics", "http://"+srv.Addr()+"/metrics",
+			"trace", "http://"+srv.Addr()+"/trace",
+			"flight", "http://"+srv.Addr()+"/flight")
 	}
 
 	if *health {
@@ -75,59 +113,62 @@ func main() {
 		cfg.FailThreshold = *probeFail
 		cfg.RecoverThreshold = *probeRecover
 		if err := node.EnableHealth(cfg); err != nil {
-			log.Fatalf("vnetpd: health: %v", err)
+			fatal("health monitor startup failed", "err", err)
 		}
-		log.Printf("vnetpd: link health monitor on (probe %v, fail %d, recover %d)",
-			cfg.Interval, cfg.FailThreshold, cfg.RecoverThreshold)
+		logger.Info("link health monitor on",
+			"probe", cfg.Interval, "fail", cfg.FailThreshold, "recover", cfg.RecoverThreshold)
 	}
 
 	if *config != "" {
 		f, err := os.Open(*config)
 		if err != nil {
-			log.Fatalf("vnetpd: %v", err)
+			fatal("config open failed", "err", err)
 		}
 		err = control.RunScript(node, f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("vnetpd: config: %v", err)
+			fatal("config apply failed", "config", *config, "err", err)
 		}
-		log.Printf("vnetpd: applied %s (%d routes, %d links)", *config, len(node.Routes()), len(node.Links()))
+		logger.Info("config applied",
+			"config", *config, "routes", len(node.Routes()), "links", len(node.Links()))
 	}
 
 	if *echo != "" {
 		parts := strings.SplitN(*echo, ":", 2)
 		if len(parts) != 2 {
-			log.Fatalf("vnetpd: -echo wants <ifname>:<mac>, got %q", *echo)
+			fatal("-echo wants <ifname>:<mac>", "got", *echo)
 		}
 		mac, err := ethernet.ParseMAC(parts[1])
 		if err != nil {
-			log.Fatalf("vnetpd: %v", err)
+			fatal("bad -echo MAC", "err", err)
 		}
 		ep, err := node.AttachEndpoint(parts[0], mac, ethernet.JumboMTU)
 		if err != nil {
-			log.Fatalf("vnetpd: %v", err)
+			fatal("echo endpoint attach failed", "err", err)
 		}
-		go echoLoop(ep)
-		log.Printf("vnetpd: echo endpoint %s at %s", parts[0], mac)
+		go echoLoop(ep, logger)
+		logger.Info("echo endpoint attached", "interface", parts[0], "mac", mac.String())
 	}
 
 	if *ctrlAddr != "" {
 		d, err := control.NewDaemon(node, *ctrlAddr)
 		if err != nil {
-			log.Fatalf("vnetpd: control: %v", err)
+			fatal("control console startup failed", "err", err)
 		}
 		defer d.Close()
-		log.Printf("vnetpd: control console on %s", d.Addr())
+		logger.Info("control console listening", "addr", d.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Fprintf(os.Stderr, "\nvnetpd: shutting down (encap sent %d, recv %d, delivered %d)\n",
-		node.EncapSent.Load(), node.EncapRecv.Load(), node.Delivered.Load())
+	logger.Info("shutting down",
+		"encap_sent", node.EncapSent.Load(),
+		"encap_recv", node.EncapRecv.Load(),
+		"delivered", node.Delivered.Load())
 }
 
-func echoLoop(ep *overlay.Endpoint) {
+func echoLoop(ep *overlay.Endpoint, logger *slog.Logger) {
 	for {
 		f, ok := ep.Recv(time.Hour)
 		if !ok {
@@ -136,7 +177,7 @@ func echoLoop(ep *overlay.Endpoint) {
 		reply := *f
 		reply.Dst, reply.Src = f.Src, ep.MAC()
 		if err := ep.Send(&reply); err != nil {
-			log.Printf("vnetpd: echo: %v", err)
+			logger.Warn("echo reply failed", "err", err)
 		}
 	}
 }

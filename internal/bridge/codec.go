@@ -34,10 +34,36 @@ const (
 	EncapVersion   = 2
 	EncapHeaderLen = 16
 
+	// EncapTraceLen is the size of the optional trace extension that
+	// follows the fixed header when flagTrace is set:
+	//
+	//	traceID(8) | origin(2) | traceFlags(2)
+	//
+	// traceID names one sampled packet's journey across the overlay,
+	// origin is a 16-bit hash of the node that started the trace, and
+	// traceFlags carries sampling metadata (bit 0: explicit per-flow
+	// trigger rather than 1-in-N sampling). The extension lets a trace
+	// started on the transmit node continue on the receive node, so one
+	// trace ID spans both halves of a hop (internal/trace.LiveTracer).
+	EncapTraceLen = 12
+
 	flagMoreFrags  = 0x01
 	flagProbe      = 0x02
 	flagProbeReply = 0x04
+	flagTrace      = 0x08
 )
+
+// TraceExt is the optional per-datagram trace extension (EncapTraceLen
+// bytes on the wire, present when the header's trace flag is set).
+type TraceExt struct {
+	ID     uint64 // trace id, shared by every fragment and both nodes of a hop
+	Origin uint16 // hash of the originating node's name
+	Flags  uint16 // bit 0: explicitly triggered (per-MAC flow), else sampled
+}
+
+// TraceTriggered is the TraceExt.Flags bit marking an explicit per-flow
+// trigger (TRACE START FLOW) rather than 1-in-N sampling.
+const TraceTriggered uint16 = 0x01
 
 // EncapHeader describes one encapsulation fragment. Probe datagrams (the
 // link-health heartbeats) travel on the same channel with the probe flags
@@ -49,6 +75,19 @@ type EncapHeader struct {
 	MoreFrags  bool
 	Probe      bool // liveness probe request
 	ProbeReply bool // liveness probe echo
+
+	// Trace is the optional trace extension, valid when HasTrace is set.
+	Trace    TraceExt
+	HasTrace bool
+}
+
+// WireLen reports the marshalled header size, including the trace
+// extension when present.
+func (h *EncapHeader) WireLen() int {
+	if h.HasTrace {
+		return EncapHeaderLen + EncapTraceLen
+	}
+	return EncapHeaderLen
 }
 
 var (
@@ -71,10 +110,18 @@ func (h *EncapHeader) Marshal(b []byte) []byte {
 	if h.ProbeReply {
 		flags |= flagProbeReply
 	}
+	if h.HasTrace {
+		flags |= flagTrace
+	}
 	b = append(b, EncapVersion, flags)
 	b = binary.BigEndian.AppendUint32(b, h.ID)
 	b = binary.BigEndian.AppendUint32(b, h.FragOff)
 	b = binary.BigEndian.AppendUint32(b, h.TotalLen)
+	if h.HasTrace {
+		b = binary.BigEndian.AppendUint64(b, h.Trace.ID)
+		b = binary.BigEndian.AppendUint16(b, h.Trace.Origin)
+		b = binary.BigEndian.AppendUint16(b, h.Trace.Flags)
+	}
 	return b
 }
 
@@ -107,7 +154,18 @@ func ParseEncap(b []byte) (*EncapHeader, []byte, error) {
 		FragOff:    binary.BigEndian.Uint32(b[8:]),
 		TotalLen:   binary.BigEndian.Uint32(b[12:]),
 	}
-	payload := b[EncapHeaderLen:]
+	hdrLen := EncapHeaderLen
+	if b[3]&flagTrace != 0 {
+		if len(b) < EncapHeaderLen+EncapTraceLen {
+			return nil, nil, ErrTruncated
+		}
+		h.HasTrace = true
+		h.Trace.ID = binary.BigEndian.Uint64(b[16:])
+		h.Trace.Origin = binary.BigEndian.Uint16(b[24:])
+		h.Trace.Flags = binary.BigEndian.Uint16(b[26:])
+		hdrLen += EncapTraceLen
+	}
+	payload := b[hdrLen:]
 	if int(h.FragOff)+len(payload) > int(h.TotalLen) {
 		return nil, nil, ErrFragBounds
 	}
@@ -178,7 +236,19 @@ type EncapPacket struct {
 // packet must be Released once every datagram has been handed to (and
 // copied or written by) the transport.
 func (e *Encapsulator) Encapsulate(f *ethernet.Frame, id uint32, maxPayload int) (*EncapPacket, error) {
-	if maxPayload <= EncapHeaderLen {
+	return e.EncapsulateTrace(f, id, maxPayload, nil)
+}
+
+// EncapsulateTrace is Encapsulate with an optional trace extension: when
+// tr is non-nil every produced datagram carries it, so the receive node
+// can continue the sampled packet's trace under the same trace ID. The
+// extension shrinks each fragment's payload budget by EncapTraceLen.
+func (e *Encapsulator) EncapsulateTrace(f *ethernet.Frame, id uint32, maxPayload int, tr *TraceExt) (*EncapPacket, error) {
+	hdrLen := EncapHeaderLen
+	if tr != nil {
+		hdrLen += EncapTraceLen
+	}
+	if maxPayload <= hdrLen {
 		panic(fmt.Sprintf("bridge: maxPayload %d leaves no room for data", maxPayload))
 	}
 	p, _ := e.pool.Get().(*EncapPacket)
@@ -194,14 +264,14 @@ func (e *Encapsulator) Encapsulate(f *ethernet.Frame, id uint32, maxPayload int)
 		return nil, err
 	}
 	p.inner = inner
-	chunk := maxPayload - EncapHeaderLen
+	chunk := maxPayload - hdrLen
 	nfrags := (len(inner) + chunk - 1) / chunk
 	if nfrags == 0 {
 		nfrags = 1
 	}
 	// One contiguous wire buffer holds every fragment (header + slice);
 	// sizing it up front keeps the datagram sub-slices stable.
-	need := len(inner) + nfrags*EncapHeaderLen
+	need := len(inner) + nfrags*hdrLen
 	if cap(p.wire) < need {
 		p.wire = make([]byte, 0, need)
 	}
@@ -218,6 +288,10 @@ func (e *Encapsulator) Encapsulate(f *ethernet.Frame, id uint32, maxPayload int)
 			FragOff:   uint32(off),
 			TotalLen:  uint32(len(inner)),
 			MoreFrags: end < len(inner),
+		}
+		if tr != nil {
+			h.Trace = *tr
+			h.HasTrace = true
 		}
 		start := len(wire)
 		wire = h.Marshal(wire)

@@ -263,3 +263,77 @@ func TestEncapsulateRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTraceExtRoundTrip(t *testing.T) {
+	h := EncapHeader{
+		ID: 42, FragOff: 64, TotalLen: 500, MoreFrags: true,
+		Trace:    TraceExt{ID: 0x0102030405060708, Origin: 0xbeef, Flags: TraceTriggered},
+		HasTrace: true,
+	}
+	b := h.Marshal(nil)
+	if len(b) != EncapHeaderLen+EncapTraceLen {
+		t.Fatalf("marshalled %d bytes, want %d", len(b), EncapHeaderLen+EncapTraceLen)
+	}
+	b = append(b, make([]byte, 200)...)
+	g, payload, err := ParseEncap(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *g != h || len(payload) != 200 {
+		t.Fatalf("round trip %+v payload %d", g, len(payload))
+	}
+	if g.WireLen() != EncapHeaderLen+EncapTraceLen {
+		t.Fatalf("WireLen = %d", g.WireLen())
+	}
+}
+
+func TestTraceExtTruncated(t *testing.T) {
+	h := EncapHeader{TotalLen: 10, Trace: TraceExt{ID: 1}, HasTrace: true}
+	b := h.Marshal(nil)
+	// Keep the fixed header but cut the extension short.
+	if _, _, err := ParseEncap(b[:EncapHeaderLen+4]); err != ErrTruncated {
+		t.Fatalf("truncated ext: %v", err)
+	}
+}
+
+// TestEncapsulateTraceIdentity checks the traced encapsulation carries
+// the extension on every fragment, shrinks the per-fragment budget
+// accordingly, and reassembles to the same inner frame as the untraced
+// path.
+func TestEncapsulateTraceIdentity(t *testing.T) {
+	f := testFrame(4000)
+	tr := &TraceExt{ID: 0xabcdef, Origin: 0x1234}
+	var enc Encapsulator
+	pkt, err := enc.EncapsulateTrace(f, 9, 1400, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pkt.Release()
+	r := NewReassembler()
+	var got *ethernet.Frame
+	for i, d := range pkt.Datagrams {
+		if len(d) > 1400 {
+			t.Fatalf("datagram %d is %d bytes, budget 1400", i, len(d))
+		}
+		h, _, err := ParseEncap(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !h.HasTrace || h.Trace != *tr {
+			t.Fatalf("datagram %d trace ext = %+v, want %+v", i, h.Trace, tr)
+		}
+		out, err := r.Add("t", d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil {
+			got = out
+		}
+	}
+	if got == nil {
+		t.Fatal("traced fragments did not reassemble")
+	}
+	if !bytes.Equal(got.Payload, f.Payload) || got.Dst != f.Dst || got.Src != f.Src {
+		t.Fatal("reassembled frame differs from input")
+	}
+}

@@ -37,11 +37,12 @@ func FuzzEncapDecode(f *testing.F) {
 			return
 		}
 		// Accepted datagram: re-marshalling the parsed header must
-		// reproduce the wire header whenever no unknown flag bits were
-		// set (Marshal cannot represent unknown bits).
-		if data[3]&^(flagMoreFrags|flagProbe|flagProbeReply) == 0 {
-			if re := h.Marshal(nil); !bytes.Equal(re, data[:EncapHeaderLen]) {
-				t.Fatalf("header round-trip: % x != % x", re, data[:EncapHeaderLen])
+		// reproduce the wire header — trace extension included — whenever
+		// no unknown flag bits were set (Marshal cannot represent unknown
+		// bits).
+		if data[3]&^(flagMoreFrags|flagProbe|flagProbeReply|flagTrace) == 0 {
+			if re := h.Marshal(nil); !bytes.Equal(re, data[:h.WireLen()]) {
+				t.Fatalf("header round-trip: % x != % x", re, data[:h.WireLen()])
 			}
 		}
 

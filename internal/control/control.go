@@ -51,10 +51,22 @@ type HealthTarget interface {
 	SetProbeConfig(interval time.Duration, failN, recoverN int) error
 }
 
+// TraceTarget is an optional Target extension: nodes carrying the live
+// packet tracer answer the TRACE verbs.
+type TraceTarget interface {
+	// TraceStart arms tracing: sample 1 in sampleN frames (0 keeps the
+	// sampler off) and/or an explicit flow trigger on a MAC.
+	TraceStart(sampleN uint64, flow ethernet.MAC, hasFlow bool) error
+	// TraceStop disarms sampling and flow triggers.
+	TraceStop() error
+	// TraceDump renders the recorded trace paths.
+	TraceDump() []string
+}
+
 // Command is one parsed control command.
 type Command struct {
-	Verb string // ADD, DEL, LIST, LINK
-	Kind string // LINK, ROUTE, INTERFACES, LINKS, ROUTES, STATS, HEALTH, STATUS, PROBE
+	Verb string // ADD, DEL, LIST, LINK, TRACE
+	Kind string // LINK, ROUTE, INTERFACES, LINKS, ROUTES, STATS, HEALTH, STATUS, PROBE, START, STOP, DUMP
 
 	// Link fields.
 	LinkID string
@@ -68,6 +80,11 @@ type Command struct {
 	Interval time.Duration
 	FailN    int
 	RecoverN int
+
+	// Trace fields (TRACE START).
+	SampleN uint64
+	FlowMAC ethernet.MAC
+	HasFlow bool
 }
 
 // Parse errors.
@@ -128,11 +145,16 @@ func parseDestType(s string) (core.DestType, error) {
 //	LIST {ROUTES|LINKS|INTERFACES|STATS|HEALTH}
 //	LINK STATUS <id>
 //	LINK PROBE <interval-ms> <fail-threshold> <recover-threshold>
+//	TRACE START [SAMPLE <n> | FLOW <mac>]
+//	TRACE STOP
+//	TRACE DUMP
 //
 // where a spec is "any", "not-<mac>", or "<mac>". BACKUP names the
 // failover destination used while the primary is marked down by the
 // link health monitor. LINK PROBE takes 0 for any value to keep its
-// current setting.
+// current setting. TRACE START with no argument samples every frame
+// (SAMPLE 1); SAMPLE <n> samples 1 in n; FLOW <mac> traces every frame
+// to or from the MAC regardless of the sampler.
 func Parse(line string) (*Command, error) {
 	fields := strings.Fields(strings.TrimSpace(line))
 	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
@@ -183,6 +205,41 @@ func Parse(line string) (*Command, error) {
 			}, nil
 		}
 		return nil, fmt.Errorf("%w: unknown LINK subcommand %q", ErrSyntax, fields[1])
+	case "TRACE":
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%w: TRACE needs START, STOP, or DUMP", ErrSyntax)
+		}
+		switch kind := strings.ToUpper(fields[1]); kind {
+		case "STOP", "DUMP":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: TRACE %s takes no arguments", ErrSyntax, kind)
+			}
+			return &Command{Verb: verb, Kind: kind}, nil
+		case "START":
+			cmd := &Command{Verb: verb, Kind: kind}
+			switch {
+			case len(fields) == 2:
+				cmd.SampleN = 1 // bare START: trace every frame
+				return cmd, nil
+			case len(fields) == 4 && strings.EqualFold(fields[2], "SAMPLE"):
+				n, err := strconv.ParseUint(fields[3], 10, 64)
+				if err != nil || n == 0 {
+					return nil, fmt.Errorf("%w: bad sample rate %q", ErrSyntax, fields[3])
+				}
+				cmd.SampleN = n
+				return cmd, nil
+			case len(fields) == 4 && strings.EqualFold(fields[2], "FLOW"):
+				m, err := ethernet.ParseMAC(fields[3])
+				if err != nil {
+					return nil, fmt.Errorf("%w: bad flow MAC %q", ErrSyntax, fields[3])
+				}
+				cmd.FlowMAC = m
+				cmd.HasFlow = true
+				return cmd, nil
+			}
+			return nil, fmt.Errorf("%w: TRACE START takes SAMPLE <n> or FLOW <mac>", ErrSyntax)
+		}
+		return nil, fmt.Errorf("%w: unknown TRACE subcommand %q", ErrSyntax, fields[1])
 	case "ADD", "DEL":
 	default:
 		return nil, fmt.Errorf("%w: unknown verb %q", ErrSyntax, fields[0])
@@ -305,6 +362,21 @@ func Apply(t Target, cmd *Command) ([]string, error) {
 			return nil, ht.SetProbeConfig(cmd.Interval, cmd.FailN, cmd.RecoverN)
 		}
 		return nil, fmt.Errorf("control: target does not monitor link health")
+	case "TRACE START":
+		if tt, ok := t.(TraceTarget); ok {
+			return nil, tt.TraceStart(cmd.SampleN, cmd.FlowMAC, cmd.HasFlow)
+		}
+		return nil, fmt.Errorf("control: target does not support tracing")
+	case "TRACE STOP":
+		if tt, ok := t.(TraceTarget); ok {
+			return nil, tt.TraceStop()
+		}
+		return nil, fmt.Errorf("control: target does not support tracing")
+	case "TRACE DUMP":
+		if tt, ok := t.(TraceTarget); ok {
+			return tt.TraceDump(), nil
+		}
+		return nil, fmt.Errorf("control: target does not support tracing")
 	}
 	return nil, fmt.Errorf("control: unsupported command %s %s", cmd.Verb, cmd.Kind)
 }

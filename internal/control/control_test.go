@@ -439,3 +439,92 @@ func TestDaemonCommandFailsHalfway(t *testing.T) {
 		t.Fatalf("LINK STATUS good after failure: %v", got)
 	}
 }
+
+// traceFake extends fakeTarget with the TraceTarget surface.
+type traceFake struct {
+	*fakeTarget
+	started bool
+	sampleN uint64
+	flow    ethernet.MAC
+	hasFlow bool
+}
+
+func (f *traceFake) TraceStart(n uint64, flow ethernet.MAC, hasFlow bool) error {
+	f.started, f.sampleN, f.flow, f.hasFlow = true, n, flow, hasFlow
+	return nil
+}
+func (f *traceFake) TraceStop() error    { f.started = false; return nil }
+func (f *traceFake) TraceDump() []string { return []string{"traces 0"} }
+
+func TestParseTraceCommands(t *testing.T) {
+	cases := []struct {
+		line    string
+		sampleN uint64
+		hasFlow bool
+		kind    string
+	}{
+		{"TRACE START", 1, false, "START"},
+		{"trace start sample 1024", 1024, false, "START"},
+		{"TRACE START FLOW 02:00:00:00:00:09", 0, true, "START"},
+		{"TRACE STOP", 0, false, "STOP"},
+		{"TRACE DUMP", 0, false, "DUMP"},
+	}
+	for _, c := range cases {
+		cmd, err := Parse(c.line)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.line, err)
+		}
+		if cmd.Verb != "TRACE" || cmd.Kind != c.kind || cmd.SampleN != c.sampleN || cmd.HasFlow != c.hasFlow {
+			t.Fatalf("Parse(%q) = %+v", c.line, cmd)
+		}
+	}
+	for _, bad := range []string{
+		"TRACE", "TRACE START SAMPLE 0", "TRACE START SAMPLE x",
+		"TRACE START FLOW nonsense", "TRACE START EXTRA", "TRACE STOP now",
+		"TRACE PAUSE",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestApplyTraceCommands(t *testing.T) {
+	f := &traceFake{fakeTarget: newFake()}
+	mustApply := func(line string) []string {
+		t.Helper()
+		cmd, err := Parse(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Apply(f, cmd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	mustApply("TRACE START SAMPLE 16")
+	if !f.started || f.sampleN != 16 {
+		t.Fatalf("after START: %+v", f)
+	}
+	mustApply("TRACE START FLOW 02:00:00:00:00:09")
+	wantFlow, err := ethernet.ParseMAC("02:00:00:00:00:09")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.hasFlow || f.flow != wantFlow {
+		t.Fatalf("after FLOW: %+v", f)
+	}
+	if out := mustApply("TRACE DUMP"); len(out) != 1 || out[0] != "traces 0" {
+		t.Fatalf("DUMP = %v", out)
+	}
+	mustApply("TRACE STOP")
+	if f.started {
+		t.Fatal("STOP did not land")
+	}
+	// A target without tracing support reports a clean error.
+	cmd, _ := Parse("TRACE DUMP")
+	if _, err := Apply(newFake(), cmd); err == nil {
+		t.Fatal("trace on non-TraceTarget accepted")
+	}
+}

@@ -35,8 +35,9 @@ func slug(label string) string {
 }
 
 // CollectMicrobench runs the microbenchmark experiments (the fig5
-// dispatcher sweep, the fig8 throughput chart, the fig9 latency sweep)
-// and returns their results as flat records.
+// dispatcher sweep, the fig8 throughput chart, the fig9 latency sweep,
+// the live trace-sampling ratio sweep) and returns their results as
+// flat records.
 func CollectMicrobench() []Record {
 	var recs []Record
 	for _, r := range measureFig5() {
@@ -67,6 +68,7 @@ func CollectMicrobench() []Record {
 			})
 		}
 	}
+	recs = append(recs, CollectTraceBench()...)
 	return recs
 }
 

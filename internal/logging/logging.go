@@ -1,0 +1,53 @@
+// Package logging builds the structured loggers the daemons and the
+// overlay datapath share: log/slog with a level and format chosen on
+// the command line (-log-level, -log-format), plus a zero-cost discard
+// logger for components that were handed none.
+package logging
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// New returns a slog.Logger writing to w at the given level ("debug",
+// "info", "warn", "error") in the given format ("text" or "json").
+func New(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("logging: unknown level %q (debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("logging: unknown format %q (text|json)", format)
+	}
+}
+
+// Discard returns a logger that drops everything. (slog.DiscardHandler
+// needs a newer Go than go.mod pins, so this hand-rolls the handler.)
+func Discard() *slog.Logger {
+	return slog.New(discardHandler{})
+}
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

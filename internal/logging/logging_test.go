@@ -1,0 +1,52 @@
+package logging_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vnetp/internal/logging"
+)
+
+func TestNewTextAndJSON(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := logging.New(&buf, "info", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hidden")
+	lg.Info("hello", "k", "v")
+	if out := buf.String(); strings.Contains(out, "hidden") || !strings.Contains(out, "k=v") {
+		t.Fatalf("text output:\n%s", out)
+	}
+
+	buf.Reset()
+	lg, err = logging.New(&buf, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("traced", "trace_id", "0001000000000001")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "traced" || rec["trace_id"] != "0001000000000001" {
+		t.Fatalf("json record: %v", rec)
+	}
+}
+
+func TestNewRejectsUnknown(t *testing.T) {
+	if _, err := logging.New(nil, "loud", "text"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := logging.New(nil, "info", "xml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	lg := logging.Discard()
+	lg.Info("dropped")
+	lg.With("a", 1).WithGroup("g").Error("also dropped")
+}

@@ -11,12 +11,15 @@
 package overlay
 
 import (
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
 
 	"vnetp/internal/bridge"
+	"vnetp/internal/logging"
 	"vnetp/internal/telemetry"
+	"vnetp/internal/trace"
 )
 
 // defaultQueueDepth is each dispatcher's inbound ring size. Like a NIC RX
@@ -78,6 +81,23 @@ type NodeConfig struct {
 	// dropped). Zero means the default (1s). Tests shorten it to fake
 	// the clock.
 	EvictInterval time.Duration
+
+	// TraceSample arms the live tracer at startup: trace one in every
+	// TraceSample frames entering the TX path (vnetpd -trace-sample).
+	// Zero leaves tracing off until TRACE START; sampling costs one
+	// atomic load per frame while off.
+	TraceSample uint64
+	// FlightDepth is the flight recorder's per-dispatcher ring depth in
+	// datagram events (vnetpd -flight-depth). Zero disables the
+	// recorder entirely.
+	FlightDepth int
+	// FlightSnap is the per-event capture length in bytes. Zero means
+	// the default (256).
+	FlightSnap int
+
+	// Logger receives the node's structured log records (link
+	// lifecycle, trace lifecycle, traced-frame events). Nil discards.
+	Logger *slog.Logger
 }
 
 func (c *NodeConfig) normalize() {
@@ -98,6 +118,12 @@ func (c *NodeConfig) normalize() {
 	}
 	if c.EvictInterval <= 0 {
 		c.EvictInterval = time.Second
+	}
+	if c.FlightSnap <= 0 {
+		c.FlightSnap = 256
+	}
+	if c.Logger == nil {
+		c.Logger = logging.Discard()
 	}
 }
 
@@ -120,6 +146,10 @@ type rxShard struct {
 	in    chan inDatagram
 	mu    sync.Mutex
 	reasm *bridge.Reassembler
+
+	// flight is this dispatcher's flight recorder: the last
+	// NodeConfig.FlightDepth datagram events, nil when disabled.
+	flight *trace.FlightRing
 
 	// Datagrams counts data datagrams processed, Frames completed inner
 	// frames routed, Drops producer-side ring-full losses. All are
@@ -152,17 +182,25 @@ func (n *Node) dispatchLoop(s *rxShard) {
 				n.BadPackets.Add(1)
 				continue
 			}
-			n.processData(s, d.sender, h, payload, d.at)
+			n.processData(s, d.sender, h, payload, d.pkt, d.at)
 		}
 	}
 }
 
-// processData runs the data path for one parsed datagram: shard-local
-// reassembly, then routing of any completed frame. Shared by the UDP
-// dispatcher workers and the TCP connection readers (which parse on their
-// own goroutines and call in directly).
-func (n *Node) processData(s *rxShard, sender string, h *bridge.EncapHeader, payload []byte, at time.Time) {
+// processData runs the data path for one parsed datagram: flight
+// capture, shard-local reassembly, then routing of any completed frame.
+// Shared by the UDP dispatcher workers and the TCP connection readers
+// (which parse on their own goroutines and call in directly). raw is
+// the full encap datagram as it arrived on the wire, captured by the
+// shard's flight recorder when one is armed.
+func (n *Node) processData(s *rxShard, sender string, h *bridge.EncapHeader, payload, raw []byte, at time.Time) {
 	s.Datagrams.Add(1)
+	var tid uint64
+	if h.HasTrace {
+		tid = h.Trace.ID
+		n.tracer.RecordRemote(tid, h.Trace.Origin, h.Trace.Flags, trace.StageRxDispatch)
+	}
+	s.flight.Record(sender, tid, raw)
 	s.mu.Lock()
 	frame, err := s.reasm.AddParsed(sender, h, payload)
 	s.mu.Unlock()
@@ -172,6 +210,13 @@ func (n *Node) processData(s *rxShard, sender string, h *bridge.EncapHeader, pay
 	}
 	if frame == nil {
 		return // more fragments pending
+	}
+	if h.HasTrace {
+		// The completing fragment carries the same trace context every
+		// fragment did; the reassembled frame inherits it so routing and
+		// delivery keep recording under the wire-carried ID.
+		frame.Tag = tid
+		n.tracer.RecordRemote(tid, h.Trace.Origin, h.Trace.Flags, trace.StageReassembly)
 	}
 	s.Frames.Add(1)
 	n.EncapRecv.Add(1)

@@ -10,6 +10,7 @@ package overlay
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,7 @@ import (
 	"vnetp/internal/ethernet"
 	"vnetp/internal/faultnet"
 	"vnetp/internal/telemetry"
+	"vnetp/internal/trace"
 )
 
 // maxDatagram is the UDP payload budget per encapsulated datagram,
@@ -63,6 +65,19 @@ func (ep *Endpoint) Send(f *ethernet.Frame) error {
 	if f.PayloadLen() > ep.mtu {
 		return fmt.Errorf("overlay: frame payload %d exceeds endpoint MTU %d", f.PayloadLen(), ep.mtu)
 	}
+	// Sampling decision for the live tracer: one atomic load when
+	// disabled, a fresh trace ID on the frame's Tag when selected. This
+	// is the virtio-pop analogue — the guest handing the frame over.
+	// The Tag is rewritten whenever its value must change (selected, or
+	// carrying a stale ID from a reused/copied frame struct) but never
+	// touched on the common untraced path — re-Sending a frame the
+	// batched TX ring still holds must not write to it.
+	if id := ep.node.tracer.SampleTX(f.Src, f.Dst); id != 0 {
+		f.Tag = id
+		ep.node.tracer.Record(id, trace.StageVirtioPop)
+	} else if f.Tag != 0 {
+		f.Tag = 0
+	}
 	return ep.node.route(f, ep)
 }
 
@@ -78,6 +93,12 @@ func (ep *Endpoint) SendBatch(frames []*ethernet.Frame) error {
 		if f.PayloadLen() > ep.mtu {
 			errs = append(errs, fmt.Errorf("overlay: frame payload %d exceeds endpoint MTU %d", f.PayloadLen(), ep.mtu))
 			continue
+		}
+		if id := ep.node.tracer.SampleTX(f.Src, f.Dst); id != 0 {
+			f.Tag = id
+			ep.node.tracer.Record(id, trace.StageVirtioPop)
+		} else if f.Tag != 0 {
+			f.Tag = 0
 		}
 		if err := ep.node.routeAt(f, ep, at); err != nil {
 			errs = append(errs, err)
@@ -167,7 +188,7 @@ type Node struct {
 
 	mu         sync.Mutex
 	links      map[string]*link
-	linkByAddr map[string]*link      // UDP remote address → link, for receive-byte attribution
+	linkByAddr map[string]*link // UDP remote address → link, for receive-byte attribution
 	eps        map[string]*Endpoint
 	tcpConns   map[*tcpConn]struct{} // accepted inbound TCP transports
 	shards     []*rxShard            // dispatcher pool; reassembly sharded by sender
@@ -187,6 +208,13 @@ type Node struct {
 	// the exported counters below are registry children too, so LIST
 	// STATS and /metrics read the same values.
 	metrics *nodeMetrics
+
+	// tracer records per-stage wall-clock spans for sampled frames; it
+	// always exists (disabled sampling costs one atomic load per
+	// frame). log is the node's structured logger (never nil after
+	// normalize).
+	tracer *trace.LiveTracer
+	log    *slog.Logger
 
 	// Stats
 	EncapSent   *telemetry.Counter
@@ -232,6 +260,11 @@ func NewNodeWithConfig(name, bindAddr string, cfg NodeConfig) (*Node, error) {
 		probeCh:    make(chan probeEvent, 256),
 		quit:       make(chan struct{}),
 	}
+	n.log = cfg.Logger
+	n.tracer = trace.NewLive(name, originID(name))
+	if cfg.TraceSample > 0 {
+		n.tracer.Start(cfg.TraceSample)
+	}
 	reg := telemetry.NewRegistry()
 	n.metrics = newNodeMetrics(reg)
 	n.EncapSent = reg.Counter("vnetp_encap_sent_total", "Inner frames encapsulated and sent over links.")
@@ -246,6 +279,7 @@ func NewNodeWithConfig(name, bindAddr string, cfg NodeConfig) (*Node, error) {
 			idx:       i,
 			in:        make(chan inDatagram, cfg.QueueDepth),
 			reasm:     bridge.NewReassembler(),
+			flight:    trace.NewFlightRing(cfg.FlightDepth, cfg.FlightSnap),
 			Datagrams: n.metrics.dispDatagrams.With(w),
 			Frames:    n.metrics.dispFrames.With(w),
 			Drops:     n.metrics.dispDrops.With(w),
@@ -260,7 +294,23 @@ func NewNodeWithConfig(name, bindAddr string, cfg NodeConfig) (*Node, error) {
 	for _, s := range n.shards {
 		go n.dispatchLoop(s)
 	}
+	n.log.Info("overlay node up",
+		"node", name, "addr", n.Addr(),
+		"dispatchers", len(n.shards), "trace_sample", cfg.TraceSample,
+		"flight_depth", cfg.FlightDepth)
 	return n, nil
+}
+
+// originID derives a node's 16-bit trace origin identity from its name
+// (FNV-1a folded to 16 bits) — stable across restarts, carried in the
+// wire trace extension so both halves of a cross-node trace attribute
+// hops to the originating node.
+func originID(name string) uint16 {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return uint16(h>>16) ^ uint16(h)
 }
 
 // Name returns the node name.
@@ -407,6 +457,7 @@ func (n *Node) AddLink(id, remote string, proto string) error {
 	if oldTCP != nil { // replaced link: don't leak its transport
 		oldTCP.close()
 	}
+	n.log.Info("link added", "node", n.name, "link", id, "proto", proto, "remote", remote)
 	return nil
 }
 
@@ -446,6 +497,7 @@ func (n *Node) DelLink(id string) error {
 	if tcp != nil {
 		tcp.close()
 	}
+	n.log.Info("link deleted", "node", n.name, "link", id)
 	return nil
 }
 
@@ -515,10 +567,12 @@ func (n *Node) Links() []string {
 func (n *Node) Stats() []string {
 	hits, misses := n.table.CacheStats()
 	var probesSent, probesLost, failovers, failbacks, redials, upgrades, sendErrors uint64
+	var txRingDrops uint64
 	n.mu.Lock()
 	for _, lk := range n.links {
 		s := n.snapshotLinkLocked(lk)
 		sendErrors += s.sendErrors
+		txRingDrops += s.txDrops
 		probesSent += s.probesSent
 		probesLost += s.probesLost
 		failovers += s.failovers
@@ -551,6 +605,14 @@ func (n *Node) Stats() []string {
 			statLine(fmt.Sprintf("dispatcher_%d_drops", s.idx), s.Drops.Load()),
 		)
 	}
+	// Newer keys append after the pinned set (TestListStatsBackcompat):
+	// TX ring overrun and encap pool effectiveness, previously /metrics-only.
+	poolHits, poolMisses := n.encap.PoolStats()
+	out = append(out,
+		statLine("tx_ring_drops", txRingDrops),
+		statLine("encap_pool_hits", poolHits),
+		statLine("encap_pool_misses", poolMisses),
+	)
 	return out
 }
 
@@ -591,6 +653,9 @@ func (n *Node) routeAt(f *ethernet.Frame, from *Endpoint, at time.Time) error {
 		n.NoRouteDrop.Add(1)
 		return err
 	}
+	if f.Tag != 0 {
+		n.tracer.Record(f.Tag, trace.StageRouteLookup)
+	}
 	var errs []error
 	sentOnLink := false
 	for _, d := range dests {
@@ -604,6 +669,11 @@ func (n *Node) routeAt(f *ethernet.Frame, from *Endpoint, at time.Time) error {
 			}
 			ep.deliver(f)
 			n.Delivered.Add(1)
+			if f.Tag != 0 {
+				n.tracer.Record(f.Tag, trace.StageDeliver)
+				n.log.Debug("traced frame delivered",
+					"trace_id", fmt.Sprintf("%016x", f.Tag), "interface", d.ID)
+			}
 		case core.DestLink:
 			n.mu.Lock()
 			lk := n.links[d.ID]
@@ -616,7 +686,12 @@ func (n *Node) routeAt(f *ethernet.Frame, from *Endpoint, at time.Time) error {
 				// Batched mode: hand the frame to the link's sender ring.
 				// Transport errors surface in the link's send_errors
 				// counter (txLoop), not here; the TX latency sample is
-				// taken after the batch actually hits the wire.
+				// taken after the batch actually hits the wire. The
+				// tx_enqueue hop is recorded before the handoff so it
+				// cannot race the sender's encap hop.
+				if f.Tag != 0 {
+					n.tracer.Record(f.Tag, trace.StageTxEnqueue)
+				}
 				n.enqueueTx(lk, txFrame{f: f, at: at})
 				continue
 			}
@@ -637,7 +712,8 @@ func (n *Node) routeAt(f *ethernet.Frame, from *Endpoint, at time.Time) error {
 
 // sendEncap encapsulates and transmits a frame over a link synchronously,
 // fragmenting to the datagram budget. Encapsulation buffers come from the
-// node's pool and are recycled before return.
+// node's pool and are recycled before return. A traced frame's context
+// rides the wire in every fragment's trace extension.
 func (n *Node) sendEncap(lk *link, f *ethernet.Frame) error {
 	id := n.nextID.Add(1)
 	n.mu.Lock()
@@ -647,18 +723,39 @@ func (n *Node) sendEncap(lk *link, f *ethernet.Frame) error {
 	if proto == "tcp" {
 		budget = tcpMaxDatagram
 	}
-	pkt, err := n.encap.Encapsulate(f, id, budget)
+	pkt, err := n.encap.EncapsulateTrace(f, id, budget, n.traceExt(f.Tag))
 	if err != nil {
 		return err
 	}
 	defer pkt.Release()
+	if f.Tag != 0 {
+		n.tracer.Record(f.Tag, trace.StageEncap)
+	}
 	for _, d := range pkt.Datagrams {
 		if err := n.sendOnLink(lk, d); err != nil {
 			return err
 		}
 	}
 	n.EncapSent.Add(1)
+	if f.Tag != 0 {
+		n.tracer.Record(f.Tag, trace.StageWireTx)
+	}
 	return nil
+}
+
+// traceExt builds the wire trace extension for a traced frame's tag
+// (nil for untraced frames, so the encoder emits a plain header). The
+// origin and flags come from the tracer's path state, so a node
+// forwarding a remotely originated trace re-emits the original context.
+func (n *Node) traceExt(tag uint64) *bridge.TraceExt {
+	if tag == 0 {
+		return nil
+	}
+	origin, flags, ok := n.tracer.Ext(tag)
+	if !ok {
+		return nil
+	}
+	return &bridge.TraceExt{ID: tag, Origin: origin, Flags: flags}
 }
 
 // sendOnLink pushes one encapsulation datagram onto a link's transport,

@@ -165,7 +165,7 @@ func (n *Node) readTCP(c *tcpConn, lk *link) {
 			// The connection reader is already a dedicated goroutine, so
 			// data is processed inline on the sender's reassembly shard
 			// rather than re-queued behind the UDP dispatchers.
-			n.processData(shard, key, h, payload, at)
+			n.processData(shard, key, h, payload, pkt, at)
 		}
 	}
 }

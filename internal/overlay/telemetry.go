@@ -140,6 +140,21 @@ func (n *Node) registerNodeFuncs() {
 			return float64(s.reasm.Pending())
 		}, w)
 	}
+	reg.CounterFunc("vnetp_trace_sampled_total",
+		"Frames selected for live tracing (sampler or flow trigger).",
+		func() uint64 { return n.tracer.Sampled() })
+	reg.GaugeFunc("vnetp_trace_active",
+		"Trace paths currently retained by the live tracer.",
+		func() float64 { return float64(n.tracer.Active()) })
+	reg.CounterFunc("vnetp_flight_events_total",
+		"Datagram events captured by the per-dispatcher flight recorders.",
+		func() uint64 {
+			var t uint64
+			for _, s := range n.shards {
+				t += s.flight.Total()
+			}
+			return t
+		})
 }
 
 // Telemetry exposes the node's metrics registry, e.g. for
@@ -198,9 +213,9 @@ type linkSnapshot struct {
 	rttUS             int64
 	lossPct           float64
 
-	probesSent, probesLost, repliesRecv     uint64
-	failovers, failbacks, redials, upgrades uint64
-	sendErrors, bytesSent, bytesRecv        uint64
+	probesSent, probesLost, repliesRecv       uint64
+	failovers, failbacks, redials, upgrades   uint64
+	sendErrors, bytesSent, bytesRecv, txDrops uint64
 }
 
 // snapshotLinkLocked captures a link's counters. Caller holds n.mu.
@@ -210,6 +225,7 @@ func (n *Node) snapshotLinkLocked(lk *link) linkSnapshot {
 		sendErrors: lk.sendErrors.Load(),
 		bytesSent:  lk.bytesSent.Load(),
 		bytesRecv:  lk.bytesRecv.Load(),
+		txDrops:    lk.txDrops.Load(),
 	}
 	if h := lk.health; h != nil {
 		s.monitored = true
@@ -229,7 +245,7 @@ func (n *Node) snapshotLinkLocked(lk *link) linkSnapshot {
 
 // statusLines renders a snapshot in LINK STATUS form. The line set and
 // order up to "upgrades" are pinned for backward compatibility; the
-// bytes counters append after.
+// bytes counters and TX ring drops append after.
 func (s linkSnapshot) statusLines() []string {
 	lines := []string{fmt.Sprintf("link %s proto %s remote %s", s.id, s.proto, s.remote)}
 	if !s.monitored {
@@ -238,6 +254,7 @@ func (s linkSnapshot) statusLines() []string {
 			statLine("send_errors", s.sendErrors),
 			statLine("bytes_sent", s.bytesSent),
 			statLine("bytes_recv", s.bytesRecv),
+			statLine("tx_ring_drops", s.txDrops),
 		)
 	}
 	return append(lines,
@@ -254,6 +271,7 @@ func (s linkSnapshot) statusLines() []string {
 		statLine("upgrades", s.upgrades),
 		statLine("bytes_sent", s.bytesSent),
 		statLine("bytes_recv", s.bytesRecv),
+		statLine("tx_ring_drops", s.txDrops),
 	)
 }
 

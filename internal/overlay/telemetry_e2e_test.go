@@ -198,6 +198,9 @@ func TestTelemetryEndToEnd(t *testing.T) {
 		"redials":            func() float64 { return sumFamily(series, "vnetp_link_redials_total") },
 		"link_upgrades":      func() float64 { return sumFamily(series, "vnetp_link_upgrades_total") },
 		"dispatchers":        func() float64 { return series["vnetp_dispatchers"] },
+		"tx_ring_drops":      func() float64 { return sumFamily(series, "vnetp_link_tx_ring_drops_total") },
+		"encap_pool_hits":    func() float64 { return series["vnetp_encap_pool_hits_total"] },
+		"encap_pool_misses":  func() float64 { return series["vnetp_encap_pool_misses_total"] },
 	}
 	checked := 0
 	for _, line := range lines {
@@ -249,6 +252,9 @@ func TestListStatsBackcompat(t *testing.T) {
 		"redials", "link_upgrades", "dispatchers",
 		"dispatcher_0_datagrams", "dispatcher_0_frames", "dispatcher_0_drops",
 		"dispatcher_1_datagrams", "dispatcher_1_frames", "dispatcher_1_drops",
+		// Keys below appended after the original pinned set (growth is
+		// append-only; parsers indexing the lines above stay correct).
+		"tx_ring_drops", "encap_pool_hits", "encap_pool_misses",
 	}
 	stats := n.Stats()
 	if len(stats) != len(want) {

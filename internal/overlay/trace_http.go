@@ -1,0 +1,101 @@
+// The node's tracing control surface: the TRACE verb targets used by
+// internal/control, and the /trace + /flight HTTP handlers mounted on
+// the telemetry server (telemetry.ServeWith in vnetpd).
+package overlay
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+
+	"vnetp/internal/ethernet"
+	"vnetp/internal/trace"
+)
+
+// TraceStart arms the live tracer: sample 1 in sampleN frames (0 keeps
+// the sampler off), plus an explicit flow trigger on a MAC when hasFlow
+// is set. Implements the control daemon's TRACE START verb.
+func (n *Node) TraceStart(sampleN uint64, flow ethernet.MAC, hasFlow bool) error {
+	if sampleN > 0 {
+		n.tracer.Start(sampleN)
+	}
+	if hasFlow {
+		n.tracer.AddFlow(flow)
+	}
+	n.log.Info("trace started", "node", n.name, "sample", sampleN, "flow", hasFlow)
+	return nil
+}
+
+// TraceStop disarms sampling and flow triggers; recorded paths remain
+// available to TRACE DUMP and /trace.
+func (n *Node) TraceStop() error {
+	n.tracer.Stop()
+	n.log.Info("trace stopped", "node", n.name)
+	return nil
+}
+
+// TraceDump renders the recorded trace paths as control-protocol lines
+// (the shared Path renderer, split per line).
+func (n *Node) TraceDump() []string {
+	paths := n.tracer.Traces()
+	out := []string{statLine("traces", uint64(len(paths)))}
+	for _, p := range paths {
+		for _, ln := range strings.Split(strings.TrimRight(p.String(), "\n"), "\n") {
+			out = append(out, ln)
+		}
+	}
+	return out
+}
+
+// Tracer exposes the node's live tracer (tests and embedding daemons).
+func (n *Node) Tracer() *trace.LiveTracer { return n.tracer }
+
+// FlightEvents returns a merged snapshot of every dispatcher's flight
+// recorder, oldest first.
+func (n *Node) FlightEvents() []trace.FlightEvent {
+	var all []trace.FlightEvent
+	for _, s := range n.shards {
+		all = append(all, s.flight.Snapshot()...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].At.Before(all[j].At) })
+	return all
+}
+
+// flightSnaplen reports the configured per-event capture length (the
+// pcap file header's snaplen).
+func (n *Node) flightSnaplen() int {
+	for _, s := range n.shards {
+		if l := s.flight.Snaplen(); l > 0 {
+			return l
+		}
+	}
+	return 0
+}
+
+// TraceHandler serves the recorded trace paths as JSON — mounted at
+// /trace on the telemetry server.
+func (n *Node) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(n.tracer.Traces())
+	})
+}
+
+// FlightHandler serves the flight recorder's contents — mounted at
+// /flight on the telemetry server. Default is JSON event metadata;
+// ?format=pcap streams the captured datagrams as a classic pcap file
+// (linktype DLT_USER0: each packet is one encap datagram).
+func (n *Node) FlightHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		events := n.FlightEvents()
+		if r.URL.Query().Get("format") == "pcap" {
+			w.Header().Set("Content-Type", "application/vnd.tcpdump.pcap")
+			w.Header().Set("Content-Disposition", `attachment; filename="flight.pcap"`)
+			trace.WritePCAP(w, n.flightSnaplen(), events)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(events)
+	})
+}

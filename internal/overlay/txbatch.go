@@ -15,6 +15,7 @@ import (
 
 	"vnetp/internal/bridge"
 	"vnetp/internal/ethernet"
+	"vnetp/internal/trace"
 	"vnetp/internal/virtio"
 )
 
@@ -114,10 +115,13 @@ func (n *Node) sendTxBatch(lk *link, batch []txFrame, s *txScratch) {
 	pkts := s.pkts[:0]
 	dgs := s.dgs[:0]
 	for _, tf := range batch {
-		pkt, err := n.encap.Encapsulate(tf.f, n.nextID.Add(1), budget)
+		pkt, err := n.encap.EncapsulateTrace(tf.f, n.nextID.Add(1), budget, n.traceExt(tf.f.Tag))
 		if err != nil {
 			lk.sendErrors.Add(1)
 			continue
+		}
+		if tf.f.Tag != 0 {
+			n.tracer.Record(tf.f.Tag, trace.StageEncap)
 		}
 		pkts = append(pkts, pkt)
 		dgs = append(dgs, pkt.Datagrams...)
@@ -153,6 +157,9 @@ func (n *Node) sendTxBatch(lk *link, batch []txFrame, s *txScratch) {
 	for _, tf := range batch {
 		if !tf.at.IsZero() {
 			n.metrics.txLatency.Observe(now.Sub(tf.at).Seconds())
+		}
+		if tf.f.Tag != 0 {
+			n.tracer.Record(tf.f.Tag, trace.StageWireTx)
 		}
 	}
 	for i, p := range pkts {

@@ -108,7 +108,17 @@ type Server struct {
 // Handler returns the exposition mux for reg, usable standalone (tests,
 // embedding into an existing server).
 func Handler(reg *Registry) http.Handler {
+	return HandlerWith(reg, nil)
+}
+
+// HandlerWith is Handler plus extra routes mounted on the same mux —
+// the hook the overlay uses to expose /trace and /flight beside
+// /metrics. Extra paths must not collide with the built-in ones.
+func HandlerWith(reg *Registry, extra map[string]http.Handler) http.Handler {
 	mux := http.NewServeMux()
+	for path, h := range extra {
+		mux.Handle(path, h)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", TextContentType)
 		reg.WriteText(w)
@@ -128,11 +138,17 @@ func Handler(reg *Registry) http.Handler {
 // Serve starts an exposition server on addr ("127.0.0.1:0" picks a free
 // port; Addr reports it).
 func Serve(addr string, reg *Registry) (*Server, error) {
+	return ServeWith(addr, reg, nil)
+}
+
+// ServeWith is Serve with extra routes mounted beside the built-ins
+// (see HandlerWith).
+func ServeWith(addr string, reg *Registry, extra map[string]http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg)}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: HandlerWith(reg, extra)}}
 	go s.srv.Serve(ln)
 	return s, nil
 }

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"encoding/binary"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// FlightEvent is one captured datagram: the raw encap bytes as they
+// arrived on the wire (truncated to the ring's snap length), plus
+// enough metadata to attribute it.
+type FlightEvent struct {
+	At      time.Time `json:"at"`
+	Sender  string    `json:"sender"`
+	TraceID uint64    `json:"trace_id,omitempty"`
+	OrigLen int       `json:"orig_len"`
+	Data    []byte    `json:"-"`
+}
+
+// FlightRing is a fixed-depth ring of the last K datagram events — the
+// flight recorder. Writers claim a slot with one atomic add and a CAS;
+// if a concurrent reader holds the slot the event is dropped rather
+// than blocking the datapath, so recording never waits. All slot
+// buffers are preallocated: a Record costs zero allocations. A nil
+// *FlightRing is valid and records nothing.
+type FlightRing struct {
+	next  atomic.Uint64
+	total atomic.Uint64
+	snap  int
+	slots []flightSlot
+}
+
+type flightSlot struct {
+	busy    atomic.Uint32 // CAS 0→1 claims the slot
+	at      int64         // unix nanos; 0 = never written
+	sender  string
+	traceID uint64
+	origLen int
+	n       int
+	buf     []byte
+}
+
+// NewFlightRing returns a ring holding the last depth events, each
+// truncated to snap bytes. depth <= 0 returns nil (recorder disabled).
+func NewFlightRing(depth, snap int) *FlightRing {
+	if depth <= 0 {
+		return nil
+	}
+	if snap <= 0 {
+		snap = 256
+	}
+	r := &FlightRing{snap: snap, slots: make([]flightSlot, depth)}
+	for i := range r.slots {
+		r.slots[i].buf = make([]byte, snap)
+	}
+	return r
+}
+
+// Record captures a datagram event. Best-effort: if the claimed slot is
+// being read the event is silently dropped.
+func (r *FlightRing) Record(sender string, traceID uint64, data []byte) {
+	if r == nil {
+		return
+	}
+	idx := (r.next.Add(1) - 1) % uint64(len(r.slots))
+	s := &r.slots[idx]
+	if !s.busy.CompareAndSwap(0, 1) {
+		return
+	}
+	s.at = time.Now().UnixNano()
+	s.sender = sender
+	s.traceID = traceID
+	s.origLen = len(data)
+	s.n = copy(s.buf, data)
+	s.busy.Store(0)
+	r.total.Add(1)
+}
+
+// Total returns the number of events ever recorded.
+func (r *FlightRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total.Load()
+}
+
+// Snaplen returns the per-event capture length.
+func (r *FlightRing) Snaplen() int {
+	if r == nil {
+		return 0
+	}
+	return r.snap
+}
+
+// Snapshot copies out the ring's current events, oldest first.
+// Best-effort: a slot mid-write is skipped.
+func (r *FlightRing) Snapshot() []FlightEvent {
+	if r == nil {
+		return nil
+	}
+	out := make([]FlightEvent, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		if !s.busy.CompareAndSwap(0, 1) {
+			continue
+		}
+		if s.at != 0 {
+			ev := FlightEvent{
+				At:      time.Unix(0, s.at),
+				Sender:  s.sender,
+				TraceID: s.traceID,
+				OrigLen: s.origLen,
+				Data:    append([]byte(nil), s.buf[:s.n]...),
+			}
+			out = append(out, ev)
+		}
+		s.busy.Store(0)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// pcap constants: classic (non-ng) format, big-endian, linktype
+// DLT_USER0 — the payload is our encap datagram, not a standard layer.
+const (
+	pcapMagic    = 0xa1b2c3d4
+	pcapVerMajor = 2
+	pcapVerMinor = 4
+	pcapLinkType = 147 // DLT_USER0
+)
+
+// WritePCAP writes events as a classic big-endian pcap stream with
+// linktype DLT_USER0 (147): each packet record is one captured encap
+// datagram. snaplen is the file-header capture limit (use the ring's
+// Snaplen).
+func WritePCAP(w io.Writer, snaplen int, events []FlightEvent) error {
+	var hdr [24]byte
+	binary.BigEndian.PutUint32(hdr[0:], pcapMagic)
+	binary.BigEndian.PutUint16(hdr[4:], pcapVerMajor)
+	binary.BigEndian.PutUint16(hdr[6:], pcapVerMinor)
+	// thiszone and sigfigs stay zero.
+	binary.BigEndian.PutUint32(hdr[16:], uint32(snaplen))
+	binary.BigEndian.PutUint32(hdr[20:], pcapLinkType)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [16]byte
+	for _, ev := range events {
+		binary.BigEndian.PutUint32(rec[0:], uint32(ev.At.Unix()))
+		binary.BigEndian.PutUint32(rec[4:], uint32(ev.At.Nanosecond()/1000))
+		binary.BigEndian.PutUint32(rec[8:], uint32(len(ev.Data)))
+		binary.BigEndian.PutUint32(rec[12:], uint32(ev.OrigLen))
+		if _, err := w.Write(rec[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(ev.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"vnetp/internal/trace"
+)
+
+var updatePCAP = flag.Bool("update-pcap", false, "rewrite the pcap golden file")
+
+func TestFlightRingBasics(t *testing.T) {
+	r := trace.NewFlightRing(4, 8)
+	if trace.NewFlightRing(0, 8) != nil {
+		t.Fatal("depth 0 should disable the ring")
+	}
+	r.Record("a", 1, []byte("0123456789")) // truncated to snap=8
+	r.Record("b", 0, []byte("xy"))
+	evs := r.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("snapshot = %d events", len(evs))
+	}
+	if evs[0].Sender != "a" || evs[0].OrigLen != 10 || len(evs[0].Data) != 8 {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Sender != "b" || !bytes.Equal(evs[1].Data, []byte("xy")) {
+		t.Fatalf("event 1 = %+v", evs[1])
+	}
+	// Overflow: ring keeps only the newest 4.
+	for i := 0; i < 10; i++ {
+		r.Record("c", uint64(i), []byte{byte(i)})
+	}
+	evs = r.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("post-overflow snapshot = %d", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.TraceID < 6 {
+			t.Fatalf("old event survived overflow: %+v", ev)
+		}
+	}
+	if r.Total() != 12 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
+func TestFlightRingNilSafe(t *testing.T) {
+	var r *trace.FlightRing
+	r.Record("x", 0, []byte("data"))
+	if r.Snapshot() != nil || r.Total() != 0 || r.Snaplen() != 0 {
+		t.Fatal("nil ring returned data")
+	}
+}
+
+// Concurrent writers and readers must not race (best-effort capture may
+// drop events, but never corrupt or deadlock). Run under -race.
+func TestFlightRingConcurrent(t *testing.T) {
+	r := trace.NewFlightRing(16, 32)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := bytes.Repeat([]byte{byte(w)}, 32)
+			for i := 0; i < 2000; i++ {
+				r.Record("w", uint64(i), buf)
+			}
+		}(w)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, ev := range r.Snapshot() {
+					if len(ev.Data) > 32 {
+						panic("oversized capture")
+					}
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-readerDone
+}
+
+// TestPCAPGolden pins the exact export byte layout against a committed
+// golden file: classic big-endian pcap, v2.4, linktype DLT_USER0.
+// Regenerate deliberately with -update-pcap.
+func TestPCAPGolden(t *testing.T) {
+	events := []trace.FlightEvent{
+		{
+			At:      time.Unix(1700000000, 123456000).UTC(),
+			Sender:  "10.0.0.1:9000",
+			TraceID: 0x0001000000000001,
+			OrigLen: 1400,
+			Data:    bytes.Repeat([]byte{0x56, 0x4e, 0x02, 0x00}, 4),
+		},
+		{
+			At:      time.Unix(1700000001, 999999000).UTC(),
+			Sender:  "10.0.0.2:9000",
+			OrigLen: 3,
+			Data:    []byte{0xaa, 0xbb, 0xcc},
+		},
+	}
+	var buf bytes.Buffer
+	if err := trace.WritePCAP(&buf, 256, events); err != nil {
+		t.Fatal(err)
+	}
+	// Structural checks independent of the golden bytes.
+	out := buf.Bytes()
+	if binary.BigEndian.Uint32(out[0:]) != 0xa1b2c3d4 {
+		t.Fatalf("magic = %x", out[0:4])
+	}
+	if binary.BigEndian.Uint32(out[20:]) != 147 {
+		t.Fatalf("linktype = %d", binary.BigEndian.Uint32(out[20:]))
+	}
+	if want := 24 + 16 + 16 + 16 + 3; len(out) != want {
+		t.Fatalf("stream length = %d, want %d", len(out), want)
+	}
+
+	golden := filepath.Join("testdata", "flight.pcap")
+	if *updatePCAP {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatalf("pcap bytes drifted from golden file:\ngot  % x\nwant % x", out, want)
+	}
+}

@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vnetp/internal/ethernet"
+)
+
+// TraceTriggered marks a trace started by an explicit per-MAC flow
+// trigger (vnetctl TRACE START FLOW <mac>) rather than the 1-in-N
+// sampler. The flag travels in the wire extension so the remote node
+// can tell the two apart.
+const TraceTriggered uint16 = 0x01
+
+// maxLiveTraces bounds the retained path table; the oldest trace is
+// evicted when a new one starts past the cap.
+const maxLiveTraces = 256
+
+// flowSet is the immutable set of explicitly-triggered flow MACs,
+// swapped atomically so the hot path reads it without a lock.
+type flowSet map[ethernet.MAC]struct{}
+
+// LiveTracer records per-stage wall-clock spans for frames crossing the
+// real overlay datapath. Frames are selected either by a 1-in-N sampler
+// or by an explicit per-MAC flow trigger; the selection check costs one
+// atomic load (and zero allocations) while tracing is disabled, so the
+// tracer can sit on the hot TX path unconditionally. A nil *LiveTracer
+// is valid and records nothing.
+type LiveTracer struct {
+	node   string
+	origin uint16
+
+	enabled atomic.Bool
+	sampleN atomic.Uint64 // trace every Nth eligible frame; 0 = flow triggers only
+	ctr     atomic.Uint64
+	seq     atomic.Uint64
+	sampled atomic.Uint64 // traces started locally (metric)
+	flows   atomic.Pointer[flowSet]
+
+	mu    sync.Mutex
+	live  map[uint64]*Path
+	order []uint64 // insertion order, for eviction
+}
+
+// NewLive returns a live tracer for a node. origin is the node's
+// 16-bit identity carried in the wire trace extension so a trace ID is
+// attributable across the hop; node is the human-readable name stamped
+// on recorded paths.
+func NewLive(node string, origin uint16) *LiveTracer {
+	return &LiveTracer{node: node, origin: origin}
+}
+
+// Start enables tracing with 1-in-N sampling. n == 1 traces every
+// frame; n == 0 disables the sampler, leaving only flow triggers.
+func (t *LiveTracer) Start(n uint64) {
+	if t == nil {
+		return
+	}
+	t.sampleN.Store(n)
+	t.enabled.Store(true)
+}
+
+// Stop disables all sampling and clears flow triggers. Recorded paths
+// are retained for TRACE DUMP until the next Start evicts them.
+func (t *LiveTracer) Stop() {
+	if t == nil {
+		return
+	}
+	t.enabled.Store(false)
+	t.sampleN.Store(0)
+	t.flows.Store(nil)
+}
+
+// AddFlow arms an explicit trigger: any frame to or from mac starts a
+// trace regardless of the sampler. Implies enabling the tracer.
+func (t *LiveTracer) AddFlow(mac ethernet.MAC) {
+	if t == nil {
+		return
+	}
+	old := t.flows.Load()
+	next := make(flowSet, 1)
+	if old != nil {
+		for m := range *old {
+			next[m] = struct{}{}
+		}
+	}
+	next[mac] = struct{}{}
+	t.flows.Store(&next)
+	t.enabled.Store(true)
+}
+
+// Enabled reports whether any selection (sampler or flow trigger) is
+// armed.
+func (t *LiveTracer) Enabled() bool {
+	return t != nil && t.enabled.Load()
+}
+
+// Sampled returns the number of traces started locally.
+func (t *LiveTracer) Sampled() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.sampled.Load()
+}
+
+// Active returns the number of retained paths.
+func (t *LiveTracer) Active() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.live)
+}
+
+// SampleTX decides whether a frame entering the TX path should be
+// traced. It returns a new nonzero trace ID when selected and 0
+// otherwise. Disabled cost: one atomic load, no allocations.
+func (t *LiveTracer) SampleTX(src, dst ethernet.MAC) uint64 {
+	if t == nil || !t.enabled.Load() {
+		return 0
+	}
+	var flags uint16
+	if fs := t.flows.Load(); fs != nil {
+		if _, ok := (*fs)[src]; ok {
+			flags = TraceTriggered
+		} else if _, ok := (*fs)[dst]; ok {
+			flags = TraceTriggered
+		}
+	}
+	if flags == 0 {
+		n := t.sampleN.Load()
+		if n == 0 || t.ctr.Add(1)%n != 0 {
+			return 0
+		}
+	}
+	id := uint64(t.origin)<<48 | (t.seq.Add(1) & (1<<48 - 1))
+	t.sampled.Add(1)
+	t.insert(id, t.origin, flags)
+	return id
+}
+
+// Record appends a stage hop to a locally-known trace. Safe on a nil
+// tracer and for zero or unknown IDs. Reaching StageDeliver or
+// StageWireTx marks the path complete on this node.
+func (t *LiveTracer) Record(id uint64, stage string) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.live[id]
+	if !ok {
+		return
+	}
+	p.Hops = append(p.Hops, Hop{Stage: stage, At: time.Since(p.Start)})
+	if stage == StageDeliver || stage == StageWireTx {
+		p.Done = true
+	}
+}
+
+// RecordRemote records a stage for a trace that arrived over the wire:
+// if the ID is unknown a new path is created stamped with the carried
+// origin and flags, so the receiving side of a hop builds its half of
+// the cross-node trace without any prior state.
+func (t *LiveTracer) RecordRemote(id uint64, origin, flags uint16, stage string) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	p, ok := t.live[id]
+	t.mu.Unlock()
+	if !ok {
+		p = t.insert(id, origin, flags)
+		if p == nil {
+			return
+		}
+	}
+	t.mu.Lock()
+	p.Hops = append(p.Hops, Hop{Stage: stage, At: time.Since(p.Start)})
+	if stage == StageDeliver || stage == StageWireTx {
+		p.Done = true
+	}
+	t.mu.Unlock()
+}
+
+// Ext returns the wire-extension fields (origin, flags) for a known
+// trace ID, so a node forwarding a traced frame re-emits the original
+// context rather than its own.
+func (t *LiveTracer) Ext(id uint64) (origin, flags uint16, ok bool) {
+	if t == nil || id == 0 {
+		return 0, 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.live[id]
+	if !ok {
+		return 0, 0, false
+	}
+	return p.Origin, p.Flags, true
+}
+
+// Traces returns a snapshot of every retained path, ordered by start
+// time then ID. Hop slices are copied so callers can render without
+// racing the datapath.
+func (t *LiveTracer) Traces() []*Path {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]*Path, 0, len(t.live))
+	for _, p := range t.live {
+		cp := *p
+		cp.Hops = append([]Hop(nil), p.Hops...)
+		out = append(out, &cp)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out
+}
+
+func (t *LiveTracer) insert(id uint64, origin, flags uint16) *Path {
+	p := &Path{Tag: id, Node: t.node, Origin: origin, Flags: flags, Start: time.Now()}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.live == nil {
+		t.live = make(map[uint64]*Path)
+	}
+	if _, dup := t.live[id]; dup {
+		return t.live[id]
+	}
+	for len(t.live) >= maxLiveTraces && len(t.order) > 0 {
+		delete(t.live, t.order[0])
+		t.order = t.order[1:]
+	}
+	t.live[id] = p
+	t.order = append(t.order, id)
+	return p
+}

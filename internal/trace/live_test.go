@@ -1,0 +1,150 @@
+package trace_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vnetp/internal/ethernet"
+	"vnetp/internal/trace"
+)
+
+func TestLiveTracerDisabledSamplesNothing(t *testing.T) {
+	lt := trace.NewLive("n0", 0xaa)
+	for i := 0; i < 100; i++ {
+		if id := lt.SampleTX(ethernet.LocalMAC(1), ethernet.LocalMAC(2)); id != 0 {
+			t.Fatalf("disabled tracer sampled id %x", id)
+		}
+	}
+	if lt.Sampled() != 0 || lt.Active() != 0 {
+		t.Fatalf("sampled=%d active=%d", lt.Sampled(), lt.Active())
+	}
+	// The disabled check must not allocate: it sits on the hot TX path.
+	allocs := testing.AllocsPerRun(1000, func() {
+		lt.SampleTX(ethernet.LocalMAC(1), ethernet.LocalMAC(2))
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled SampleTX allocates %v/op", allocs)
+	}
+}
+
+func TestLiveTracerSampleEveryN(t *testing.T) {
+	lt := trace.NewLive("n0", 0x0001)
+	lt.Start(4)
+	var ids []uint64
+	for i := 0; i < 16; i++ {
+		if id := lt.SampleTX(ethernet.LocalMAC(1), ethernet.LocalMAC(2)); id != 0 {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) != 4 {
+		t.Fatalf("1-in-4 over 16 frames sampled %d", len(ids))
+	}
+	for _, id := range ids {
+		if id>>48 != 0x0001 {
+			t.Fatalf("id %x missing origin prefix", id)
+		}
+	}
+	lt.Stop()
+	if id := lt.SampleTX(ethernet.LocalMAC(1), ethernet.LocalMAC(2)); id != 0 {
+		t.Fatal("stopped tracer still sampling")
+	}
+}
+
+func TestLiveTracerFlowTrigger(t *testing.T) {
+	lt := trace.NewLive("n0", 2)
+	target := ethernet.LocalMAC(9)
+	lt.AddFlow(target)
+	// Non-matching flow with no sampler armed: nothing.
+	if id := lt.SampleTX(ethernet.LocalMAC(1), ethernet.LocalMAC(2)); id != 0 {
+		t.Fatal("non-matching flow sampled")
+	}
+	// Matching dst (and src) always trace, flagged as triggered.
+	id := lt.SampleTX(ethernet.LocalMAC(1), target)
+	if id == 0 {
+		t.Fatal("flow-matching dst not sampled")
+	}
+	if _, flags, ok := lt.Ext(id); !ok || flags != trace.TraceTriggered {
+		t.Fatalf("flags = %x, ok=%v", flags, ok)
+	}
+	if id2 := lt.SampleTX(target, ethernet.LocalMAC(3)); id2 == 0 {
+		t.Fatal("flow-matching src not sampled")
+	}
+}
+
+func TestLiveTracerRecordAndRemote(t *testing.T) {
+	lt := trace.NewLive("n0", 1)
+	lt.Start(1)
+	id := lt.SampleTX(ethernet.LocalMAC(1), ethernet.LocalMAC(2))
+	lt.Record(id, trace.StageRouteLookup)
+	lt.Record(id, trace.StageEncap)
+	lt.Record(id, trace.StageWireTx)
+	lt.Record(0, trace.StageDeliver)      // zero id ignored
+	lt.Record(0xdead, trace.StageDeliver) // unknown id ignored
+
+	// The receiving node learns the trace from the wire extension.
+	rx := trace.NewLive("n1", 2)
+	rx.Start(0) // enabled, sampler off
+	rx.RecordRemote(id, 1, 0, trace.StageRxDispatch)
+	rx.RecordRemote(id, 1, 0, trace.StageDeliver)
+
+	tx := lt.Traces()
+	if len(tx) != 1 || !tx[0].Done || len(tx[0].Hops) != 3 {
+		t.Fatalf("tx traces = %+v", tx)
+	}
+	rxs := rx.Traces()
+	if len(rxs) != 1 || rxs[0].Origin != 1 || rxs[0].Node != "n1" || !rxs[0].Done {
+		t.Fatalf("rx traces = %+v", rxs)
+	}
+	if rxs[0].Hops[0].Stage != trace.StageRxDispatch {
+		t.Fatalf("rx hops = %+v", rxs[0].Hops)
+	}
+	// Shared renderer: live paths render through the same Path.String.
+	if s := tx[0].String(); !strings.Contains(s, "node=n0") || !strings.Contains(s, trace.StageEncap) {
+		t.Fatalf("render:\n%s", s)
+	}
+	// Paths marshal for the /trace endpoint.
+	b, err := json.Marshal(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"route_lookup"`) {
+		t.Fatalf("json: %s", b)
+	}
+}
+
+func TestLiveTracerNilSafe(t *testing.T) {
+	var lt *trace.LiveTracer
+	lt.Start(1)
+	lt.Stop()
+	lt.AddFlow(ethernet.LocalMAC(1))
+	if lt.SampleTX(ethernet.LocalMAC(1), ethernet.LocalMAC(2)) != 0 {
+		t.Fatal("nil tracer sampled")
+	}
+	lt.Record(1, "x")
+	lt.RecordRemote(1, 0, 0, "x")
+	if _, _, ok := lt.Ext(1); ok {
+		t.Fatal("nil tracer has ext")
+	}
+	if lt.Traces() != nil || lt.Enabled() || lt.Sampled() != 0 || lt.Active() != 0 {
+		t.Fatal("nil tracer returned data")
+	}
+}
+
+func TestLiveTracerEviction(t *testing.T) {
+	lt := trace.NewLive("n0", 1)
+	lt.Start(1)
+	var first uint64
+	for i := 0; i < 300; i++ {
+		id := lt.SampleTX(ethernet.LocalMAC(1), ethernet.LocalMAC(2))
+		if i == 0 {
+			first = id
+		}
+	}
+	if lt.Active() > 256 {
+		t.Fatalf("active = %d, want <= 256", lt.Active())
+	}
+	if _, _, ok := lt.Ext(first); ok {
+		t.Fatal("oldest trace not evicted")
+	}
+}

@@ -4,7 +4,9 @@
 // microbenchmarks are deterministic simulations, so genuine regressions
 // separate cleanly from noise; latency-unit series are reported but not
 // gated (they trend with the same code paths the throughput gate
-// already covers).
+// already covers). Ratio series (unit "%", e.g. the tracebench
+// sampled-vs-off throughput ratios) are machine-independent and gated
+// like throughput.
 //
 // Usage:
 //
@@ -87,7 +89,10 @@ func main() {
 			failures++
 			continue
 		}
-		if base.Unit != "MB/s" { // latency series: informational only
+		// Throughput (MB/s) and throughput-ratio (%) series are gated;
+		// latency series are informational only (they trend with the
+		// same code paths the throughput gate already covers).
+		if base.Unit != "MB/s" && base.Unit != "%" {
 			fmt.Printf("info %-40s %10.2f -> %10.2f %s\n", key(base), base.Value, cur.Value, base.Unit)
 			continue
 		}
@@ -97,13 +102,13 @@ func main() {
 			delta = (cur.Value - base.Value) / base.Value * 100
 		}
 		if cur.Value < floor {
-			fmt.Printf("FAIL %-40s %10.2f -> %10.2f MB/s (%+.1f%%, floor %.2f)\n",
-				key(base), base.Value, cur.Value, delta, floor)
+			fmt.Printf("FAIL %-40s %10.2f -> %10.2f %s (%+.1f%%, floor %.2f)\n",
+				key(base), base.Value, cur.Value, base.Unit, delta, floor)
 			failures++
 			continue
 		}
-		fmt.Printf("ok   %-40s %10.2f -> %10.2f MB/s (%+.1f%%)\n",
-			key(base), base.Value, cur.Value, delta)
+		fmt.Printf("ok   %-40s %10.2f -> %10.2f %s (%+.1f%%)\n",
+			key(base), base.Value, cur.Value, base.Unit, delta)
 	}
 	if failures > 0 {
 		fmt.Printf("benchguard: %d series regressed beyond %.0f%% (or went missing)\n",

@@ -1,0 +1,192 @@
+// Command driftcheck keeps DESIGN.md and the code in lockstep on the
+// two observability vocabularies tooling depends on:
+//
+//   - every `vnetp_*` metric family registered in code must appear in
+//     DESIGN.md's metrics index, and every family the index documents
+//     must exist in code;
+//   - every trace stage constant in internal/trace must appear on the
+//     "Stages:" line of DESIGN.md's tracing section, and vice versa.
+//
+// It is a pure-stdlib text scan (no build, no network) run by `make
+// verify` and CI, so renaming a metric or adding a stage without
+// updating the documentation fails the gate.
+//
+// Parsing rules: code metric names are quoted "vnetp_..." literals in
+// non-test .go files (histogram _bucket/_sum/_count derivations collapse
+// into their base family); DESIGN.md metric tokens are `vnetp_[a-z0-9_]+`
+// words, with tokens ending in "_" discarded — those are prefixes from
+// glob or brace shorthand (`vnetp_dispatcher_*_total`,
+// `vnetp_link_bytes_{sent,recv}_total`), which the full-name index makes
+// redundant.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+var (
+	codeMetricRe   = regexp.MustCompile(`"(vnetp_[a-z0-9_]+)"`)
+	designMetricRe = regexp.MustCompile(`vnetp_[a-z0-9_]+`)
+	stageConstRe   = regexp.MustCompile(`Stage[A-Za-z]+\s*=\s*"([a-z_]+)"`)
+	stageTokenRe   = regexp.MustCompile("`([a-z_]+)`")
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	codeMetrics, err := collectCodeMetrics(root)
+	if err != nil {
+		fatal(err)
+	}
+	codeStages, err := collectCodeStages(filepath.Join(root, "internal", "trace"))
+	if err != nil {
+		fatal(err)
+	}
+	design, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		fatal(err)
+	}
+	docMetrics := collectDesignMetrics(string(design))
+	docStages, err := collectDesignStages(string(design))
+	if err != nil {
+		fatal(err)
+	}
+
+	failures := 0
+	failures += diff("metric", "code", "DESIGN.md", codeMetrics, docMetrics)
+	failures += diff("metric", "DESIGN.md", "code", docMetrics, codeMetrics)
+	failures += diff("stage", "code", "DESIGN.md", codeStages, docStages)
+	failures += diff("stage", "DESIGN.md", "code", docStages, codeStages)
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "driftcheck: %d name(s) drifted between code and DESIGN.md\n", failures)
+		os.Exit(1)
+	}
+	fmt.Printf("driftcheck: %d metric families and %d trace stages in sync\n",
+		len(codeMetrics), len(codeStages))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "driftcheck: %v\n", err)
+	os.Exit(1)
+}
+
+// diff reports every name in a that is missing from b.
+func diff(kind, aName, bName string, a, b map[string]bool) int {
+	var missing []string
+	for name := range a {
+		if !b[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(os.Stderr, "driftcheck: %s %q is in %s but not in %s\n", kind, name, aName, bName)
+	}
+	return len(missing)
+}
+
+// collectCodeMetrics scans every non-test .go file under internal/ and
+// cmd/ for quoted vnetp_* literals. Histogram expansion references
+// (_bucket/_sum/_count) collapse into their base family when the base
+// is also present, since the exposition derives them.
+func collectCodeMetrics(root string) (map[string]bool, error) {
+	names := map[string]bool{}
+	for _, dir := range []string{"internal", "cmd"} {
+		err := filepath.Walk(filepath.Join(root, dir), func(path string, info os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if info.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, m := range codeMetricRe.FindAllStringSubmatch(string(b), -1) {
+				names[m[1]] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for name := range names {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && names[base] {
+				delete(names, name)
+				break
+			}
+		}
+	}
+	return names, nil
+}
+
+// collectCodeStages pulls the Stage* string constants from the trace
+// package sources.
+func collectCodeStages(dir string) (map[string]bool, error) {
+	stages := map[string]bool{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range stageConstRe.FindAllStringSubmatch(string(b), -1) {
+			stages[m[1]] = true
+		}
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("no Stage constants found under %s", dir)
+	}
+	return stages, nil
+}
+
+// collectDesignMetrics pulls vnetp_* tokens out of DESIGN.md, dropping
+// trailing-underscore prefixes left by glob/brace shorthand.
+func collectDesignMetrics(design string) map[string]bool {
+	names := map[string]bool{}
+	for _, tok := range designMetricRe.FindAllString(design, -1) {
+		if strings.HasSuffix(tok, "_") {
+			continue
+		}
+		names[tok] = true
+	}
+	return names
+}
+
+// collectDesignStages parses the "Stages:" sentence of the tracing
+// section: every backticked token up to the terminating period.
+func collectDesignStages(design string) (map[string]bool, error) {
+	idx := strings.Index(design, "Stages:")
+	if idx < 0 {
+		return nil, fmt.Errorf(`DESIGN.md has no "Stages:" line`)
+	}
+	rest := design[idx:]
+	end := strings.Index(rest, ".")
+	if end < 0 {
+		end = len(rest)
+	}
+	stages := map[string]bool{}
+	for _, m := range stageTokenRe.FindAllStringSubmatch(rest[:end], -1) {
+		stages[m[1]] = true
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf(`DESIGN.md "Stages:" line lists no stages`)
+	}
+	return stages, nil
+}
