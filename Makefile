@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race drift verify bench bench-json bench-baseline fuzz-smoke clean
+.PHONY: build test vet race drift verify chaos bench bench-json bench-baseline fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,16 @@ drift:
 # Full verification: compile, static checks, plain suite, race suite,
 # doc drift.
 verify: build vet test race drift
+
+# Crash-injection and drain-stress suite: panics and stalls injected
+# into live datapath components, graceful-drain and close-under-traffic
+# leak checks, and the control-plane hardening tests. Always under
+# -race, with a hard timeout so a deadlocked teardown fails instead of
+# hanging CI.
+chaos:
+	$(GO) test -race -count=1 -timeout 300s \
+		-run 'Chaos|Drain|CloseUnderTraffic|Churn|Supervis|Panic|Backoff|Watchdog|Stop|Inject|Daemon|Client|Idempotent' \
+		./internal/overlay ./internal/supervise ./internal/control
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

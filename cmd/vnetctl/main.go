@@ -13,6 +13,11 @@
 //	vnetctl -server 127.0.0.1:7778 TRACE START FLOW 02:56:00:00:00:01
 //	vnetctl -server 127.0.0.1:7778 TRACE DUMP
 //	vnetctl -server 127.0.0.1:7778 TRACE STOP
+//
+// Every request is bounded by -timeout; transport failures on
+// idempotent commands (LIST/LINK/TRACE/ADD LINK) are retried with
+// jittered backoff, so a momentarily busy console does not fail a
+// monitoring script.
 package main
 
 import (
@@ -20,45 +25,45 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"os"
 	"strings"
+	"time"
+
+	"vnetp/internal/control"
 )
 
 func main() {
 	server := flag.String("server", "127.0.0.1:7778", "control console address")
 	script := flag.String("script", "", "send every line of this file")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-command request timeout (connect is bounded separately)")
 	flag.Parse()
 
-	conn, err := net.Dial("tcp", *server)
-	if err != nil {
-		log.Fatalf("vnetctl: %v", err)
-	}
-	defer conn.Close()
-	rd := bufio.NewReader(conn)
+	client := control.NewClient(*server, control.ClientConfig{
+		RequestTimeout: *timeout,
+	})
 
+	// send runs one command and prints the response in the wire format
+	// the console itself uses (payload lines, then OK or ERR <msg>), so
+	// existing output-scraping scripts keep working.
 	send := func(line string) bool {
-		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
 			return true
 		}
-		if _, err := fmt.Fprintln(conn, line); err != nil {
-			log.Fatalf("vnetctl: %v", err)
+		payload, err := client.Do(line)
+		for _, l := range payload {
+			fmt.Println(l)
 		}
-		ok := true
-		for {
-			resp, err := rd.ReadString('\n')
-			if err != nil {
+		if err != nil {
+			if se, ok := err.(*control.ServerError); ok {
+				fmt.Println("ERR " + se.Msg)
+			} else {
 				log.Fatalf("vnetctl: %v", err)
 			}
-			resp = strings.TrimRight(resp, "\n")
-			fmt.Println(resp)
-			if resp == "OK" {
-				return ok
-			}
-			if strings.HasPrefix(resp, "ERR") {
-				return false
-			}
+			return false
 		}
+		fmt.Println("OK")
+		return true
 	}
 
 	if *script != "" {

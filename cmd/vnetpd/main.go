@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -56,7 +57,9 @@ func main() {
 	flightDepth := flag.Int("flight-depth", 0, "flight recorder ring depth per dispatcher (0: off)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
+	drainTimeout := flag.Duration("drain-timeout", 3*time.Second, "max wait for queued traffic to flush on SIGTERM/SIGINT")
 	flag.Parse()
+	start := time.Now()
 
 	logger, err := logging.New(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
@@ -161,11 +164,32 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	logger.Info("shutting down",
+	s := <-sig
+	logger.Info("shutdown signal received", "signal", s.String(), "drain_timeout", *drainTimeout)
+
+	// Graceful drain: stop admitting local frames, flush every TX ring
+	// and dispatcher ring under the deadline, then quiesce. A second
+	// signal during the drain aborts the grace period immediately.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	go func() {
+		<-sig
+		logger.Warn("second signal: aborting drain")
+		cancel()
+	}()
+	stats, err := node.Drain(ctx)
+	cancel()
+	if err != nil {
+		logger.Warn("drain incomplete", "err", err)
+	}
+	logger.Info("shutdown complete",
+		"frames_flushed", stats.FramesFlushed,
+		"frames_dropped", stats.FramesDropped,
+		"partials_dropped", stats.PartialsDropped,
+		"drain_elapsed", stats.Elapsed,
 		"encap_sent", node.EncapSent.Load(),
 		"encap_recv", node.EncapRecv.Load(),
-		"delivered", node.Delivered.Load())
+		"delivered", node.Delivered.Load(),
+		"uptime", time.Since(start).Round(time.Millisecond))
 }
 
 func echoLoop(ep *overlay.Endpoint, logger *slog.Logger) {

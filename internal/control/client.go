@@ -1,0 +1,160 @@
+// Control-console client with explicit failure behavior: bounded
+// connect and request times, and jittered retry for idempotent verbs.
+// The console is how operators and scripts reach a node; a client that
+// blocks forever on a wedged daemon, or silently re-applies a
+// non-idempotent mutation after an ambiguous failure, turns a transient
+// network hiccup into an operational incident. vnetctl is built on this.
+package control
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"time"
+)
+
+// ClientConfig bounds one client's patience. Zero values take defaults.
+type ClientConfig struct {
+	// ConnectTimeout bounds dialing the console. Default 2s.
+	ConnectTimeout time.Duration
+	// RequestTimeout bounds one full command round trip (write through
+	// reading the OK/ERR terminator). Default 5s.
+	RequestTimeout time.Duration
+	// Retries is how many additional attempts are made after a
+	// transport failure, for idempotent commands only. Default 2.
+	// Negative disables retry entirely.
+	Retries int
+	// RetryBackoff is the base delay between attempts, jittered over
+	// [b/2, 3b/2) so a fleet of scripts retrying the same dead daemon
+	// does not reconverge in lockstep. Default 100ms.
+	RetryBackoff time.Duration
+}
+
+func (c *ClientConfig) normalize() {
+	if c.ConnectTimeout <= 0 {
+		c.ConnectTimeout = 2 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+}
+
+// ServerError is an "ERR <message>" response from the daemon: the
+// command reached the console and was refused. Never retried — the
+// daemon saw the command, so the failure is semantic, not transport.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return e.Msg }
+
+// Client talks to a control console, one connection per request (the
+// console protocol is stateless line/response, so connection reuse buys
+// little and per-request connections make retry trivially safe).
+type Client struct {
+	addr string
+	cfg  ClientConfig
+	rng  *rand.Rand
+}
+
+// NewClient returns a client for the console at addr.
+func NewClient(addr string, cfg ClientConfig) *Client {
+	cfg.normalize()
+	return &Client{addr: addr, cfg: cfg, rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+}
+
+// Idempotent reports whether the command line can be safely re-sent
+// after an ambiguous transport failure (the daemon may or may not have
+// executed it). Reads and at-most-once-converging mutations qualify:
+// every LIST/LINK/TRACE verb, and ADD LINK (re-adding a link with the
+// same id and remote converges to the same state). DEL and ADD ROUTE do
+// not: DEL of an already-deleted object reports a spurious error, and
+// routes may legitimately be duplicated, so a replayed ADD ROUTE could
+// double-install. Unparseable lines report false — the daemon's parse
+// error is deterministic, so retrying buys nothing.
+func Idempotent(line string) bool {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 {
+		return false
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "LIST", "LINK", "TRACE":
+		return true
+	case "ADD":
+		return len(fields) >= 2 && strings.EqualFold(fields[1], "LINK")
+	}
+	return false
+}
+
+// Do sends one command line and returns the response payload lines
+// (without the OK terminator). An ERR response comes back as a
+// *ServerError. Transport failures (dial, deadline, broken connection)
+// are retried with jittered backoff, but only when Idempotent(line).
+func (c *Client) Do(line string) ([]string, error) {
+	attempts := 1
+	if Idempotent(line) {
+		attempts += c.cfg.Retries
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(c.jitter(c.cfg.RetryBackoff))
+		}
+		payload, err := c.once(line)
+		if err == nil {
+			return payload, nil
+		}
+		if se, ok := err.(*ServerError); ok {
+			return payload, se // semantic refusal: never retry
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// once runs one request over a fresh connection.
+func (c *Client) once(line string) ([]string, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.ConnectTimeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	if _, err := fmt.Fprintln(conn, line); err != nil {
+		return nil, err
+	}
+	var payload []string
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		resp := sc.Text()
+		switch {
+		case resp == "OK":
+			return payload, nil
+		case strings.HasPrefix(resp, "ERR "):
+			return payload, &ServerError{Msg: strings.TrimPrefix(resp, "ERR ")}
+		default:
+			payload = append(payload, resp)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("control: connection closed before OK/ERR")
+}
+
+// jitter spreads d over [d/2, 3d/2).
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(c.rng.Int63n(int64(d)))
+}

@@ -402,24 +402,68 @@ func RunScript(t Target, r io.Reader) error {
 	return sc.Err()
 }
 
+// DaemonConfig bounds the control console's exposure to slow, idle, or
+// hostile clients. The console sits on a TCP port next to the datapath;
+// an unbounded accept loop or an unbounded line buffer would let one
+// misbehaving client pin memory or file descriptors on a node that is
+// otherwise healthy. Zero values take the defaults.
+type DaemonConfig struct {
+	// ReadTimeout is how long the daemon waits for the next command on
+	// an established connection before hanging it up (idle cull).
+	// Default 2m.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds flushing one response. Default 10s.
+	WriteTimeout time.Duration
+	// MaxConns caps concurrently served connections; excess connections
+	// get "ERR control: too many connections" and are closed. Default 32.
+	MaxConns int
+	// MaxLine is the longest accepted command line in bytes; longer
+	// lines get "ERR control: line too long" and the connection is
+	// closed (a protocol violation, not a retryable error). Default 4096.
+	MaxLine int
+}
+
+func (c *DaemonConfig) normalize() {
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 32
+	}
+	if c.MaxLine <= 0 {
+		c.MaxLine = 4096
+	}
+}
+
 // Daemon is the TCP control console: one command per line, responses are
 // zero or more payload lines followed by "OK" or "ERR <message>".
 type Daemon struct {
 	target Target
 	ln     net.Listener
+	cfg    DaemonConfig
 	mu     sync.Mutex
 	wg     sync.WaitGroup
 	closed bool
+	conns  map[net.Conn]struct{}
 }
 
 // NewDaemon starts a control daemon listening on addr (e.g.
-// "127.0.0.1:0").
+// "127.0.0.1:0") with the default hardening bounds.
 func NewDaemon(target Target, addr string) (*Daemon, error) {
+	return NewDaemonWithConfig(target, addr, DaemonConfig{})
+}
+
+// NewDaemonWithConfig starts a control daemon with explicit bounds.
+func NewDaemonWithConfig(target Target, addr string, cfg DaemonConfig) (*Daemon, error) {
+	cfg.normalize()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	d := &Daemon{target: target, ln: ln}
+	d := &Daemon{target: target, ln: ln, cfg: cfg, conns: make(map[net.Conn]struct{})}
 	d.wg.Add(1)
 	go d.acceptLoop()
 	return d, nil
@@ -428,10 +472,15 @@ func NewDaemon(target Target, addr string) (*Daemon, error) {
 // Addr reports the daemon's listen address.
 func (d *Daemon) Addr() string { return d.ln.Addr().String() }
 
-// Close stops the daemon and waits for its goroutines.
+// Close stops the daemon and waits for its goroutines. Live client
+// connections are hung up immediately — shutdown must not wait out an
+// idle client's read deadline.
 func (d *Daemon) Close() error {
 	d.mu.Lock()
 	d.closed = true
+	for c := range d.conns {
+		c.Close()
+	}
 	d.mu.Unlock()
 	err := d.ln.Close()
 	d.wg.Wait()
@@ -445,10 +494,33 @@ func (d *Daemon) acceptLoop() {
 		if err != nil {
 			return
 		}
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			conn.Close()
+			return
+		}
+		if len(d.conns) >= d.cfg.MaxConns {
+			d.mu.Unlock()
+			// Reject over-cap connections with a parseable error so a
+			// well-behaved client can distinguish "console full" from a
+			// network failure, without tying up a serve goroutine.
+			conn.SetWriteDeadline(time.Now().Add(d.cfg.WriteTimeout))
+			fmt.Fprintln(conn, "ERR control: too many connections")
+			conn.Close()
+			continue
+		}
+		d.conns[conn] = struct{}{}
+		d.mu.Unlock()
 		d.wg.Add(1)
 		go func() {
 			defer d.wg.Done()
 			defer conn.Close()
+			defer func() {
+				d.mu.Lock()
+				delete(d.conns, conn)
+				d.mu.Unlock()
+			}()
 			d.serve(conn)
 		}()
 	}
@@ -456,8 +528,24 @@ func (d *Daemon) acceptLoop() {
 
 func (d *Daemon) serve(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
+	// nil initial buffer: the scanner grows toward MaxLine but never past
+	// it (a non-nil buf's capacity would override a smaller MaxLine).
+	sc.Buffer(nil, d.cfg.MaxLine)
 	w := bufio.NewWriter(conn)
-	for sc.Scan() {
+	for {
+		// Per-command idle deadline: a client that connects and goes
+		// silent is hung up rather than holding a console slot forever.
+		conn.SetReadDeadline(time.Now().Add(d.cfg.ReadTimeout))
+		if !sc.Scan() {
+			if errors.Is(sc.Err(), bufio.ErrTooLong) {
+				// Oversized line: a protocol violation. Report and close —
+				// the scanner has lost framing, so the connection cannot
+				// be resynchronized.
+				conn.SetWriteDeadline(time.Now().Add(d.cfg.WriteTimeout))
+				fmt.Fprintln(conn, "ERR control: line too long")
+			}
+			return
+		}
 		line := sc.Text()
 		cmd, err := Parse(line)
 		if errors.Is(err, ErrEmpty) {
@@ -469,6 +557,7 @@ func (d *Daemon) serve(conn net.Conn) {
 			payload, err = Apply(d.target, cmd)
 			d.mu.Unlock()
 		}
+		conn.SetWriteDeadline(time.Now().Add(d.cfg.WriteTimeout))
 		for _, l := range payload {
 			fmt.Fprintln(w, l)
 		}

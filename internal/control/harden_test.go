@@ -1,0 +1,226 @@
+package control
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// dialConsole connects and returns a reader for responses.
+func dialConsole(t *testing.T, addr string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn, bufio.NewReader(conn)
+}
+
+func TestDaemonRejectsOversizedLine(t *testing.T) {
+	d, err := NewDaemonWithConfig(newFake(), "127.0.0.1:0", DaemonConfig{MaxLine: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	conn, rd := dialConsole(t, d.Addr())
+	fmt.Fprintln(conn, "LIST "+strings.Repeat("X", 200))
+	resp, err := rd.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !strings.Contains(resp, "line too long") {
+		t.Fatalf("resp = %q, want line-too-long error", resp)
+	}
+	// Protocol violation: the daemon must hang up, not resynchronize.
+	// (EOF or RST, depending on how much of our line it had consumed.)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := rd.ReadString('\n'); err == nil {
+		t.Fatal("after violation: connection stayed open")
+	}
+}
+
+func TestDaemonIdleConnectionCulled(t *testing.T) {
+	d, err := NewDaemonWithConfig(newFake(), "127.0.0.1:0", DaemonConfig{ReadTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	conn, rd := dialConsole(t, d.Addr())
+	// Say nothing; the idle deadline must hang us up.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := rd.ReadString('\n'); err != io.EOF {
+		t.Fatalf("idle cull: err = %v, want EOF", err)
+	}
+	// An active connection survives well past the idle timeout because
+	// the deadline re-arms per command.
+	conn2, rd2 := dialConsole(t, d.Addr())
+	for i := 0; i < 4; i++ {
+		time.Sleep(30 * time.Millisecond)
+		fmt.Fprintln(conn2, "LIST LINKS")
+		if resp, err := rd2.ReadString('\n'); err != nil || strings.TrimSpace(resp) != "OK" {
+			t.Fatalf("round %d: resp=%q err=%v", i, resp, err)
+		}
+	}
+}
+
+func TestDaemonConnectionCap(t *testing.T) {
+	d, err := NewDaemonWithConfig(newFake(), "127.0.0.1:0", DaemonConfig{MaxConns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Two connections take the slots; a command round trip on each
+	// guarantees its serve goroutine is counted before the third dial.
+	for i := 0; i < 2; i++ {
+		conn, rd := dialConsole(t, d.Addr())
+		fmt.Fprintln(conn, "LIST LINKS")
+		if resp, err := rd.ReadString('\n'); err != nil || strings.TrimSpace(resp) != "OK" {
+			t.Fatalf("slot %d: resp=%q err=%v", i, resp, err)
+		}
+	}
+	_, rd := dialConsole(t, d.Addr())
+	resp, err := rd.ReadString('\n')
+	if err != nil {
+		t.Fatalf("over-cap read: %v", err)
+	}
+	if !strings.Contains(resp, "too many connections") {
+		t.Fatalf("over-cap resp = %q", resp)
+	}
+	if _, err := rd.ReadString('\n'); err != io.EOF {
+		t.Fatalf("over-cap conn stayed open: %v", err)
+	}
+}
+
+func TestClientAgainstDaemon(t *testing.T) {
+	f := newFake()
+	d, err := NewDaemon(f, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	c := NewClient(d.Addr(), ClientConfig{})
+	if _, err := c.Do("ADD LINK to-b REMOTE 127.0.0.1:9999"); err != nil {
+		t.Fatalf("ADD LINK: %v", err)
+	}
+	payload, err := c.Do("LIST LINKS")
+	if err != nil || len(payload) != 1 || payload[0] != "to-b" {
+		t.Fatalf("LIST LINKS: payload=%v err=%v", payload, err)
+	}
+	// Semantic refusal comes back typed, never as a transport error.
+	_, err = c.Do("DEL LINK nothere")
+	se, ok := err.(*ServerError)
+	if !ok || !strings.Contains(se.Msg, "no link") {
+		t.Fatalf("DEL missing link: err = %v (%T)", err, err)
+	}
+}
+
+// flakyListener closes the first failN accepted connections immediately,
+// then serves a minimal OK-to-everything console.
+func flakyConsole(t *testing.T, failN int) (addr string, accepts *atomic.Int32) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	accepts = new(atomic.Int32)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n := accepts.Add(1)
+			if int(n) <= failN {
+				conn.Close()
+				continue
+			}
+			go func() {
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				for sc.Scan() {
+					fmt.Fprintln(conn, "OK")
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), accepts
+}
+
+func TestClientRetriesIdempotentOnly(t *testing.T) {
+	addr, accepts := flakyConsole(t, 1)
+	c := NewClient(addr, ClientConfig{Retries: 2, RetryBackoff: 5 * time.Millisecond})
+	if _, err := c.Do("LIST LINKS"); err != nil {
+		t.Fatalf("idempotent retry failed: %v", err)
+	}
+	if got := accepts.Load(); got != 2 {
+		t.Fatalf("accepts = %d, want 2 (one failure + one retry)", got)
+	}
+
+	addr2, accepts2 := flakyConsole(t, 1)
+	c2 := NewClient(addr2, ClientConfig{Retries: 2, RetryBackoff: 5 * time.Millisecond})
+	if _, err := c2.Do("DEL LINK x"); err == nil {
+		t.Fatal("non-idempotent command retried to success; want single-attempt failure")
+	}
+	if got := accepts2.Load(); got != 1 {
+		t.Fatalf("accepts = %d, want 1 (DEL must not be replayed)", got)
+	}
+}
+
+func TestClientRequestTimeout(t *testing.T) {
+	// A console that accepts and goes mute must not hang the client.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			io.Copy(io.Discard, conn) // read forever, answer never
+		}
+	}()
+	c := NewClient(ln.Addr().String(), ClientConfig{RequestTimeout: 50 * time.Millisecond, Retries: -1})
+	start := time.Now()
+	if _, err := c.Do("LIST LINKS"); err == nil {
+		t.Fatal("mute console: want timeout error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+func TestIdempotentClassification(t *testing.T) {
+	yes := []string{
+		"LIST LINKS", "list routes", "LINK STATUS x", "LINK PROBE 0 0 0",
+		"TRACE DUMP", "TRACE START SAMPLE 8", "ADD LINK l1 REMOTE h:1",
+	}
+	no := []string{
+		"DEL LINK l1", "DEL ROUTE any any link l1",
+		"ADD ROUTE any any link l1", "", "   ", "BOGUS",
+	}
+	for _, l := range yes {
+		if !Idempotent(l) {
+			t.Errorf("Idempotent(%q) = false, want true", l)
+		}
+	}
+	for _, l := range no {
+		if Idempotent(l) {
+			t.Errorf("Idempotent(%q) = true, want false", l)
+		}
+	}
+}

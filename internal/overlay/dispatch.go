@@ -18,6 +18,7 @@ import (
 
 	"vnetp/internal/bridge"
 	"vnetp/internal/logging"
+	"vnetp/internal/supervise"
 	"vnetp/internal/telemetry"
 	"vnetp/internal/trace"
 )
@@ -98,6 +99,11 @@ type NodeConfig struct {
 	// Logger receives the node's structured log records (link
 	// lifecycle, trace lifecycle, traced-frame events). Nil discards.
 	Logger *slog.Logger
+
+	// Supervise tunes the node's runtime supervisor (restart backoff,
+	// stall watchdog). Zero values take the supervise package defaults;
+	// tests shorten StallTimeout to exercise the watchdog quickly.
+	Supervise supervise.Config
 }
 
 func (c *NodeConfig) normalize() {
@@ -169,20 +175,29 @@ func (n *Node) shardFor(sender string) *rxShard {
 	return n.shards[h%uint32(len(n.shards))]
 }
 
-// dispatchLoop is one worker: it drains its ring, reassembles, and routes.
-func (n *Node) dispatchLoop(s *rxShard) {
-	defer n.wg.Done()
+// dispatchLoop is one worker: it drains its ring, reassembles, and
+// routes. It runs under the node's supervisor: a panic while processing
+// one datagram drops that datagram, is counted, and the worker restarts
+// over the same shard (ring and reassembly state survive); a stall
+// inside one datagram past the watchdog timeout gets the instance
+// superseded. inst.Quit closes on supersession and node teardown.
+func (n *Node) dispatchLoop(inst *supervise.Instance, s *rxShard) {
 	for {
 		select {
 		case <-n.quit:
 			return
+		case <-inst.Quit():
+			return
 		case d := <-s.in:
+			inst.Working()
 			h, payload, err := bridge.ParseEncap(d.pkt)
 			if err != nil {
 				n.BadPackets.Add(1)
+				inst.Idle()
 				continue
 			}
 			n.processData(s, d.sender, h, payload, d.pkt, d.at)
+			inst.Idle()
 		}
 	}
 }

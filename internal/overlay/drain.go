@@ -1,0 +1,146 @@
+// Graceful node shutdown. Close tears the node down immediately —
+// whatever sits in a TX ring or a dispatcher ring at that instant is
+// discarded, which is the right behavior for a crash path but not for
+// an operated service being restarted or migrated (ROADMAP north star:
+// an overlay for millions of users must roll nodes without losing the
+// traffic it already accepted). Drain is the operated path: stop
+// admitting new local frames, let the senders and dispatchers flush
+// everything already queued under a caller-supplied deadline, then
+// quiesce the workers. vnetpd wires it into SIGTERM (-drain-timeout).
+package overlay
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// ErrDraining is returned by Endpoint.Send/SendBatch once Drain has
+// begun: the node no longer admits new local frames (forwarding of
+// frames already in flight, and of remote traffic, continues until the
+// queues are empty or the deadline expires).
+var ErrDraining = errors.New("overlay: node draining")
+
+// DrainStats summarizes what a Drain accomplished, for the daemon's
+// shutdown log line.
+type DrainStats struct {
+	// FramesFlushed is how many queued frames/datagrams (link TX rings
+	// plus dispatcher RX rings) drained to completion during the grace
+	// period.
+	FramesFlushed uint64
+	// FramesDropped is how many were still queued when the deadline
+	// expired and were discarded by the final teardown.
+	FramesDropped uint64
+	// PartialsDropped counts incomplete reassemblies discarded at
+	// quiesce (their missing fragments can never arrive once the node
+	// is gone).
+	PartialsDropped uint64
+	// Elapsed is how long the drain took, teardown included.
+	Elapsed time.Duration
+}
+
+// queuedLocked sums the frames sitting in every link TX ring and the
+// datagrams in every dispatcher ring. Caller holds n.mu for the link
+// half; shard rings are channels, safe to len() anytime.
+func (n *Node) queued() uint64 {
+	var q uint64
+	n.mu.Lock()
+	for _, lk := range n.links {
+		if lk.txq != nil {
+			q += uint64(len(lk.txq))
+		}
+	}
+	n.mu.Unlock()
+	for _, s := range n.shards {
+		q += uint64(len(s.in))
+	}
+	return q
+}
+
+// pendingReassemblies sums incomplete reassembly entries across shards.
+func (n *Node) pendingReassemblies() uint64 {
+	var p uint64
+	for _, s := range n.shards {
+		s.mu.Lock()
+		p += uint64(s.reasm.Pending())
+		s.mu.Unlock()
+	}
+	return p
+}
+
+// Drain gracefully shuts the node down: admission stops immediately
+// (Send returns ErrDraining), the TX senders and dispatchers keep
+// running until every ring is empty or ctx expires, and the node is
+// then closed. Frames the node had accepted before Drain began are not
+// lost unless the deadline forces it — the zero-loss SIGTERM property
+// vnetpd builds on. Returns what was flushed and what the deadline
+// abandoned; the error is ctx's if the deadline cut the flush short,
+// or Close's.
+func (n *Node) Drain(ctx context.Context) (DrainStats, error) {
+	start := time.Now()
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return DrainStats{}, errors.New("overlay: node closed")
+	}
+	n.mu.Unlock()
+	if !n.draining.CompareAndSwap(false, true) {
+		return DrainStats{}, errors.New("overlay: drain already in progress")
+	}
+	n.log.Info("drain started", "node", n.name, "queued", n.queued())
+
+	// Flush phase: poll until every ring is empty (twice, a settle
+	// interval apart, so a batch the sender has popped but not yet
+	// written also makes it out) or the deadline expires.
+	pending := n.queued()
+	var flushErr error
+	settle := 2 * n.cfg.TxFlushTimeout
+	if settle < time.Millisecond {
+		settle = time.Millisecond
+	}
+	emptyStreak := 0
+	for {
+		if ctx.Err() != nil {
+			flushErr = ctx.Err()
+			break
+		}
+		if n.queued() == 0 {
+			emptyStreak++
+			if emptyStreak >= 2 {
+				break
+			}
+		} else {
+			emptyStreak = 0
+		}
+		select {
+		case <-ctx.Done():
+			flushErr = ctx.Err()
+		case <-time.After(settle):
+		}
+		if flushErr != nil {
+			break
+		}
+	}
+
+	remaining := n.queued()
+	st := DrainStats{FramesDropped: remaining}
+	if pending > remaining {
+		st.FramesFlushed = pending - remaining
+	}
+	st.PartialsDropped = n.pendingReassemblies()
+
+	closeErr := n.Close()
+	st.Elapsed = time.Since(start)
+	if flushErr == nil {
+		flushErr = closeErr
+	}
+	n.log.Info("drain complete", "node", n.name,
+		"frames_flushed", st.FramesFlushed,
+		"frames_dropped", st.FramesDropped,
+		"partials_dropped", st.PartialsDropped,
+		"elapsed", st.Elapsed)
+	return st, flushErr
+}
+
+// Draining reports whether Drain has begun (admission stopped).
+func (n *Node) Draining() bool { return n.draining.Load() }

@@ -24,6 +24,7 @@ import (
 
 	"vnetp/internal/bridge"
 	"vnetp/internal/core"
+	"vnetp/internal/supervise"
 	"vnetp/internal/telemetry"
 )
 
@@ -209,15 +210,15 @@ func (n *Node) EnableHealth(cfg HealthConfig) error {
 	}
 	n.healthCfg = cfg
 	n.healthOn = true
-	quit := make(chan struct{})
-	n.healthQuit = quit
 	for _, lk := range n.links {
 		if lk.health == nil || len(lk.health.window) != cfg.LossWindow {
 			lk.health = n.newLinkHealth(lk, cfg.LossWindow)
 		}
 	}
-	n.wg.Add(1)
-	go n.healthLoop(quit, cfg.Interval)
+	// The monitor runs supervised ("health"): a panic in a tick restarts
+	// it over the same link state, and a stalled tick is superseded.
+	n.healthW = n.sup.Go("health",
+		func(i *supervise.Instance) { n.healthLoop(i, cfg.Interval) })
 	return nil
 }
 
@@ -229,26 +230,27 @@ func (n *Node) DisableHealth() {
 		return
 	}
 	n.healthOn = false
-	quit := n.healthQuit
-	n.healthQuit = nil
+	w := n.healthW
+	n.healthW = nil
 	n.mu.Unlock()
-	if quit != nil {
-		close(quit)
+	if w != nil {
+		w.Stop()
 	}
 }
 
-func (n *Node) healthLoop(quit chan struct{}, interval time.Duration) {
-	defer n.wg.Done()
+func (n *Node) healthLoop(inst *supervise.Instance, interval time.Duration) {
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
-		case <-quit:
+		case <-inst.Quit():
 			return
 		case <-n.quit:
 			return
 		case <-t.C:
+			inst.Working()
 			n.healthTick()
+			inst.Idle()
 		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"vnetp/internal/core"
 	"vnetp/internal/ethernet"
 	"vnetp/internal/faultnet"
+	"vnetp/internal/supervise"
 	"vnetp/internal/telemetry"
 	"vnetp/internal/trace"
 )
@@ -62,6 +63,9 @@ func (ep *Endpoint) MTU() int { return ep.mtu }
 // path (NodeConfig.TxBatch > 1) the frame is retained until its link
 // batch flushes and must not be modified after Send returns.
 func (ep *Endpoint) Send(f *ethernet.Frame) error {
+	if ep.node.draining.Load() {
+		return ErrDraining
+	}
 	if f.PayloadLen() > ep.mtu {
 		return fmt.Errorf("overlay: frame payload %d exceeds endpoint MTU %d", f.PayloadLen(), ep.mtu)
 	}
@@ -87,6 +91,9 @@ func (ep *Endpoint) Send(f *ethernet.Frame) error {
 // synchronous transport failures) are aggregated rather than aborting
 // the rest of the batch.
 func (ep *Endpoint) SendBatch(frames []*ethernet.Frame) error {
+	if ep.node.draining.Load() {
+		return ErrDraining
+	}
 	at := time.Now()
 	var errs []error
 	for _, f := range frames {
@@ -146,10 +153,11 @@ type link struct {
 
 	// Batched transmit state (NodeConfig.TxBatch > 1): a bounded ring of
 	// outbound frames drained by this link's sender goroutine (txLoop).
-	// txq is nil on nodes running the synchronous path. txQuit stops the
-	// sender when the link is deleted or replaced.
-	txq    chan txFrame
-	txQuit chan struct{}
+	// txq is nil on nodes running the synchronous path. txw is the
+	// sender's supervision handle; stopping it reaps the sender when the
+	// link is deleted or replaced.
+	txq chan txFrame
+	txw *supervise.Worker
 
 	// sendErrors counts transport send failures on this link, including
 	// ones inside an installed fault conduit (whose delivery callback may
@@ -196,13 +204,20 @@ type Node struct {
 	nextID     atomic.Uint32
 	linkEpoch  atomic.Uint64 // bumped on AddLink/DelLink; readLoop's addr→link cache key
 	closed     bool
+	draining   atomic.Bool // Drain in progress (or finished): admission stopped
 	quit       chan struct{}
-	wg         sync.WaitGroup
+	wg         sync.WaitGroup // TCP accept/reader goroutines (connection-scoped)
+
+	// sup supervises the long-lived datapath goroutines (dispatcher
+	// workers, per-link TX senders, the prober, the evictor, the health
+	// loop): panic containment with restart backoff plus the stall
+	// watchdog. Always non-nil after NewNodeWithConfig.
+	sup *supervise.Supervisor
 
 	// Link health monitor state (EnableHealth).
-	healthOn   bool
-	healthCfg  HealthConfig
-	healthQuit chan struct{}
+	healthOn  bool
+	healthCfg HealthConfig
+	healthW   *supervise.Worker
 
 	// metrics is the node's telemetry registry and labeled families;
 	// the exported counters below are registry children too, so LIST
@@ -287,12 +302,22 @@ func NewNodeWithConfig(name, bindAddr string, cfg NodeConfig) (*Node, error) {
 	}
 	n.registerNodeFuncs()
 	n.startTCP()
-	n.wg.Add(3 + len(n.shards))
-	go n.readLoop()
-	go n.probeLoop()
-	go n.evictLoop()
+	// Every long-lived datapath goroutine runs supervised: a panic in
+	// one component is contained and the component restarts with capped
+	// jittered backoff over the same shared state (rings, shards); the
+	// watchdog supersedes components stuck inside one work item.
+	n.sup = supervise.New(name, cfg.Supervise, n.log, supervise.Metrics{
+		Panics:   n.metrics.panicsRecovered,
+		Restarts: n.metrics.componentRestarts,
+		Stalls:   n.metrics.watchdogStalls,
+	})
+	n.sup.Go("reader", func(i *supervise.Instance) { n.readLoop(i) })
+	n.sup.Go("prober", func(i *supervise.Instance) { n.probeLoop(i) })
+	n.sup.Go("evictor", func(i *supervise.Instance) { n.evictLoop(i) })
 	for _, s := range n.shards {
-		go n.dispatchLoop(s)
+		s := s
+		n.sup.Go(fmt.Sprintf("dispatcher/%d", s.idx),
+			func(i *supervise.Instance) { n.dispatchLoop(i, s) })
 	}
 	n.log.Info("overlay node up",
 		"node", name, "addr", n.Addr(),
@@ -326,7 +351,13 @@ func (n *Node) Table() *core.Table { return n.table }
 // adaptation layer observes).
 func (n *Node) Flows() *core.FlowStats { return n.flows }
 
-// Close shuts the node down.
+// Runtime exposes the node's goroutine supervisor: component lookup for
+// status surfaces and the chaos-injection hooks
+// (Worker.InjectPanic/InjectStall) the crash-injection tests use.
+func (n *Node) Runtime() *supervise.Supervisor { return n.sup }
+
+// Close shuts the node down immediately, discarding queued TX frames
+// and partial reassemblies (Drain is the graceful path).
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -335,10 +366,7 @@ func (n *Node) Close() error {
 	}
 	n.closed = true
 	n.healthOn = false
-	if n.healthQuit != nil {
-		close(n.healthQuit)
-		n.healthQuit = nil
-	}
+	n.healthW = nil // sup.Stop reaps it below
 	for _, lk := range n.links {
 		if lk.tcp != nil {
 			lk.tcp.close()
@@ -353,7 +381,8 @@ func (n *Node) Close() error {
 	if n.tcpLn != nil {
 		n.tcpLn.Close()
 	}
-	n.wg.Wait()
+	n.sup.Stop() // supervised loops: dispatchers, TX senders, prober, evictor, health
+	n.wg.Wait()  // TCP accept loop and connection readers
 	return err
 }
 
@@ -430,7 +459,6 @@ func (n *Node) AddLink(id, remote string, proto string) error {
 	}
 	if n.cfg.TxBatch > 1 {
 		lk.txq = make(chan txFrame, n.cfg.TxRing)
-		lk.txQuit = make(chan struct{})
 	}
 	n.newLinkCounters(lk)
 	if n.healthOn {
@@ -442,18 +470,19 @@ func (n *Node) AddLink(id, remote string, proto string) error {
 	}
 	n.linkEpoch.Add(1)
 	if lk.txq != nil {
-		n.wg.Add(1)
-		go n.txLoop(lk)
+		lk.txw = n.sup.Go("tx/"+id, func(i *supervise.Instance) { n.txLoop(i, lk) })
 	}
 	var oldTCP *tcpConn
+	var oldTxw *supervise.Worker
 	if old != nil {
 		oldTCP = old.tcp
 		old.tcp = nil
-		if old.txQuit != nil { // stop the replaced link's sender
-			close(old.txQuit)
-		}
+		oldTxw = old.txw // stop the replaced link's sender
 	}
 	n.mu.Unlock()
+	if oldTxw != nil {
+		oldTxw.Stop()
+	}
 	if oldTCP != nil { // replaced link: don't leak its transport
 		oldTCP.close()
 	}
@@ -485,15 +514,16 @@ func (n *Node) DelLink(id string) error {
 	n.unmapLinkAddrLocked(lk)
 	n.dropLinkMetrics(id)
 	n.linkEpoch.Add(1)
-	if lk.txQuit != nil { // stop the TX sender; queued frames are dropped
-		close(lk.txQuit)
-	}
+	txw := lk.txw // stop the TX sender; queued frames are dropped
 	tcp := lk.tcp
 	lk.tcp = nil
 	dest := core.Destination{Type: core.DestLink, ID: id}
 	n.table.RemoveByDest(dest)
 	n.table.RestoreDest(dest) // drop any lingering failed-over mark
 	n.mu.Unlock()
+	if txw != nil {
+		txw.Stop()
+	}
 	if tcp != nil {
 		tcp.close()
 	}
@@ -817,8 +847,11 @@ type probeEvent struct {
 // datagrams to the dispatcher pool keyed by sender. It does no parsing
 // beyond a one-byte flag peek, so the socket drains at wire rate and the
 // heavy work (parse, reassemble, route) parallelizes across workers.
-func (n *Node) readLoop() {
-	defer n.wg.Done()
+// Supervised: a panic restarts the loop over the still-open socket (the
+// address caches rebuild); a clean return (socket closed) retires it.
+// The progress markers bracket per-datagram handling only — blocking in
+// ReadFromUDP is idle, not a stall.
+func (n *Node) readLoop(inst *supervise.Instance) {
 	buf := make([]byte, 65536)
 	// Cache the sender-key string for the common case of consecutive
 	// datagrams from one peer (a fragmented jumbo frame arrives as a burst
@@ -834,6 +867,12 @@ func (n *Node) readLoop() {
 		if err != nil {
 			return
 		}
+		select {
+		case <-inst.Quit(): // superseded or stopping: the replacement owns the socket
+			return
+		default:
+		}
+		inst.Working()
 		at := time.Now()
 		pkt := make([]byte, sz)
 		copy(pkt, buf[:sz])
@@ -858,25 +897,32 @@ func (n *Node) readLoop() {
 				// Control ring full: the dropped probe surfaces as a lost
 				// heartbeat at its sender, which is the correct signal.
 			}
+			inst.Idle()
 			continue
 		}
 		n.enqueue(lastKey, pkt, at)
+		inst.Idle()
 	}
 }
 
 // probeLoop handles control traffic (liveness probes and replies) off the
 // data path, so heartbeats stay responsive while the dispatchers chew
 // through bulk traffic — and bulk traffic never waits on probe replies.
-func (n *Node) probeLoop() {
-	defer n.wg.Done()
+// Supervised as "prober": a panic on one malformed event restarts the
+// loop; probeCh survives the restart.
+func (n *Node) probeLoop(inst *supervise.Instance) {
 	for {
 		select {
 		case <-n.quit:
 			return
+		case <-inst.Quit():
+			return
 		case ev := <-n.probeCh:
+			inst.Working()
 			h, payload, err := bridge.ParseEncap(ev.pkt)
 			if err != nil {
 				n.BadPackets.Add(1)
+				inst.Idle()
 				continue
 			}
 			switch {
@@ -885,6 +931,7 @@ func (n *Node) probeLoop() {
 			case h.ProbeReply:
 				n.handleProbeReply(payload)
 			}
+			inst.Idle()
 		}
 	}
 }
@@ -893,15 +940,19 @@ func (n *Node) probeLoop() {
 // tick runs one generation sweep (NodeConfig.EvictInterval apart), so a
 // partial untouched for two ticks — a dead or partitioned sender — is
 // dropped and its buffers freed.
-func (n *Node) evictLoop() {
-	defer n.wg.Done()
+// Supervised as "evictor": the sweep state is derived from the shards,
+// so a restarted instance picks up exactly where the old one left off.
+func (n *Node) evictLoop(inst *supervise.Instance) {
 	t := time.NewTicker(n.cfg.EvictInterval)
 	defer t.Stop()
 	for {
 		select {
 		case <-n.quit:
 			return
+		case <-inst.Quit():
+			return
 		case <-t.C:
+			inst.Working()
 			for _, s := range n.shards {
 				s.mu.Lock()
 				evicted := s.reasm.EvictStale()
@@ -910,6 +961,7 @@ func (n *Node) evictLoop() {
 					n.metrics.reasmEvictions.Add(uint64(evicted))
 				}
 			}
+			inst.Idle()
 		}
 	}
 }

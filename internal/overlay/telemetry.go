@@ -49,6 +49,13 @@ type nodeMetrics struct {
 	txBatchSize    *telemetry.Histogram
 	txLatency      *telemetry.Histogram
 	rxLatency      *telemetry.Histogram
+
+	// Runtime supervision (internal/supervise), labeled by component
+	// ("dispatcher/<i>", "tx/<link>", "reader", "prober", "evictor",
+	// "health").
+	panicsRecovered   *telemetry.CounterVec // component
+	componentRestarts *telemetry.CounterVec
+	watchdogStalls    *telemetry.CounterVec
 }
 
 func newNodeMetrics(reg *telemetry.Registry) *nodeMetrics {
@@ -109,6 +116,13 @@ func newNodeMetrics(reg *telemetry.Registry) *nodeMetrics {
 		rxLatency: reg.Histogram("vnetp_rx_latency_seconds",
 			"Datagram-in to frame-delivery latency on the receive path.",
 			telemetry.LatencyBuckets),
+
+		panicsRecovered: reg.CounterVec("vnetp_panics_recovered_total",
+			"Panics recovered in supervised datapath components.", "component"),
+		componentRestarts: reg.CounterVec("vnetp_component_restarts_total",
+			"Supervised component relaunches (panic recoveries and watchdog supersessions).", "component"),
+		watchdogStalls: reg.CounterVec("vnetp_watchdog_stalls_total",
+			"Stalled supervised components detected and superseded by the watchdog.", "component"),
 	}
 }
 

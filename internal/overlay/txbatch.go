@@ -15,6 +15,7 @@ import (
 
 	"vnetp/internal/bridge"
 	"vnetp/internal/ethernet"
+	"vnetp/internal/supervise"
 	"vnetp/internal/trace"
 	"vnetp/internal/virtio"
 )
@@ -51,10 +52,13 @@ type txScratch struct {
 // txLoop is one link's sender goroutine: it blocks for the first frame
 // of a batch, collects until batch-full or the flush timer fires, and
 // pushes the whole batch onto the link's transport. It exits when the
-// node closes or the link is deleted/replaced (txQuit); frames still
-// queued at that point are dropped, as a NIC ring's are on teardown.
-func (n *Node) txLoop(lk *link) {
-	defer n.wg.Done()
+// node closes or the link is deleted/replaced (the supervision handle's
+// Stop); frames still queued at that point are dropped, as a NIC ring's
+// are on teardown. Supervised as "tx/<link>": a panic drops the batch
+// in hand and the restarted sender resumes draining the same ring; a
+// sender stuck inside one batch past the watchdog timeout is superseded
+// by a fresh instance over the same ring.
+func (n *Node) txLoop(inst *supervise.Instance, lk *link) {
 	batch := make([]txFrame, 0, n.cfg.TxBatch)
 	var scratch txScratch
 	timer := time.NewTimer(n.cfg.TxFlushTimeout)
@@ -65,9 +69,10 @@ func (n *Node) txLoop(lk *link) {
 		select {
 		case <-n.quit:
 			return
-		case <-lk.txQuit:
+		case <-inst.Quit():
 			return
 		case tf := <-lk.txq:
+			inst.Working()
 			batch = append(batch, tf)
 		}
 		timer.Reset(n.cfg.TxFlushTimeout)
@@ -76,7 +81,7 @@ func (n *Node) txLoop(lk *link) {
 			select {
 			case <-n.quit:
 				return
-			case <-lk.txQuit:
+			case <-inst.Quit():
 				return
 			case tf := <-lk.txq:
 				batch = append(batch, tf)
@@ -96,6 +101,7 @@ func (n *Node) txLoop(lk *link) {
 			batch[i] = txFrame{} // drop frame refs; the ring owns nothing past a flush
 		}
 		batch = batch[:0]
+		inst.Idle()
 	}
 }
 
