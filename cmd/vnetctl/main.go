@@ -14,6 +14,12 @@
 //	vnetctl -server 127.0.0.1:7778 TRACE DUMP
 //	vnetctl -server 127.0.0.1:7778 TRACE STOP
 //
+// Dispatch tuning (see DESIGN.md "Adaptive dispatch"):
+//
+//	vnetctl -server 127.0.0.1:7778 LIST TUNING
+//	vnetctl -server 127.0.0.1:7778 LINK TUNE to-b THROUGHPUT
+//	vnetctl -server 127.0.0.1:7778 LINK TUNE to-b AUTO
+//
 // Every request is bounded by -timeout; transport failures on
 // idempotent commands (LIST/LINK/TRACE/ADD LINK) are retried with
 // jittered backoff, so a momentarily busy console does not fail a

@@ -12,6 +12,11 @@
 // received test frame back to its sender (swapping the MAC addresses), so
 // two daemons can be smoke-tested end to end without guests.
 //
+// Datapath tuning: -tx-batch enables batched transmit, and -adaptive
+// layers the paper's Table 1 controller on top — each link switches
+// between latency mode (batch=1) and throughput mode (batch=TxBatch) by
+// observed packet rate, overridable at runtime with LINK TUNE.
+//
 // Observability: -log-level/-log-format select the structured log output,
 // -trace-sample enables 1-in-N live packet tracing at startup (also
 // switchable at runtime via the TRACE control verb), and -flight-depth
@@ -48,6 +53,7 @@ func main() {
 	dispatchers := flag.Int("dispatchers", 0, "receive dispatcher workers (0: min(4, GOMAXPROCS))")
 	txBatch := flag.Int("tx-batch", 1, "frames coalesced per link TX batch (1: synchronous sends)")
 	txFlush := flag.Duration("tx-flush", 100*time.Microsecond, "max wait for a partial TX batch (with -tx-batch > 1)")
+	adaptive := flag.Bool("adaptive", false, "per-link adaptive dispatch: retune batch size between latency and throughput mode by observed rate (implies batched transmit)")
 	telemetryAddr := flag.String("telemetry-addr", "", "HTTP address for /metrics, /trace, /flight, /debug/pprof/, /healthz (empty: disabled)")
 	health := flag.Bool("health", false, "enable the link health monitor (heartbeats, failover, redial)")
 	probeInterval := flag.Duration("probe-interval", 200*time.Millisecond, "heartbeat probe interval (with -health)")
@@ -75,6 +81,7 @@ func main() {
 		Dispatchers:    *dispatchers,
 		TxBatch:        *txBatch,
 		TxFlushTimeout: *txFlush,
+		Adaptive:       overlay.AdaptiveConfig{Enabled: *adaptive},
 		TraceSample:    *traceSample,
 		FlightDepth:    *flightDepth,
 		Logger:         logger,
@@ -87,6 +94,10 @@ func main() {
 		"node", *name, "addr", node.Addr(), "dispatchers", node.Dispatchers())
 	if *txBatch > 1 {
 		logger.Info("batched transmit on", "batch", *txBatch, "flush", *txFlush)
+	}
+	if *adaptive {
+		logger.Info("adaptive dispatch on",
+			"alpha_l", "1e3/s", "alpha_u", "1e4/s", "omega", 5*time.Millisecond)
 	}
 	if *traceSample > 0 {
 		logger.Info("live tracing on", "sample", fmt.Sprintf("1/%d", *traceSample))

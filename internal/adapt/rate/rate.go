@@ -1,0 +1,178 @@
+// Package rate implements the packet-rate hysteresis controller behind
+// VNET/P's adaptive dispatch (paper Sect. 4, Table 1): sample a frame
+// counter every ω, and switch between a latency-optimized mode
+// (guest-driven analogue) and a throughput-optimized mode (VMM-driven
+// analogue) when the observed rate crosses α_u upward or α_l downward.
+// The band between the two thresholds is deliberately sticky — a rate
+// inside it never causes a switch — and a hold-down bounds how often
+// the controller may flip even when the rate oscillates across both
+// thresholds.
+//
+// The controller is pure policy: it consumes sampled frame counts and
+// elapsed time (no clocks, no goroutines), so the contract is unit
+// testable and the caller — internal/overlay's per-link adaptive
+// dispatch — owns the ticking, the counters, and the tunable
+// application.
+package rate
+
+import (
+	"sync"
+	"time"
+)
+
+// Mode is a dispatch operating point.
+type Mode int32
+
+const (
+	// Latency is the guest-driven analogue: dispatch each frame as it
+	// arrives (batch=1, short flush) for minimal added latency.
+	Latency Mode = iota
+	// Throughput is the VMM-driven analogue: coalesce frames into full
+	// batches (batch=TxBatch, long flush) to amortize per-frame costs.
+	Throughput
+)
+
+// String names the mode for logs and control-plane rendering.
+func (m Mode) String() string {
+	if m == Throughput {
+		return "throughput"
+	}
+	return "latency"
+}
+
+// Config is the controller's hysteresis policy. Zero values take the
+// paper's Table 1 defaults.
+type Config struct {
+	// AlphaL is the downswitch threshold in frames/s: a Throughput-mode
+	// link observing a rate strictly below it returns to Latency mode.
+	// Default 10^3 (Table 1 α_l).
+	AlphaL float64
+	// AlphaU is the upswitch threshold in frames/s: a Latency-mode link
+	// observing a rate strictly above it moves to Throughput mode.
+	// Default 10^4 (Table 1 α_u). Rates in [AlphaL, AlphaU] never cause
+	// a switch — that band is the hysteresis.
+	AlphaU float64
+	// HoldDown is the minimum dwell time after a switch before the next
+	// switch is allowed, bounding flap frequency when the offered rate
+	// straddles a threshold. Default 20ms (4 ticks of the paper's ω).
+	HoldDown time.Duration
+}
+
+// Defaults (paper Table 1 for the thresholds; the hold-down is ours —
+// the paper's ω-windowed sampling already rate-limits decisions, and
+// four windows of dwell keeps a bursty boundary rate from flapping).
+const (
+	DefaultAlphaL   = 1e3
+	DefaultAlphaU   = 1e4
+	DefaultHoldDown = 20 * time.Millisecond
+)
+
+func (c *Config) normalize() {
+	if c.AlphaL <= 0 {
+		c.AlphaL = DefaultAlphaL
+	}
+	if c.AlphaU <= 0 {
+		c.AlphaU = DefaultAlphaU
+	}
+	if c.AlphaU < c.AlphaL { // a crossed band has no hysteresis; collapse it
+		c.AlphaU = c.AlphaL
+	}
+	if c.HoldDown <= 0 {
+		c.HoldDown = DefaultHoldDown
+	}
+}
+
+// Controller is one link's hysteresis state machine. Safe for
+// concurrent use: the sampling tick calls Observe while the control
+// plane may Pin/Auto at any time.
+type Controller struct {
+	mu     sync.Mutex
+	cfg    Config
+	mode   Mode
+	dwell  time.Duration // time accumulated in the current mode
+	pinned bool          // operator override: Observe holds the mode
+}
+
+// New builds a controller starting in Latency mode (an idle link's
+// correct operating point; the first loaded window upswitches it).
+func New(cfg Config) *Controller {
+	cfg.normalize()
+	// Start with a full dwell so a link that is busy from its very first
+	// window may switch immediately — the hold-down bounds flap
+	// frequency between switches, not time-to-first-decision.
+	return &Controller{cfg: cfg, mode: Latency, dwell: cfg.HoldDown}
+}
+
+// Mode reports the current operating point.
+func (c *Controller) Mode() Mode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mode
+}
+
+// Pinned reports whether an operator override is active.
+func (c *Controller) Pinned() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pinned
+}
+
+// Pin forces the mode and suspends rate-driven switching until Auto.
+// Returns true when the mode actually changed.
+func (c *Controller) Pin(m Mode) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pinned = true
+	if c.mode == m {
+		return false
+	}
+	c.mode = m
+	c.dwell = 0
+	return true
+}
+
+// Auto releases an operator pin; the next Observe resumes rate-driven
+// switching from the current mode.
+func (c *Controller) Auto() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pinned = false
+}
+
+// Observe feeds one sampling window — frames carried during elapsed —
+// and returns the (possibly new) mode plus whether this observation
+// switched it. The hysteresis contract: a Latency-mode link switches
+// only when rate > AlphaU, a Throughput-mode link only when
+// rate < AlphaL, rates inside [AlphaL, AlphaU] never switch, and no
+// switch happens until the current mode has dwelt at least HoldDown.
+func (c *Controller) Observe(frames uint64, elapsed time.Duration) (Mode, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if elapsed <= 0 {
+		return c.mode, false
+	}
+	if c.dwell < c.cfg.HoldDown { // saturating: no overflow on long idle
+		c.dwell += elapsed
+	}
+	if c.pinned {
+		return c.mode, false
+	}
+	rate := float64(frames) / elapsed.Seconds()
+	want := c.mode
+	switch c.mode {
+	case Latency:
+		if rate > c.cfg.AlphaU {
+			want = Throughput
+		}
+	case Throughput:
+		if rate < c.cfg.AlphaL {
+			want = Latency
+		}
+	}
+	if want == c.mode || c.dwell < c.cfg.HoldDown {
+		return c.mode, false
+	}
+	c.mode = want
+	c.dwell = 0
+	return c.mode, true
+}

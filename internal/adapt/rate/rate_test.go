@@ -1,0 +1,180 @@
+package rate
+
+import (
+	"testing"
+	"time"
+)
+
+// tick feeds the controller one 5ms window at the given rate (frames/s)
+// and returns whether it switched.
+func tick(c *Controller, rate float64) bool {
+	const w = 5 * time.Millisecond
+	frames := uint64(rate * w.Seconds())
+	_, switched := c.Observe(frames, w)
+	return switched
+}
+
+// TestStartsInLatencyMode pins the initial operating point: an idle
+// link's correct mode, the guest-driven analogue.
+func TestStartsInLatencyMode(t *testing.T) {
+	c := New(Config{})
+	if got := c.Mode(); got != Latency {
+		t.Fatalf("initial mode = %v, want Latency", got)
+	}
+}
+
+// TestNoFlapInsideHysteresisBand is the core contract: any rate in
+// [AlphaL, AlphaU] never causes a switch, from either mode.
+func TestNoFlapInsideHysteresisBand(t *testing.T) {
+	cfg := Config{AlphaL: 1e3, AlphaU: 1e4, HoldDown: time.Millisecond}
+	c := New(cfg)
+	for i := 0; i < 100; i++ {
+		if tick(c, 5000) { // mid-band
+			t.Fatalf("latency-mode switch at mid-band rate on tick %d", i)
+		}
+	}
+	// The band edges themselves are sticky too (strict inequalities).
+	if tick(c, cfg.AlphaU) {
+		t.Fatal("switched at rate == AlphaU; upswitch must need rate > AlphaU")
+	}
+	// Drive into Throughput, then probe the band from above.
+	if !tick(c, 20000) {
+		t.Fatal("no upswitch above AlphaU")
+	}
+	if c.Mode() != Throughput {
+		t.Fatalf("mode = %v after upswitch, want Throughput", c.Mode())
+	}
+	for i := 0; i < 100; i++ {
+		if tick(c, 5000) {
+			t.Fatalf("throughput-mode switch at mid-band rate on tick %d", i)
+		}
+	}
+	if tick(c, cfg.AlphaL) {
+		t.Fatal("switched at rate == AlphaL; downswitch must need rate < AlphaL")
+	}
+	if !tick(c, 0) {
+		t.Fatal("no downswitch at idle")
+	}
+	if c.Mode() != Latency {
+		t.Fatalf("mode = %v after downswitch, want Latency", c.Mode())
+	}
+}
+
+// TestHoldDownRespected: after a switch, even a rate far across the
+// opposite threshold cannot switch back until HoldDown has elapsed.
+func TestHoldDownRespected(t *testing.T) {
+	c := New(Config{AlphaL: 1e3, AlphaU: 1e4, HoldDown: 50 * time.Millisecond})
+	if !tick(c, 1e5) {
+		t.Fatal("no upswitch")
+	}
+	// 9 windows of 5ms = 45ms dwell: still inside the hold-down.
+	for i := 0; i < 9; i++ {
+		if tick(c, 0) {
+			t.Fatalf("downswitch on tick %d, inside the 50ms hold-down", i)
+		}
+	}
+	// The 10th window crosses 50ms of dwell; now the switch is allowed.
+	if !tick(c, 0) {
+		t.Fatal("no downswitch after the hold-down elapsed")
+	}
+	if c.Mode() != Latency {
+		t.Fatalf("mode = %v, want Latency", c.Mode())
+	}
+}
+
+// TestOscillatingRateBoundedByHoldDown: a rate alternating far across
+// both thresholds every window flips at most once per hold-down period,
+// not once per window.
+func TestOscillatingRateBoundedByHoldDown(t *testing.T) {
+	hold := 50 * time.Millisecond
+	c := New(Config{AlphaL: 1e3, AlphaU: 1e4, HoldDown: hold})
+	switches := 0
+	const windows = 200 // 200 × 5ms = 1s of observation
+	for i := 0; i < windows; i++ {
+		r := 0.0
+		if i%2 == 0 {
+			r = 1e5
+		}
+		if tick(c, r) {
+			switches++
+		}
+	}
+	// 1s / 50ms hold-down = at most 20 switches.
+	if max := int(time.Second / hold); switches > max {
+		t.Fatalf("%d switches in 1s with a %v hold-down (max %d)", switches, hold, max)
+	}
+	if switches == 0 {
+		t.Fatal("oscillating rate never switched at all")
+	}
+}
+
+// TestPinSuspendsObserve: an operator pin holds the mode against any
+// observed rate until Auto releases it.
+func TestPinSuspendsObserve(t *testing.T) {
+	c := New(Config{AlphaL: 1e3, AlphaU: 1e4, HoldDown: time.Millisecond})
+	if changed := c.Pin(Throughput); !changed {
+		t.Fatal("Pin(Throughput) from Latency reported no change")
+	}
+	if changed := c.Pin(Throughput); changed {
+		t.Fatal("re-pinning the same mode reported a change")
+	}
+	for i := 0; i < 50; i++ {
+		if tick(c, 0) {
+			t.Fatal("pinned controller switched on observation")
+		}
+	}
+	if c.Mode() != Throughput || !c.Pinned() {
+		t.Fatalf("mode=%v pinned=%v, want Throughput/pinned", c.Mode(), c.Pinned())
+	}
+	c.Auto()
+	if c.Pinned() {
+		t.Fatal("still pinned after Auto")
+	}
+	// Rate-driven switching resumes (dwell was reset by the pin; pay it).
+	deadline := 100
+	for i := 0; i < deadline; i++ {
+		if tick(c, 0) {
+			if c.Mode() != Latency {
+				t.Fatalf("mode = %v after idle downswitch, want Latency", c.Mode())
+			}
+			return
+		}
+	}
+	t.Fatal("auto mode never resumed rate-driven switching")
+}
+
+// TestZeroElapsedIgnored: a degenerate window (clock went backwards,
+// first tick after restart) must not divide by zero or switch.
+func TestZeroElapsedIgnored(t *testing.T) {
+	c := New(Config{AlphaL: 1e3, AlphaU: 1e4, HoldDown: time.Millisecond})
+	if _, switched := c.Observe(1e9, 0); switched {
+		t.Fatal("switched on a zero-elapsed window")
+	}
+	if _, switched := c.Observe(1e9, -time.Second); switched {
+		t.Fatal("switched on a negative-elapsed window")
+	}
+}
+
+// TestConfigNormalization pins the defaults and the crossed-band guard.
+func TestConfigNormalization(t *testing.T) {
+	var cfg Config
+	cfg.normalize()
+	if cfg.AlphaL != DefaultAlphaL || cfg.AlphaU != DefaultAlphaU || cfg.HoldDown != DefaultHoldDown {
+		t.Fatalf("zero config normalized to %+v, want Table 1 defaults", cfg)
+	}
+	crossed := Config{AlphaL: 100, AlphaU: 10}
+	crossed.normalize()
+	if crossed.AlphaU < crossed.AlphaL {
+		t.Fatalf("crossed band survived normalization: %+v", crossed)
+	}
+}
+
+// TestFirstWindowMaySwitch: a link busy from its very first window
+// upswitches immediately — the hold-down bounds inter-switch spacing,
+// not time to the first decision.
+func TestFirstWindowMaySwitch(t *testing.T) {
+	c := New(Config{AlphaL: 1e3, AlphaU: 1e4, HoldDown: time.Hour})
+	if !tick(c, 1e6) {
+		t.Fatal("first loaded window did not upswitch")
+	}
+}

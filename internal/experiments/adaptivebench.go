@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"vnetp/internal/core"
+	"vnetp/internal/ethernet"
+	"vnetp/internal/overlay"
+)
+
+// The adaptive-dispatch sweep measures the paper's Table 1 claim on the
+// live datapath: an adaptive link should match the latency-optimized
+// static configuration (batch=1) when idle AND the throughput-optimized
+// one (batch=32) when loaded. Both claims are emitted as
+// machine-independent percentage ratios benchguard can gate:
+//
+//	idle_latency_ratio_pct   = batch1 latency / adaptive latency × 100
+//	loaded_throughput_ratio_pct = adaptive MB/s / batch32 MB/s × 100
+//
+// 100% means "as good as the specialist mode"; a controller regression
+// (stuck in the wrong mode, flappy switching) drags the affected ratio
+// down. Absolute figures ride along for context but deliberately use
+// units benchguard does not gate ("us", "MBps") — loopback absolutes
+// are machine noise; only the ratios carry the gate.
+const (
+	adaptiveBenchFrames  = 40000 // loaded-phase frames per configuration
+	adaptiveBenchPings   = 200   // idle-phase one-way samples
+	adaptiveBenchPayload = 200
+)
+
+// adaptiveBenchConfig names one sender configuration in the sweep.
+type adaptiveBenchConfig struct {
+	label string
+	cfg   overlay.NodeConfig
+}
+
+func adaptiveBenchConfigs() []adaptiveBenchConfig {
+	batched := func(adaptive bool) overlay.NodeConfig {
+		return overlay.NodeConfig{
+			TxBatch: 32, TxRing: 4096, TxFlushTimeout: 200 * time.Microsecond,
+			Adaptive: overlay.AdaptiveConfig{Enabled: adaptive},
+		}
+	}
+	return []adaptiveBenchConfig{
+		{"batch1", overlay.NodeConfig{TxBatch: 1}},
+		{"adaptive", batched(true)},
+		{"batch32", batched(false)},
+	}
+}
+
+// CollectAdaptiveBench runs the adaptive-dispatch sweep and returns the
+// gated ratio records plus info-only absolute figures. Like
+// CollectTraceBench, it pairs configurations within a round to cancel
+// machine drift, reports the best round (capped at 100%), and returns
+// nil rather than failing the whole bench run on a sandboxed host
+// without loopback sockets.
+func CollectAdaptiveBench() []Record {
+	// Warm-up pass absorbs first-run socket and scheduler costs.
+	if _, _, err := adaptiveBenchPair(adaptiveBenchConfigs()[0].cfg); err != nil {
+		return nil
+	}
+	const rounds = 3
+	var latRatios, tpRatios []float64
+	var lastLat, lastTP [3]float64
+	for round := 0; round < rounds; round++ {
+		var lats, tps [3]float64
+		for i, c := range adaptiveBenchConfigs() {
+			lat, tp, err := adaptiveBenchPair(c.cfg)
+			if err != nil {
+				return nil
+			}
+			lats[i], tps[i] = lat, tp
+		}
+		if lats[1] <= 0 || tps[2] <= 0 {
+			return nil
+		}
+		latRatios = append(latRatios, lats[0]/lats[1]*100) // batch1 / adaptive
+		tpRatios = append(tpRatios, tps[1]/tps[2]*100)     // adaptive / batch32
+		lastLat, lastTP = lats, tps
+	}
+	recs := []Record{
+		{ID: "adaptivebench", Metric: "idle_latency_ratio_pct",
+			Value: bestRatio(latRatios), Unit: "%"},
+		{ID: "adaptivebench", Metric: "loaded_throughput_ratio_pct",
+			Value: bestRatio(tpRatios), Unit: "%"},
+	}
+	for i, c := range adaptiveBenchConfigs() {
+		recs = append(recs,
+			Record{ID: "adaptivebench", Metric: "idle_latency_" + c.label,
+				Value: lastLat[i], Unit: "us"},
+			// "MBps", not "MB/s": benchguard gates the latter, and an
+			// absolute loopback figure must stay informational.
+			Record{ID: "adaptivebench", Metric: "loaded_throughput_" + c.label,
+				Value: lastTP[i], Unit: "MBps"})
+	}
+	return recs
+}
+
+// adaptiveBenchPair measures one sender configuration's two operating
+// points over a real loopback pair: mean idle one-way latency in µs
+// (paced at ~500 frames/s, under the default α_l, so an adaptive link
+// holds latency mode) and loaded wire throughput in MB/s (window-paced
+// blast, which drives an adaptive link into throughput mode).
+func adaptiveBenchPair(cfg overlay.NodeConfig) (latUS, throughputMBs float64, err error) {
+	na, err := overlay.NewNodeWithConfig("bench-a", "127.0.0.1:0", cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer na.Close()
+	nb, err := overlay.NewNodeWithConfig("bench-b", "127.0.0.1:0", overlay.NodeConfig{
+		QueueDepth: 8192,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer nb.Close()
+	macA, macB := ethernet.LocalMAC(1), ethernet.LocalMAC(2)
+	epA, err := na.AttachEndpoint("nic0", macA, ethernet.JumboMTU)
+	if err != nil {
+		return 0, 0, err
+	}
+	epB, err := nb.AttachEndpoint("nic0", macB, ethernet.JumboMTU)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := na.AddLink("to-b", nb.Addr(), "udp"); err != nil {
+		return 0, 0, err
+	}
+	na.AddRoute(core.Route{DstMAC: macB, DstQual: core.QualExact, SrcQual: core.QualAny,
+		Dest: core.Destination{Type: core.DestLink, ID: "to-b"}})
+
+	f := &ethernet.Frame{
+		Dst: macB, Src: macA, Type: ethernet.TypeTest,
+		Payload: make([]byte, adaptiveBenchPayload),
+	}
+
+	// Idle phase: one-way latency, send → delivered, paced under α_l.
+	var lat time.Duration
+	for i := 0; i < adaptiveBenchPings; i++ {
+		t0 := time.Now()
+		if err := epA.Send(f); err != nil {
+			return 0, 0, err
+		}
+		if _, ok := epB.Recv(5 * time.Second); !ok {
+			return 0, 0, fmt.Errorf("adaptivebench: idle frame not delivered")
+		}
+		lat += time.Since(t0)
+		time.Sleep(2 * time.Millisecond)
+	}
+	latUS = float64(lat.Microseconds()) / adaptiveBenchPings
+
+	// Loaded phase: window-paced blast measured at the wire boundary.
+	const window = 1024
+	start := time.Now()
+	base := na.EncapSent.Load()
+	var sent uint64
+	for i := 0; i < adaptiveBenchFrames; i++ {
+		for sent-(na.EncapSent.Load()-base) >= window {
+			runtime.Gosched()
+		}
+		if err := epA.Send(f); err != nil {
+			return 0, 0, err
+		}
+		sent++
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for na.EncapSent.Load()-base < sent {
+		if time.Now().After(deadline) {
+			return 0, 0, fmt.Errorf("adaptivebench: stalled at %d of %d frames",
+				na.EncapSent.Load()-base, sent)
+		}
+		runtime.Gosched()
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0, 0, fmt.Errorf("adaptivebench: zero elapsed time")
+	}
+	return latUS, float64(adaptiveBenchFrames) * adaptiveBenchPayload / elapsed / 1e6, nil
+}

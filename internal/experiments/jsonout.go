@@ -69,6 +69,7 @@ func CollectMicrobench() []Record {
 		}
 	}
 	recs = append(recs, CollectTraceBench()...)
+	recs = append(recs, CollectAdaptiveBench()...)
 	return recs
 }
 

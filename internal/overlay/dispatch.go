@@ -77,6 +77,14 @@ type NodeConfig struct {
 	// (100µs).
 	TxFlushTimeout time.Duration
 
+	// Adaptive enables the per-link adaptive dispatch controller: an
+	// ω-tick rate sampler with α_l/α_u hysteresis that retunes each
+	// link's effective batch size and flush timeout between latency
+	// mode (batch=1, idle links) and throughput mode (batch=TxBatch,
+	// loaded links) — the paper's Table 1 mechanism on the live
+	// datapath (vnetpd -adaptive). Enabling it implies TxBatch > 1.
+	Adaptive AdaptiveConfig
+
 	// EvictInterval is how often stale partial reassemblies are swept
 	// (generation-based eviction; a partial untouched for two sweeps is
 	// dropped). Zero means the default (1s). Tests shorten it to fake
@@ -115,6 +123,12 @@ func (c *NodeConfig) normalize() {
 	}
 	if c.TxBatch < 1 {
 		c.TxBatch = 1
+	}
+	c.Adaptive.normalize()
+	if c.Adaptive.Enabled && c.TxBatch < 2 {
+		// Adaptive dispatch switches between batch=1 and batch=TxBatch;
+		// without a ring there is nothing to adapt.
+		c.TxBatch = defaultAdaptiveBatch
 	}
 	if c.TxRing <= 0 {
 		c.TxRing = defaultTxRing

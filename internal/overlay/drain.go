@@ -29,7 +29,9 @@ type DrainStats struct {
 	// period.
 	FramesFlushed uint64
 	// FramesDropped is how many were still queued when the deadline
-	// expired and were discarded by the final teardown.
+	// expired and were discarded by the final teardown — rings and the
+	// partial batches the TX senders had already collected but not yet
+	// flushed (counted by their teardown defers during Close).
 	FramesDropped uint64
 	// PartialsDropped counts incomplete reassemblies discarded at
 	// quiesce (their missing fragments can never arrive once the node
@@ -55,6 +57,19 @@ func (n *Node) queued() uint64 {
 		q += uint64(len(s.in))
 	}
 	return q
+}
+
+// txDropsTotal sums every link's TX ring drop counter. Close does not
+// clear the link set or its metrics, so a delta around Close captures
+// the in-hand batches the sender teardown defers counted.
+func (n *Node) txDropsTotal() uint64 {
+	var t uint64
+	n.mu.Lock()
+	for _, lk := range n.links {
+		t += lk.txDrops.Load()
+	}
+	n.mu.Unlock()
+	return t
 }
 
 // pendingReassemblies sums incomplete reassembly entries across shards.
@@ -129,7 +144,14 @@ func (n *Node) Drain(ctx context.Context) (DrainStats, error) {
 	}
 	st.PartialsDropped = n.pendingReassemblies()
 
+	// Close waits for the supervised senders to unwind (Supervisor.Stop
+	// joins them), so after it returns every txLoop teardown defer has
+	// counted its abandoned in-hand batch into tx_ring_drops. Fold that
+	// delta in: those frames were accepted but never reached the wire,
+	// exactly what FramesDropped promises to report.
+	dropsBase := n.txDropsTotal()
 	closeErr := n.Close()
+	st.FramesDropped += n.txDropsTotal() - dropsBase
 	st.Elapsed = time.Since(start)
 	if flushErr == nil {
 		flushErr = closeErr

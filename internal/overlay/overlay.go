@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vnetp/internal/adapt/rate"
 	"vnetp/internal/bridge"
 	"vnetp/internal/core"
 	"vnetp/internal/ethernet"
@@ -159,6 +160,22 @@ type link struct {
 	txq chan txFrame
 	txw *supervise.Worker
 
+	// tun is the link's effective dispatch operating point (batch size,
+	// flush timeout, mode), published atomically so txLoop reads it
+	// lock-free once per batch. The adaptive controller and LINK TUNE
+	// swap it live; non-adaptive batched links carry a static
+	// throughput-mode snapshot. Always non-nil when txq is non-nil.
+	tun atomic.Pointer[txTunables]
+	// ctrl is the link's rate-hysteresis state machine, nil unless
+	// NodeConfig.Adaptive is enabled. Mode and dwell state live here, so
+	// they survive adaptive-loop restarts and transport auto-upgrades
+	// (the link struct persists across both).
+	ctrl *rate.Controller
+	// lastTxFrames is the adaptive loop's previous txFrames sample
+	// (atomic: a superseded controller instance may briefly overlap its
+	// replacement).
+	lastTxFrames atomic.Uint64
+
 	// sendErrors counts transport send failures on this link, including
 	// ones inside an installed fault conduit (whose delivery callback may
 	// run on the conduit's own goroutine — hence atomic). The health
@@ -172,6 +189,14 @@ type link struct {
 	bytesSent  *telemetry.Counter
 	bytesRecv  *telemetry.Counter
 	txDrops    *telemetry.Counter
+
+	// Batched-mode children (nil on the synchronous path): txFrames
+	// counts frames accepted onto the TX ring (the adaptive
+	// controller's rate sensor), modeGauge and modeSwitches export the
+	// link's dispatch mode and its transitions.
+	txFrames     *telemetry.Counter
+	modeGauge    *telemetry.Gauge
+	modeSwitches *telemetry.Counter
 
 	// TCP redial backoff state (capped exponential).
 	redialAt      time.Time
@@ -319,6 +344,9 @@ func NewNodeWithConfig(name, bindAddr string, cfg NodeConfig) (*Node, error) {
 		n.sup.Go(fmt.Sprintf("dispatcher/%d", s.idx),
 			func(i *supervise.Instance) { n.dispatchLoop(i, s) })
 	}
+	if cfg.Adaptive.Enabled {
+		n.sup.Go("adaptive", func(i *supervise.Instance) { n.adaptLoop(i) })
+	}
 	n.log.Info("overlay node up",
 		"node", name, "addr", n.Addr(),
 		"dispatchers", len(n.shards), "trace_sample", cfg.TraceSample,
@@ -459,8 +487,16 @@ func (n *Node) AddLink(id, remote string, proto string) error {
 	}
 	if n.cfg.TxBatch > 1 {
 		lk.txq = make(chan txFrame, n.cfg.TxRing)
+		if a := n.cfg.Adaptive; a.Enabled {
+			lk.ctrl = rate.New(rate.Config{
+				AlphaL: a.AlphaL, AlphaU: a.AlphaU, HoldDown: a.HoldDown,
+			})
+		}
 	}
 	n.newLinkCounters(lk)
+	if lk.txq != nil {
+		n.initLinkTunables(lk)
+	}
 	if n.healthOn {
 		lk.health = n.newLinkHealth(lk, n.healthCfg.LossWindow)
 	}

@@ -1,0 +1,133 @@
+package overlay
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// scriptConn is a minimal net.Conn whose Write fails from the failOn-th
+// call onward (1-based; 0 never fails), for pinning tcpConn's batch
+// accounting deterministically.
+type scriptConn struct {
+	wire   bytes.Buffer
+	writes int
+	failOn int
+}
+
+func (c *scriptConn) Write(p []byte) (int, error) {
+	c.writes++
+	if c.failOn > 0 && c.writes >= c.failOn {
+		return 0, errors.New("scripted write failure")
+	}
+	return c.wire.Write(p)
+}
+
+func (c *scriptConn) Read([]byte) (int, error)         { return 0, errors.New("not readable") }
+func (c *scriptConn) Close() error                     { return nil }
+func (c *scriptConn) LocalAddr() net.Addr              { return nil }
+func (c *scriptConn) RemoteAddr() net.Addr             { return nil }
+func (c *scriptConn) SetDeadline(time.Time) error      { return nil }
+func (c *scriptConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *scriptConn) SetWriteDeadline(time.Time) error { return nil }
+
+func newScriptTCP(failOn int) (*tcpConn, *scriptConn) {
+	sc := &scriptConn{failOn: failOn}
+	return &tcpConn{conn: sc, w: bufio.NewWriter(sc)}, sc
+}
+
+// TestSendDatagramsConfirmsWholeBatchOnSuccess: a clean batch returns
+// len(ds) and the wire carries every datagram length-prefixed in order.
+func TestSendDatagramsConfirmsWholeBatchOnSuccess(t *testing.T) {
+	c, sc := newScriptTCP(0)
+	ds := [][]byte{[]byte("alpha"), []byte("bravo"), []byte("charlie-longer")}
+	sent, err := c.sendDatagrams(ds)
+	if err != nil || sent != len(ds) {
+		t.Fatalf("sendDatagrams = (%d, %v), want (%d, nil)", sent, err, len(ds))
+	}
+	var want bytes.Buffer
+	var hdr [4]byte
+	for _, d := range ds {
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(d)))
+		want.Write(hdr[:])
+		want.Write(d)
+	}
+	if !bytes.Equal(sc.wire.Bytes(), want.Bytes()) {
+		t.Fatalf("wire bytes mismatch:\n got % x\nwant % x", sc.wire.Bytes(), want.Bytes())
+	}
+}
+
+// TestSendDatagramsFlushFailureConfirmsNothing: when every datagram fits
+// in the buffered writer and the single final flush fails, nothing was
+// confirmed onto the wire — the count must be zero, so the whole batch
+// is charged to send_errors, exactly like a UDP batch whose one sendmmsg
+// fails outright.
+func TestSendDatagramsFlushFailureConfirmsNothing(t *testing.T) {
+	c, _ := newScriptTCP(1) // first write (the final flush) fails
+	ds := [][]byte{[]byte("aa"), []byte("bb"), []byte("cc")}
+	sent, err := c.sendDatagrams(ds)
+	if err == nil {
+		t.Fatal("sendDatagrams succeeded through a dead conn")
+	}
+	if sent != 0 {
+		t.Fatalf("sent = %d after a failed final flush, want 0 (nothing confirmed)", sent)
+	}
+}
+
+// TestSendDatagramsMidBatchErrorCreditsPriorDatagrams: datagrams big
+// enough to overflow the 4KiB buffered writer force an implicit flush
+// mid-batch. The first flush succeeds (datagram 0 reaches the wire), the
+// second fails while starting datagram 2 — so exactly the datagrams the
+// writer accepted before the error are credited and the rest are the
+// caller's to count as errors.
+func TestSendDatagramsMidBatchErrorCreditsPriorDatagrams(t *testing.T) {
+	c, sc := newScriptTCP(2) // first flush succeeds, second fails
+	big := make([]byte, 3000)
+	ds := [][]byte{big, big, big}
+	sent, err := c.sendDatagrams(ds)
+	if err == nil {
+		t.Fatal("sendDatagrams succeeded through a failing conn")
+	}
+	if sent != 2 {
+		t.Fatalf("sent = %d on a mid-batch write error, want 2", sent)
+	}
+	if sc.wire.Len() == 0 {
+		t.Fatal("no bytes reached the wire before the scripted failure")
+	}
+}
+
+// TestSendBatchUDPFallbackPartial pins the portable UDP loop's partial
+// accounting, the contract the TCP path now mirrors: a failure at
+// datagram i reports i confirmed.
+func TestSendBatchUDPFallbackPartial(t *testing.T) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	peer, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	ds := [][]byte{[]byte("one"), []byte("two")}
+	sent, err := sendBatchUDPFallback(conn, ds, peer.LocalAddr().(*net.UDPAddr))
+	if err != nil || sent != 2 {
+		t.Fatalf("fallback over live sockets = (%d, %v), want (2, nil)", sent, err)
+	}
+	// An oversized datagram fails the kernel write; everything before it
+	// was already confirmed.
+	huge := make([]byte, 1<<20)
+	sent, err = sendBatchUDPFallback(conn, [][]byte{[]byte("ok"), huge, []byte("never")},
+		peer.LocalAddr().(*net.UDPAddr))
+	if err == nil {
+		t.Skip("kernel accepted a 1MiB UDP datagram; partial-failure path not reachable here")
+	}
+	if sent != 1 {
+		t.Fatalf("fallback partial = %d, want 1 (only the datagram before the failure)", sent)
+	}
+}

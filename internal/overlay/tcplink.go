@@ -51,22 +51,30 @@ func (c *tcpConn) sendDatagram(d []byte) error {
 
 // sendDatagrams writes a whole batch of length-prefixed datagrams under
 // one writer-lock acquisition and a single flush — the TCP analogue of
-// the UDP path's sendmmsg. On error the stream is mid-datagram and the
-// caller must drop the transport.
-func (c *tcpConn) sendDatagrams(ds [][]byte) error {
+// the UDP path's sendmmsg. Returns how many datagrams were confirmed,
+// mirroring sendBatchUDP: every datagram fully written before a
+// mid-batch write error counts (the buffered writer flushed them
+// implicitly to make room), and a successful final flush confirms the
+// whole batch — but a failed final flush confirms nothing, since any of
+// the still-buffered tail may have been lost with it. On error the
+// stream is mid-datagram and the caller must drop the transport.
+func (c *tcpConn) sendDatagrams(ds [][]byte) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var hdr [4]byte
-	for _, d := range ds {
+	for i, d := range ds {
 		binary.BigEndian.PutUint32(hdr[:], uint32(len(d)))
 		if _, err := c.w.Write(hdr[:]); err != nil {
-			return err
+			return i, err
 		}
 		if _, err := c.w.Write(d); err != nil {
-			return err
+			return i, err
 		}
 	}
-	return c.w.Flush()
+	if err := c.w.Flush(); err != nil {
+		return 0, err
+	}
+	return len(ds), nil
 }
 
 func (c *tcpConn) close() {

@@ -35,9 +35,13 @@ type nodeMetrics struct {
 	linkRedials    *telemetry.CounterVec
 	linkUpgrades   *telemetry.CounterVec
 	linkTxDrops    *telemetry.CounterVec
+	linkTxFrames   *telemetry.CounterVec
 	linkTxDepth    *telemetry.GaugeVec
 	linkState      *telemetry.GaugeVec
 	linkRTT        *telemetry.HistogramVec
+
+	dispatchMode *telemetry.GaugeVec   // link
+	modeSwitches *telemetry.CounterVec // link
 
 	dispDatagrams *telemetry.CounterVec // worker
 	dispFrames    *telemetry.CounterVec
@@ -87,6 +91,12 @@ func newNodeMetrics(reg *telemetry.Registry) *nodeMetrics {
 			"UDP links auto-upgraded to TCP encapsulation.", "link"),
 		linkTxDrops: reg.CounterVec("vnetp_link_tx_ring_drops_total",
 			"Frames dropped at a full link TX ring (batched transmit).", "link"),
+		linkTxFrames: reg.CounterVec("vnetp_link_tx_frames_total",
+			"Frames enqueued onto a link's TX ring (the adaptive controller's rate sensor).", "link"),
+		dispatchMode: reg.GaugeVec("vnetp_dispatch_mode",
+			"Per-link dispatch mode: 0 latency (batch=1), 1 throughput (batch=TxBatch).", "link"),
+		modeSwitches: reg.CounterVec("vnetp_dispatch_mode_switches_total",
+			"Dispatch mode transitions per link (adaptive controller or LINK TUNE).", "link"),
 		linkTxDepth: reg.GaugeVec("vnetp_link_tx_queue_depth",
 			"Frames queued in a link's TX ring (batched transmit).", "link"),
 		linkState: reg.GaugeVec("vnetp_link_state",
@@ -185,8 +195,11 @@ func (n *Node) newLinkCounters(lk *link) {
 	lk.bytesSent = m.linkBytesSent.With(lk.id)
 	lk.bytesRecv = m.linkBytesRecv.With(lk.id)
 	lk.txDrops = m.linkTxDrops.With(lk.id)
-	if q := lk.txq; q != nil { // batched mode: snapshot-time ring depth
+	if q := lk.txq; q != nil { // batched mode: ring depth + dispatch-mode family
 		m.linkTxDepth.Func(func() float64 { return float64(len(q)) }, lk.id)
+		lk.txFrames = m.linkTxFrames.With(lk.id)
+		lk.modeGauge = m.dispatchMode.With(lk.id)
+		lk.modeSwitches = m.modeSwitches.With(lk.id)
 	}
 }
 
@@ -198,13 +211,14 @@ func (n *Node) dropLinkMetrics(id string) {
 		m.linkSendErrors, m.linkBytesSent, m.linkBytesRecv,
 		m.linkProbesSent, m.linkProbesLost, m.linkReplies,
 		m.linkFailovers, m.linkFailbacks, m.linkRedials, m.linkUpgrades,
-		m.linkTxDrops,
+		m.linkTxDrops, m.linkTxFrames, m.modeSwitches,
 	} {
 		v.Delete(id)
 	}
 	m.linkState.Delete(id)
 	m.linkRTT.Delete(id)
 	m.linkTxDepth.Delete(id)
+	m.dispatchMode.Delete(id)
 }
 
 // --- control-plane rendering ---

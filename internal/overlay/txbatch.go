@@ -35,6 +35,7 @@ type txFrame struct {
 func (n *Node) enqueueTx(lk *link, tf txFrame) {
 	select {
 	case lk.txq <- tf:
+		lk.txFrames.Inc() // the adaptive controller's rate sensor
 	default:
 		lk.txDrops.Add(1)
 	}
@@ -45,23 +46,37 @@ func (n *Node) enqueueTx(lk *link, tf txFrame) {
 // transport. Reusing the slice headers keeps the steady-state flush
 // allocation-free.
 type txScratch struct {
-	pkts []*bridge.EncapPacket
-	dgs  [][]byte
+	pkts   []*bridge.EncapPacket
+	dgs    [][]byte
+	frames []txFrame // the batch entries that actually encapsulated
 }
 
 // txLoop is one link's sender goroutine: it blocks for the first frame
 // of a batch, collects until batch-full or the flush timer fires, and
-// pushes the whole batch onto the link's transport. It exits when the
+// pushes the whole batch onto the link's transport. The batch size and
+// flush bound come from the link's tunables snapshot (lk.tun), loaded
+// once per batch: a retune by the adaptive controller or LINK TUNE
+// applies from the next batch with no locking here. It exits when the
 // node closes or the link is deleted/replaced (the supervision handle's
 // Stop); frames still queued at that point are dropped, as a NIC ring's
-// are on teardown. Supervised as "tx/<link>": a panic drops the batch
-// in hand and the restarted sender resumes draining the same ring; a
-// sender stuck inside one batch past the watchdog timeout is superseded
-// by a fresh instance over the same ring.
+// are on teardown — and so is any partial batch already collected, which
+// is counted into tx_ring_drops on the way out so drain accounting sees
+// it. Supervised as "tx/<link>": a panic drops the batch in hand (also
+// counted, by the same defer) and the restarted sender resumes draining
+// the same ring; a sender stuck inside one batch past the watchdog
+// timeout is superseded by a fresh instance over the same ring.
 func (n *Node) txLoop(inst *supervise.Instance, lk *link) {
 	batch := make([]txFrame, 0, n.cfg.TxBatch)
+	// Teardown/panic accounting: whatever sits in batch when this
+	// instance unwinds never reached the wire. Count it like a ring
+	// overrun so DrainStats and the shutdown summary include it.
+	defer func() {
+		if len(batch) > 0 {
+			lk.txDrops.Add(uint64(len(batch)))
+		}
+	}()
 	var scratch txScratch
-	timer := time.NewTimer(n.cfg.TxFlushTimeout)
+	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
 	}
@@ -75,24 +90,27 @@ func (n *Node) txLoop(inst *supervise.Instance, lk *link) {
 			inst.Working()
 			batch = append(batch, tf)
 		}
-		timer.Reset(n.cfg.TxFlushTimeout)
-	collect:
-		for len(batch) < n.cfg.TxBatch {
-			select {
-			case <-n.quit:
-				return
-			case <-inst.Quit():
-				return
-			case tf := <-lk.txq:
-				batch = append(batch, tf)
-			case <-timer.C:
-				break collect
+		tun := lk.tun.Load()
+		if len(batch) < tun.batch {
+			timer.Reset(tun.flush)
+		collect:
+			for len(batch) < tun.batch {
+				select {
+				case <-n.quit:
+					return
+				case <-inst.Quit():
+					return
+				case tf := <-lk.txq:
+					batch = append(batch, tf)
+				case <-timer.C:
+					break collect
+				}
 			}
-		}
-		if !timer.Stop() {
-			select {
-			case <-timer.C:
-			default:
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
 			}
 		}
 		n.sendTxBatch(lk, batch, &scratch)
@@ -110,6 +128,13 @@ func (n *Node) txLoop(inst *supervise.Instance, lk *link) {
 // auto-upgrade to TCP or fault install applies from the next batch on).
 // Transport errors land in the link's send_errors counter — the batched
 // path has no caller to return them to.
+//
+// Accounting rule, shared by both transports: a datagram is charged to
+// bytes_sent only once the transport confirms it (UDP: counted sent by
+// sendmmsg; TCP: fully written before any mid-batch write error, or the
+// whole batch once the final flush succeeds — a failed flush confirms
+// nothing it buffered). Every unconfirmed datagram is one send_errors
+// count; a datagram never lands in both.
 func (n *Node) sendTxBatch(lk *link, batch []txFrame, s *txScratch) {
 	n.mu.Lock()
 	fault, proto, addr := lk.fault, lk.proto, lk.addr
@@ -120,6 +145,7 @@ func (n *Node) sendTxBatch(lk *link, batch []txFrame, s *txScratch) {
 	}
 	pkts := s.pkts[:0]
 	dgs := s.dgs[:0]
+	sentFrames := s.frames[:0]
 	for _, tf := range batch {
 		pkt, err := n.encap.EncapsulateTrace(tf.f, n.nextID.Add(1), budget, n.traceExt(tf.f.Tag))
 		if err != nil {
@@ -131,6 +157,7 @@ func (n *Node) sendTxBatch(lk *link, batch []txFrame, s *txScratch) {
 		}
 		pkts = append(pkts, pkt)
 		dgs = append(dgs, pkt.Datagrams...)
+		sentFrames = append(sentFrames, tf)
 		n.EncapSent.Add(1)
 	}
 
@@ -143,10 +170,10 @@ func (n *Node) sendTxBatch(lk *link, batch []txFrame, s *txScratch) {
 			n.sendOnLink(lk, d)
 		}
 	case proto == "tcp":
-		if err := n.sendBatchTCP(lk, dgs); err != nil {
-			lk.sendErrors.Add(uint64(len(dgs)))
-		} else {
-			lk.bytesSent.Add(sumLens(dgs))
+		sent, err := n.sendBatchTCP(lk, dgs)
+		lk.bytesSent.Add(sumLens(dgs[:sent]))
+		if err != nil || sent < len(dgs) {
+			lk.sendErrors.Add(uint64(len(dgs) - sent))
 		}
 	default: // udp
 		sent, err := sendBatchUDP(n.conn, dgs, addr)
@@ -158,9 +185,11 @@ func (n *Node) sendTxBatch(lk *link, batch []txFrame, s *txScratch) {
 
 	// The Fig. 7 TX stage budget, batched flavor: frame arrival to its
 	// batch hitting the wire. Forwarded frames (zero at) are skipped,
-	// matching the synchronous path.
+	// matching the synchronous path — and so are frames whose
+	// encapsulation failed above: they never hit the wire, so they get
+	// neither a wire_tx trace hop nor a latency sample.
 	now := time.Now()
-	for _, tf := range batch {
+	for _, tf := range sentFrames {
 		if !tf.at.IsZero() {
 			n.metrics.txLatency.Observe(now.Sub(tf.at).Seconds())
 		}
@@ -175,25 +204,32 @@ func (n *Node) sendTxBatch(lk *link, batch []txFrame, s *txScratch) {
 	for i := range dgs {
 		dgs[i] = nil
 	}
+	for i := range sentFrames {
+		sentFrames[i] = txFrame{}
+	}
 	s.pkts = pkts[:0]
 	s.dgs = dgs[:0]
+	s.frames = sentFrames[:0]
 }
 
 // sendBatchTCP pushes a batch of datagrams down a link's TCP transport
-// under one writer lock and a single flush.
-func (n *Node) sendBatchTCP(lk *link, dgs [][]byte) error {
+// under one writer lock and a single flush. Returns how many datagrams
+// the transport confirmed (see sendDatagrams for what "confirmed"
+// means); a failed dial confirms none.
+func (n *Node) sendBatchTCP(lk *link, dgs [][]byte) (int, error) {
 	if len(dgs) == 0 {
-		return nil
+		return 0, nil
 	}
 	c, err := n.dialTCP(lk)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if err := c.sendDatagrams(dgs); err != nil {
+	sent, err := c.sendDatagrams(dgs)
+	if err != nil {
 		n.dropTransport(lk, c)
-		return err
+		return sent, err
 	}
-	return nil
+	return sent, nil
 }
 
 // sendBatchUDPFallback is the portable per-datagram transmit loop, used
