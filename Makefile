@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race drift verify chaos bench bench-json bench-baseline fuzz-smoke clean
+.PHONY: build test vet race drift secretcheck verify chaos bench bench-json bench-baseline fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -21,9 +21,14 @@ race:
 drift:
 	$(GO) run ./scripts/driftcheck
 
+# Secrets-hygiene gate: tenant AEAD keys and TLS private keys must never
+# reach logs or hex encodings (fingerprints are the approved form).
+secretcheck:
+	$(GO) run ./scripts/secretcheck
+
 # Full verification: compile, static checks, plain suite, race suite,
-# doc drift.
-verify: build vet test race drift
+# doc drift, secrets hygiene.
+verify: build vet test race drift secretcheck
 
 # Crash-injection and drain-stress suite: panics and stalls injected
 # into live datapath components, graceful-drain and close-under-traffic
@@ -53,6 +58,7 @@ bench-baseline:
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzEncapDecode -fuzztime=10s ./internal/bridge
 	$(GO) test -run=^$$ -fuzz=FuzzReassembler -fuzztime=10s ./internal/bridge
+	$(GO) test -run=^$$ -fuzz=FuzzSealOpen -fuzztime=10s ./internal/seal
 
 clean:
 	$(GO) clean ./...

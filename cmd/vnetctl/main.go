@@ -20,14 +20,28 @@
 //	vnetctl -server 127.0.0.1:7778 LINK TUNE to-b THROUGHPUT
 //	vnetctl -server 127.0.0.1:7778 LINK TUNE to-b AUTO
 //
+// Secure overlays (see DESIGN.md "Sealed links and tenancy"):
+//
+//	vnetctl keygen -dir certs -ca vnetp -hosts node-a,node-b,operator
+//	vnetctl newkey
+//	vnetctl -server 127.0.0.1:7778 \
+//	        -tls-cert certs/operator.pem -tls-key certs/operator-key.pem \
+//	        -tls-ca certs/ca.pem -tls-server-name node-a \
+//	        ADD TENANT 7 KEY <hex>
+//
+// keygen mints (or reuses) a CA and per-host mTLS certificates; newkey
+// prints a fresh tenant AEAD key. The -tls-* flags dial the console over
+// mutual TLS — required once the daemon runs with -control-tls-*.
+//
 // Every request is bounded by -timeout; transport failures on
-// idempotent commands (LIST/LINK/TRACE/ADD LINK) are retried with
-// jittered backoff, so a momentarily busy console does not fail a
+// idempotent commands (LIST/LINK/TRACE/ADD LINK/ADD TENANT) are retried
+// with jittered backoff, so a momentarily busy console does not fail a
 // monitoring script.
 package main
 
 import (
 	"bufio"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"log"
@@ -36,17 +50,76 @@ import (
 	"time"
 
 	"vnetp/internal/control"
+	"vnetp/internal/seal"
+	"vnetp/internal/seal/pki"
 )
 
+// runKeygen is the `vnetctl keygen` subcommand: mint (or reuse) a CA in
+// -dir and issue one mTLS certificate per -hosts entry.
+func runKeygen(args []string) {
+	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
+	dir := fs.String("dir", "certs", "output directory for PEM files (created if missing)")
+	caCN := fs.String("ca", "vnetp", "CA common name (reused if ca.pem already exists in -dir)")
+	hosts := fs.String("hosts", "", "comma-separated host names to issue certificates for")
+	fs.Parse(args)
+	if *hosts == "" {
+		log.Fatal("vnetctl keygen: -hosts is required")
+	}
+	written, err := pki.Keygen(*dir, *caCN, strings.Split(*hosts, ","))
+	if err != nil {
+		log.Fatalf("vnetctl keygen: %v", err)
+	}
+	for _, f := range written {
+		fmt.Println(f)
+	}
+}
+
+// runNewkey prints one fresh tenant AEAD key in ADD TENANT hex form —
+// to stdout only, never logged.
+func runNewkey() {
+	key, err := seal.NewKey()
+	if err != nil {
+		log.Fatalf("vnetctl newkey: %v", err)
+	}
+	fmt.Println(hex.EncodeToString(key))
+}
+
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "keygen":
+			runKeygen(os.Args[2:])
+			return
+		case "newkey":
+			runNewkey()
+			return
+		}
+	}
 	server := flag.String("server", "127.0.0.1:7778", "control console address")
 	script := flag.String("script", "", "send every line of this file")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-command request timeout (connect is bounded separately)")
+	tlsCert := flag.String("tls-cert", "", "client certificate for mutual TLS (PEM; with -tls-key and -tls-ca)")
+	tlsKey := flag.String("tls-key", "", "client private key (PEM)")
+	tlsCA := flag.String("tls-ca", "", "CA certificate the daemon's cert must chain to (PEM)")
+	tlsServerName := flag.String("tls-server-name", "", "expected server certificate name (default: host part of -server)")
 	flag.Parse()
 
-	client := control.NewClient(*server, control.ClientConfig{
-		RequestTimeout: *timeout,
-	})
+	cfg := control.ClientConfig{RequestTimeout: *timeout}
+	if *tlsCert != "" || *tlsKey != "" || *tlsCA != "" {
+		name := *tlsServerName
+		if name == "" {
+			name = *server
+			if host, _, ok := strings.Cut(name, ":"); ok {
+				name = host
+			}
+		}
+		tc, err := pki.LoadClientConfig(*tlsCert, *tlsKey, *tlsCA, name)
+		if err != nil {
+			log.Fatalf("vnetctl: TLS setup failed (need all of -tls-cert/-key/-ca): %v", err)
+		}
+		cfg.TLS = tc
+	}
+	client := control.NewClient(*server, cfg)
 
 	// send runs one command and prints the response in the wire format
 	// the console itself uses (payload lines, then OK or ERR <msg>), so

@@ -17,6 +17,13 @@
 // between latency mode (batch=1) and throughput mode (batch=TxBatch) by
 // observed packet rate, overridable at runtime with LINK TUNE.
 //
+// Security: -control-tls-cert/-key/-ca put the control console behind
+// mutual TLS (certificates from `vnetctl keygen`); plaintext clients are
+// refused outright. -tenant-key installs per-tenant AEAD keys at startup
+// so tenant-bound links (ADD LINK ... TENANT n) seal every datagram, and
+// -echo accepts an optional @tenant suffix to bind the echo endpoint
+// into a tenant's namespace.
+//
 // Observability: -log-level/-log-format select the structured log output,
 // -trace-sample enables 1-in-N live packet tracing at startup (also
 // switchable at runtime via the TRACE control verb), and -flight-depth
@@ -33,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -41,6 +49,8 @@ import (
 	"vnetp/internal/ethernet"
 	"vnetp/internal/logging"
 	"vnetp/internal/overlay"
+	"vnetp/internal/seal"
+	"vnetp/internal/seal/pki"
 	"vnetp/internal/telemetry"
 )
 
@@ -64,6 +74,14 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	drainTimeout := flag.Duration("drain-timeout", 3*time.Second, "max wait for queued traffic to flush on SIGTERM/SIGINT")
+	tlsCert := flag.String("control-tls-cert", "", "control console server certificate (PEM; with -control-tls-key and -control-tls-ca, enables mutual TLS and refuses plaintext clients)")
+	tlsKey := flag.String("control-tls-key", "", "control console server private key (PEM)")
+	tlsCA := flag.String("control-tls-ca", "", "CA certificate clients must present certs from (PEM)")
+	var tenantKeys []string
+	flag.Func("tenant-key", "install a tenant AEAD key at startup: <id>:<64-hex-key> (repeatable)", func(v string) error {
+		tenantKeys = append(tenantKeys, v)
+		return nil
+	})
 	flag.Parse()
 	start := time.Now()
 
@@ -133,6 +151,24 @@ func main() {
 			"probe", cfg.Interval, "fail", cfg.FailThreshold, "recover", cfg.RecoverThreshold)
 	}
 
+	for _, tk := range tenantKeys {
+		idStr, hexKey, ok := strings.Cut(tk, ":")
+		if !ok {
+			fatal("-tenant-key wants <id>:<hex-key>")
+		}
+		id, err := strconv.ParseUint(idStr, 10, 32)
+		if err != nil || id == 0 {
+			fatal("bad -tenant-key tenant id", "id", idStr)
+		}
+		key, err := seal.ParseKey(hexKey)
+		if err != nil { // seal.ParseKey never echoes the material
+			fatal("bad -tenant-key key", "tenant", id, "err", err)
+		}
+		if err := node.AddTenant(uint32(id), key); err != nil {
+			fatal("tenant key install failed", "tenant", id, "err", err)
+		}
+	}
+
 	if *config != "" {
 		f, err := os.Open(*config)
 		if err != nil {
@@ -148,29 +184,45 @@ func main() {
 	}
 
 	if *echo != "" {
-		parts := strings.SplitN(*echo, ":", 2)
+		spec, tenantStr, hasTenant := strings.Cut(*echo, "@")
+		parts := strings.SplitN(spec, ":", 2)
 		if len(parts) != 2 {
-			fatal("-echo wants <ifname>:<mac>", "got", *echo)
+			fatal("-echo wants <ifname>:<mac>[@tenant]", "got", *echo)
 		}
 		mac, err := ethernet.ParseMAC(parts[1])
 		if err != nil {
 			fatal("bad -echo MAC", "err", err)
 		}
-		ep, err := node.AttachEndpoint(parts[0], mac, ethernet.JumboMTU)
+		var tenant uint64
+		if hasTenant {
+			if tenant, err = strconv.ParseUint(tenantStr, 10, 32); err != nil {
+				fatal("bad -echo tenant", "got", tenantStr)
+			}
+		}
+		ep, err := node.AttachEndpointTenant(parts[0], mac, ethernet.JumboMTU, uint32(tenant))
 		if err != nil {
 			fatal("echo endpoint attach failed", "err", err)
 		}
 		go echoLoop(ep, logger)
-		logger.Info("echo endpoint attached", "interface", parts[0], "mac", mac.String())
+		logger.Info("echo endpoint attached",
+			"interface", parts[0], "mac", mac.String(), "tenant", tenant)
 	}
 
 	if *ctrlAddr != "" {
-		d, err := control.NewDaemon(node, *ctrlAddr)
+		var dcfg control.DaemonConfig
+		if *tlsCert != "" || *tlsKey != "" || *tlsCA != "" {
+			tc, err := pki.LoadServerConfig(*tlsCert, *tlsKey, *tlsCA)
+			if err != nil {
+				fatal("control TLS setup failed (need all of -control-tls-cert/-key/-ca)", "err", err)
+			}
+			dcfg.TLS = tc
+		}
+		d, err := control.NewDaemonWithConfig(node, *ctrlAddr, dcfg)
 		if err != nil {
 			fatal("control console startup failed", "err", err)
 		}
 		defer d.Close()
-		logger.Info("control console listening", "addr", d.Addr())
+		logger.Info("control console listening", "addr", d.Addr(), "mtls", dcfg.TLS != nil)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -47,10 +47,28 @@ const (
 	// trace ID spans both halves of a hop (internal/trace.LiveTracer).
 	EncapTraceLen = 12
 
+	// EncapSealLen is the size of the optional seal extension that
+	// follows the fixed header (and the trace extension, when both are
+	// present) when flagSealed is set:
+	//
+	//	tenantID(4) | nonce(8)
+	//
+	// The fragment payload after a sealed header is AEAD ciphertext of
+	// the inner-frame slice plus a SealOverhead-byte authentication tag;
+	// the entire wire header (fixed part and extensions) is authenticated
+	// as associated data, so flags, ids, offsets, tenant, and nonce are
+	// all tamper-evident even though they travel in the clear.
+	EncapSealLen = 12
+
+	// SealOverhead is the AEAD tag size appended to each sealed
+	// fragment's payload (AES-GCM, internal/seal.Overhead).
+	SealOverhead = 16
+
 	flagMoreFrags  = 0x01
 	flagProbe      = 0x02
 	flagProbeReply = 0x04
 	flagTrace      = 0x08
+	flagSealed     = 0x10
 )
 
 // TraceExt is the optional per-datagram trace extension (EncapTraceLen
@@ -64,6 +82,29 @@ type TraceExt struct {
 // TraceTriggered is the TraceExt.Flags bit marking an explicit per-flow
 // trigger (TRACE START FLOW) rather than 1-in-N sampling.
 const TraceTriggered uint16 = 0x01
+
+// SealExt is the optional per-datagram seal extension (EncapSealLen
+// bytes on the wire, present when the header's sealed flag is set). The
+// nonce reuses the traceID shape — origin(16) << 48 | seq(48) — so each
+// sending node's nonce stream is unique without coordination.
+type SealExt struct {
+	Tenant uint32 // tenant whose key sealed this fragment
+	Nonce  uint64 // per-sender counter nonce, origin<<48 | seq48
+}
+
+// LinkSealer seals one link's outbound fragments for one tenant. It is
+// implemented by internal/seal.Sealer; bridge declares the interface so
+// the codec stays free of crypto dependencies.
+type LinkSealer interface {
+	// Tenant reports the tenant ID stamped into the seal extension.
+	Tenant() uint32
+	// NextNonce reserves a fresh nonce for one fragment.
+	NextNonce() uint64
+	// Seal encrypts plaintext in place (the slice must have Overhead
+	// spare capacity) binding additional as associated data, and returns
+	// the ciphertext (len(plaintext)+SealOverhead bytes).
+	Seal(nonce uint64, additional, plaintext []byte) []byte
+}
 
 // EncapHeader describes one encapsulation fragment. Probe datagrams (the
 // link-health heartbeats) travel on the same channel with the probe flags
@@ -79,15 +120,25 @@ type EncapHeader struct {
 	// Trace is the optional trace extension, valid when HasTrace is set.
 	Trace    TraceExt
 	HasTrace bool
+
+	// Seal is the optional seal extension, valid when HasSeal is set.
+	// When present the fragment payload is AEAD ciphertext (inner-frame
+	// slice + SealOverhead tag) rather than plaintext.
+	Seal    SealExt
+	HasSeal bool
 }
 
-// WireLen reports the marshalled header size, including the trace
-// extension when present.
+// WireLen reports the marshalled header size, including any extensions
+// present.
 func (h *EncapHeader) WireLen() int {
+	n := EncapHeaderLen
 	if h.HasTrace {
-		return EncapHeaderLen + EncapTraceLen
+		n += EncapTraceLen
 	}
-	return EncapHeaderLen
+	if h.HasSeal {
+		n += EncapSealLen
+	}
+	return n
 }
 
 var (
@@ -113,6 +164,9 @@ func (h *EncapHeader) Marshal(b []byte) []byte {
 	if h.HasTrace {
 		flags |= flagTrace
 	}
+	if h.HasSeal {
+		flags |= flagSealed
+	}
 	b = append(b, EncapVersion, flags)
 	b = binary.BigEndian.AppendUint32(b, h.ID)
 	b = binary.BigEndian.AppendUint32(b, h.FragOff)
@@ -121,6 +175,10 @@ func (h *EncapHeader) Marshal(b []byte) []byte {
 		b = binary.BigEndian.AppendUint64(b, h.Trace.ID)
 		b = binary.BigEndian.AppendUint16(b, h.Trace.Origin)
 		b = binary.BigEndian.AppendUint16(b, h.Trace.Flags)
+	}
+	if h.HasSeal {
+		b = binary.BigEndian.AppendUint32(b, h.Seal.Tenant)
+		b = binary.BigEndian.AppendUint64(b, h.Seal.Nonce)
 	}
 	return b
 }
@@ -156,17 +214,35 @@ func ParseEncap(b []byte) (*EncapHeader, []byte, error) {
 	}
 	hdrLen := EncapHeaderLen
 	if b[3]&flagTrace != 0 {
-		if len(b) < EncapHeaderLen+EncapTraceLen {
+		if len(b) < hdrLen+EncapTraceLen {
 			return nil, nil, ErrTruncated
 		}
 		h.HasTrace = true
-		h.Trace.ID = binary.BigEndian.Uint64(b[16:])
-		h.Trace.Origin = binary.BigEndian.Uint16(b[24:])
-		h.Trace.Flags = binary.BigEndian.Uint16(b[26:])
+		h.Trace.ID = binary.BigEndian.Uint64(b[hdrLen:])
+		h.Trace.Origin = binary.BigEndian.Uint16(b[hdrLen+8:])
+		h.Trace.Flags = binary.BigEndian.Uint16(b[hdrLen+10:])
 		hdrLen += EncapTraceLen
 	}
+	if b[3]&flagSealed != 0 {
+		if len(b) < hdrLen+EncapSealLen {
+			return nil, nil, ErrTruncated
+		}
+		h.HasSeal = true
+		h.Seal.Tenant = binary.BigEndian.Uint32(b[hdrLen:])
+		h.Seal.Nonce = binary.BigEndian.Uint64(b[hdrLen+4:])
+		hdrLen += EncapSealLen
+	}
 	payload := b[hdrLen:]
-	if int(h.FragOff)+len(payload) > int(h.TotalLen) {
+	// A sealed payload is ciphertext: it carries a SealOverhead tag on
+	// top of the inner-frame slice, so bounds-check the plaintext size.
+	dataLen := len(payload)
+	if h.HasSeal {
+		if dataLen < SealOverhead {
+			return nil, nil, ErrTruncated
+		}
+		dataLen -= SealOverhead
+	}
+	if int(h.FragOff)+dataLen > int(h.TotalLen) {
 		return nil, nil, ErrFragBounds
 	}
 	return h, payload, nil
@@ -244,11 +320,26 @@ func (e *Encapsulator) Encapsulate(f *ethernet.Frame, id uint32, maxPayload int)
 // can continue the sampled packet's trace under the same trace ID. The
 // extension shrinks each fragment's payload budget by EncapTraceLen.
 func (e *Encapsulator) EncapsulateTrace(f *ethernet.Frame, id uint32, maxPayload int, tr *TraceExt) (*EncapPacket, error) {
+	return e.EncapsulateSealed(f, id, maxPayload, tr, nil)
+}
+
+// EncapsulateSealed is EncapsulateTrace with an optional link sealer:
+// when sl is non-nil every fragment carries the seal extension and its
+// payload is encrypted in place in the pooled wire buffer, with the
+// fragment's full wire header bound as associated data. The seal
+// extension and AEAD tag shrink each fragment's payload budget by
+// EncapSealLen+SealOverhead.
+func (e *Encapsulator) EncapsulateSealed(f *ethernet.Frame, id uint32, maxPayload int, tr *TraceExt, sl LinkSealer) (*EncapPacket, error) {
 	hdrLen := EncapHeaderLen
 	if tr != nil {
 		hdrLen += EncapTraceLen
 	}
-	if maxPayload <= hdrLen {
+	perFragOverhead := 0
+	if sl != nil {
+		hdrLen += EncapSealLen
+		perFragOverhead = SealOverhead
+	}
+	if maxPayload <= hdrLen+perFragOverhead {
 		panic(fmt.Sprintf("bridge: maxPayload %d leaves no room for data", maxPayload))
 	}
 	p, _ := e.pool.Get().(*EncapPacket)
@@ -264,14 +355,16 @@ func (e *Encapsulator) EncapsulateTrace(f *ethernet.Frame, id uint32, maxPayload
 		return nil, err
 	}
 	p.inner = inner
-	chunk := maxPayload - hdrLen
+	chunk := maxPayload - hdrLen - perFragOverhead
 	nfrags := (len(inner) + chunk - 1) / chunk
 	if nfrags == 0 {
 		nfrags = 1
 	}
 	// One contiguous wire buffer holds every fragment (header + slice);
-	// sizing it up front keeps the datagram sub-slices stable.
-	need := len(inner) + nfrags*hdrLen
+	// sizing it up front keeps the datagram sub-slices stable. Sealed
+	// fragments grow by the AEAD tag, so reserve that headroom too —
+	// Seal then encrypts in place without reallocating.
+	need := len(inner) + nfrags*(hdrLen+perFragOverhead)
 	if cap(p.wire) < need {
 		p.wire = make([]byte, 0, need)
 	}
@@ -293,9 +386,20 @@ func (e *Encapsulator) EncapsulateTrace(f *ethernet.Frame, id uint32, maxPayload
 			h.Trace = *tr
 			h.HasTrace = true
 		}
+		if sl != nil {
+			h.Seal = SealExt{Tenant: sl.Tenant(), Nonce: sl.NextNonce()}
+			h.HasSeal = true
+		}
 		start := len(wire)
 		wire = h.Marshal(wire)
+		payloadStart := len(wire)
 		wire = append(wire, inner[off:end]...)
+		if sl != nil {
+			// In-place encrypt: the reserved headroom guarantees the tag
+			// append stays inside the contiguous wire buffer.
+			ct := sl.Seal(h.Seal.Nonce, wire[start:payloadStart], wire[payloadStart:len(wire):need])
+			wire = wire[:payloadStart+len(ct)]
+		}
 		dgs = append(dgs, wire[start:len(wire):len(wire)])
 	}
 	p.wire = wire

@@ -40,7 +40,7 @@ func FuzzEncapDecode(f *testing.F) {
 		// reproduce the wire header — trace extension included — whenever
 		// no unknown flag bits were set (Marshal cannot represent unknown
 		// bits).
-		if data[3]&^(flagMoreFrags|flagProbe|flagProbeReply|flagTrace) == 0 {
+		if data[3]&^(flagMoreFrags|flagProbe|flagProbeReply|flagTrace|flagSealed) == 0 {
 			if re := h.Marshal(nil); !bytes.Equal(re, data[:h.WireLen()]) {
 				t.Fatalf("header round-trip: % x != % x", re, data[:h.WireLen()])
 			}

@@ -1,0 +1,236 @@
+package bridge
+
+import (
+	"bytes"
+	"testing"
+
+	"vnetp/internal/ethernet"
+	"vnetp/internal/seal"
+)
+
+func sealedPair(t *testing.T) (*seal.Sealer, *seal.Keyring) {
+	t.Helper()
+	key := make([]byte, seal.KeyLen)
+	for i := range key {
+		key[i] = 0x42
+	}
+	tx := seal.NewKeyring(0x0a0a)
+	rx := seal.NewKeyring(0x0b0b)
+	if err := tx.AddTenant(7, key); err != nil {
+		t.Fatal(err)
+	}
+	if err := rx.AddTenant(7, key); err != nil {
+		t.Fatal(err)
+	}
+	s, err := tx.Sealer(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, rx
+}
+
+// unsealDatagram is the receive side the overlay dispatcher implements:
+// parse, open with the header as AAD, substitute plaintext.
+func unsealDatagram(t *testing.T, rx *seal.Keyring, d []byte) (*EncapHeader, []byte) {
+	t.Helper()
+	h, payload, err := ParseEncap(d)
+	if err != nil {
+		t.Fatalf("ParseEncap: %v", err)
+	}
+	if !h.HasSeal {
+		t.Fatal("datagram not sealed")
+	}
+	aad := d[:len(d)-len(payload)]
+	pt, err := rx.Open(h.Seal.Tenant, h.Seal.Nonce, aad, payload)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return h, pt
+}
+
+func TestEncapsulateSealedRoundTrip(t *testing.T) {
+	s, rx := sealedPair(t)
+	var enc Encapsulator
+	for _, size := range []int{1, 64, 300, 1500, 9000} {
+		frame := &ethernet.Frame{
+			Dst: ethernet.LocalMAC(1), Src: ethernet.LocalMAC(2),
+			Type: ethernet.TypeTest, Payload: bytes.Repeat([]byte{0x5a}, size),
+		}
+		pkt, err := enc.EncapsulateSealed(frame, 99, 1400, nil, s)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		r := NewReassembler()
+		var got *ethernet.Frame
+		for _, d := range pkt.Datagrams {
+			h, pt := unsealDatagram(t, rx, d)
+			if h.Seal.Tenant != 7 {
+				t.Fatalf("tenant %d on wire, want 7", h.Seal.Tenant)
+			}
+			out, err := r.AddParsed("peer", h, pt)
+			if err != nil {
+				t.Fatalf("AddParsed: %v", err)
+			}
+			if out != nil {
+				got = out
+			}
+		}
+		pkt.Release()
+		if got == nil {
+			t.Fatalf("size %d: sealed fragments did not reassemble", size)
+		}
+		if !bytes.Equal(got.Payload, frame.Payload) || got.Dst != frame.Dst {
+			t.Fatalf("size %d: reassembled frame differs", size)
+		}
+	}
+}
+
+func TestEncapsulateSealedWithTrace(t *testing.T) {
+	s, rx := sealedPair(t)
+	var enc Encapsulator
+	frame := &ethernet.Frame{
+		Dst: ethernet.LocalMAC(1), Src: ethernet.LocalMAC(2),
+		Type: ethernet.TypeTest, Payload: bytes.Repeat([]byte{0x11}, 4000),
+	}
+	tr := &TraceExt{ID: 0xdeadbeef, Origin: 0x0a0a, Flags: TraceTriggered}
+	pkt, err := enc.EncapsulateSealed(frame, 5, 1400, tr, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pkt.Release()
+	if len(pkt.Datagrams) < 2 {
+		t.Fatalf("expected fragmentation, got %d datagrams", len(pkt.Datagrams))
+	}
+	seen := make(map[uint64]bool)
+	for _, d := range pkt.Datagrams {
+		h, _ := unsealDatagram(t, rx, d)
+		if !h.HasTrace || h.Trace.ID != tr.ID {
+			t.Fatalf("trace extension lost under seal: %+v", h)
+		}
+		if h.WireLen() != EncapHeaderLen+EncapTraceLen+EncapSealLen {
+			t.Fatalf("WireLen %d", h.WireLen())
+		}
+		if seen[h.Seal.Nonce] {
+			t.Fatalf("nonce %016x reused across fragments", h.Seal.Nonce)
+		}
+		seen[h.Seal.Nonce] = true
+	}
+}
+
+func TestSealedTamperRejects(t *testing.T) {
+	s, rx := sealedPair(t)
+	var enc Encapsulator
+	frame := &ethernet.Frame{
+		Dst: ethernet.LocalMAC(1), Src: ethernet.LocalMAC(2),
+		Type: ethernet.TypeTest, Payload: []byte("secret tenant traffic"),
+	}
+	pkt, err := enc.EncapsulateSealed(frame, 1, 1400, nil, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := append([]byte(nil), pkt.Datagrams[0]...)
+	pkt.Release()
+
+	// Flip one ciphertext byte: parse still succeeds (the header is
+	// clear) but Open must reject.
+	bad := append([]byte(nil), d...)
+	bad[len(bad)-1] ^= 0x01
+	h, payload, err := ParseEncap(bad)
+	if err != nil {
+		t.Fatalf("ParseEncap of tampered datagram: %v", err)
+	}
+	aad := bad[:len(bad)-len(payload)]
+	if _, err := rx.Open(h.Seal.Tenant, h.Seal.Nonce, aad, payload); seal.RejectReasonOf(err) != seal.RejectAuth {
+		t.Fatalf("tampered ciphertext: got %v, want auth reject", err)
+	}
+
+	// Flip a header byte (the frag id): the AAD no longer matches.
+	bad2 := append([]byte(nil), d...)
+	bad2[5] ^= 0xff
+	h2, payload2, err := ParseEncap(bad2)
+	if err != nil {
+		t.Fatalf("ParseEncap of header-tampered datagram: %v", err)
+	}
+	aad2 := bad2[:len(bad2)-len(payload2)]
+	if _, err := rx.Open(h2.Seal.Tenant, h2.Seal.Nonce, aad2, payload2); seal.RejectReasonOf(err) != seal.RejectAuth {
+		t.Fatalf("tampered header: got %v, want auth reject", err)
+	}
+
+	// A sealed datagram whose payload is shorter than the tag is
+	// rejected at parse time.
+	if _, _, err := ParseEncap(d[:EncapHeaderLen+EncapSealLen+SealOverhead-1]); err != ErrTruncated {
+		t.Fatalf("short sealed payload: got %v, want ErrTruncated", err)
+	}
+}
+
+func TestSealedHeaderMarshalParse(t *testing.T) {
+	h := &EncapHeader{
+		ID: 3, FragOff: 128, TotalLen: 4096, MoreFrags: true,
+		Seal: SealExt{Tenant: 0x01020304, Nonce: 0x0a0a_0000_0000_0007}, HasSeal: true,
+	}
+	// Append a plausible ciphertext so bounds checks pass.
+	wire := append(h.Marshal(nil), make([]byte, 100+SealOverhead)...)
+	got, payload, err := ParseEncap(wire)
+	if err != nil {
+		t.Fatalf("ParseEncap: %v", err)
+	}
+	if !got.HasSeal || got.Seal != h.Seal {
+		t.Fatalf("seal extension mismatch: %+v", got.Seal)
+	}
+	if len(payload) != 100+SealOverhead {
+		t.Fatalf("payload length %d", len(payload))
+	}
+	// Truncated inside the seal extension.
+	if _, _, err := ParseEncap(h.Marshal(nil)[:EncapHeaderLen+4]); err != ErrTruncated {
+		t.Fatalf("truncated seal ext: got %v", err)
+	}
+	// Fragment bounds account for the tag: FragOff+plaintext beyond
+	// TotalLen still rejects.
+	h2 := &EncapHeader{ID: 1, FragOff: 4090, TotalLen: 4096, HasSeal: true}
+	wire2 := append(h2.Marshal(nil), make([]byte, 10+SealOverhead)...)
+	if _, _, err := ParseEncap(wire2); err != ErrFragBounds {
+		t.Fatalf("sealed frag bounds: got %v", err)
+	}
+}
+
+// TestSealedPooledNoRealloc pins the zero-copy contract: sealing in the
+// pooled encoder must not reallocate the wire buffer (the datagrams stay
+// sub-slices of one contiguous allocation).
+func TestSealedPooledNoRealloc(t *testing.T) {
+	s, _ := sealedPair(t)
+	var enc Encapsulator
+	frame := &ethernet.Frame{
+		Dst: ethernet.LocalMAC(1), Src: ethernet.LocalMAC(2),
+		Type: ethernet.TypeTest, Payload: bytes.Repeat([]byte{1}, 5000),
+	}
+	pkt, err := enc.EncapsulateSealed(frame, 1, 1400, nil, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &pkt.wire[0]
+	for i, d := range pkt.Datagrams {
+		if &d[0] == nil || !sameBacking(pkt.wire, d) {
+			t.Fatalf("datagram %d escaped the pooled wire buffer", i)
+		}
+	}
+	if base != &pkt.wire[0] {
+		t.Fatal("wire buffer moved")
+	}
+	pkt.Release()
+}
+
+func sameBacking(wire, d []byte) bool {
+	if len(wire) == 0 || len(d) == 0 {
+		return false
+	}
+	start := &wire[0]
+	end := &wire[len(wire)-1]
+	_ = end
+	for i := range wire {
+		if &wire[i] == &d[0] {
+			return true
+		}
+	}
+	_ = start
+	return false
+}

@@ -8,6 +8,7 @@ package control
 
 import (
 	"bufio"
+	"crypto/tls"
 	"fmt"
 	"math/rand"
 	"net"
@@ -30,6 +31,11 @@ type ClientConfig struct {
 	// [b/2, 3b/2) so a fleet of scripts retrying the same dead daemon
 	// does not reconverge in lockstep. Default 100ms.
 	RetryBackoff time.Duration
+
+	// TLS, when non-nil, dials the console over mutual TLS (see
+	// internal/seal/pki.ClientConfig). Required to reach an
+	// mTLS-enabled daemon: a plaintext client fails its handshake.
+	TLS *tls.Config
 }
 
 func (c *ClientConfig) normalize() {
@@ -90,7 +96,10 @@ func Idempotent(line string) bool {
 	case "LIST", "LINK", "TRACE":
 		return true
 	case "ADD":
-		return len(fields) >= 2 && strings.EqualFold(fields[1], "LINK")
+		// ADD LINK converges (same id/remote → same state) and so does
+		// ADD TENANT (installing the same key twice is a no-op rotation).
+		return len(fields) >= 2 &&
+			(strings.EqualFold(fields[1], "LINK") || strings.EqualFold(fields[1], "TENANT"))
 	}
 	return false
 }
@@ -129,6 +138,13 @@ func (c *Client) once(line string) ([]string, error) {
 	}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	if c.cfg.TLS != nil {
+		tc := tls.Client(conn, c.cfg.TLS)
+		if err := tc.Handshake(); err != nil {
+			return nil, err
+		}
+		conn = tc
+	}
 	if _, err := fmt.Fprintln(conn, line); err != nil {
 		return nil, err
 	}

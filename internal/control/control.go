@@ -7,6 +7,7 @@ package control
 
 import (
 	"bufio"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 
 	"vnetp/internal/core"
 	"vnetp/internal/ethernet"
+	"vnetp/internal/seal"
 )
 
 // Target is the overlay node being configured.
@@ -76,10 +78,27 @@ type TuneTarget interface {
 	TuningSummary() []string
 }
 
+// TenantTarget is an optional Target extension: nodes carrying the seal
+// layer accept tenant keys (ADD TENANT), report their tenant set
+// (LIST TENANTS — key fingerprints only, never key material), and bind
+// links to a tenant so the link's traffic is sealed with that tenant's
+// key (ADD LINK ... TENANT <id>).
+type TenantTarget interface {
+	// AddTenant installs (or rotates) one tenant's AEAD key.
+	AddTenant(id uint32, key []byte) error
+	// TenantSummary reports one line per configured tenant. Lines carry
+	// key fingerprints, never keys.
+	TenantSummary() []string
+	// AddLinkTenant is AddLink with a tenant binding: the link seals its
+	// outbound frames under the tenant's key and only carries that
+	// tenant's traffic. Fails when the tenant has no key installed.
+	AddLinkTenant(id, remote, proto string, tenant uint32) error
+}
+
 // Command is one parsed control command.
 type Command struct {
 	Verb string // ADD, DEL, LIST, LINK, TRACE
-	Kind string // LINK, ROUTE, INTERFACES, LINKS, ROUTES, STATS, HEALTH, TUNING, STATUS, PROBE, TUNE, START, STOP, DUMP
+	Kind string // LINK, ROUTE, TENANT, INTERFACES, LINKS, ROUTES, STATS, HEALTH, TUNING, TENANTS, STATUS, PROBE, TUNE, START, STOP, DUMP
 
 	// Link fields.
 	LinkID string
@@ -101,6 +120,13 @@ type Command struct {
 
 	// Dispatch-tuning field (LINK TUNE): "latency", "throughput", "auto".
 	Tune string
+
+	// Tenant scopes ADD LINK / ADD ROUTE / DEL ROUTE (trailing
+	// "TENANT <id>" clause) and names the tenant for ADD TENANT.
+	Tenant uint32
+	// Key is ADD TENANT's parsed key material. It is never echoed in
+	// errors or responses.
+	Key []byte
 }
 
 // Parse errors.
@@ -154,11 +180,12 @@ func parseDestType(s string) (core.DestType, error) {
 
 // Parse parses one command line. The grammar:
 //
-//	ADD LINK <id> REMOTE <host:port> [UDP|TCP]
+//	ADD LINK <id> REMOTE <host:port> [UDP|TCP] [TENANT <id>]
 //	DEL LINK <id>
-//	ADD ROUTE <dst-spec> <src-spec> {interface|link} <dest-id> [BACKUP {interface|link} <dest-id>]
-//	DEL ROUTE <dst-spec> <src-spec> {interface|link} <dest-id> [BACKUP {interface|link} <dest-id>]
-//	LIST {ROUTES|LINKS|INTERFACES|STATS|HEALTH|TUNING}
+//	ADD ROUTE <dst-spec> <src-spec> {interface|link} <dest-id> [BACKUP {interface|link} <dest-id>] [TENANT <id>]
+//	DEL ROUTE <dst-spec> <src-spec> {interface|link} <dest-id> [BACKUP {interface|link} <dest-id>] [TENANT <id>]
+//	ADD TENANT <id> KEY <hex>
+//	LIST {ROUTES|LINKS|INTERFACES|STATS|HEALTH|TUNING|TENANTS}
 //	LINK STATUS <id>
 //	LINK PROBE <interval-ms> <fail-threshold> <recover-threshold>
 //	LINK TUNE <id> {LATENCY|THROUGHPUT|AUTO}
@@ -175,6 +202,12 @@ func parseDestType(s string) (core.DestType, error) {
 // TRACE START with no argument samples every frame
 // (SAMPLE 1); SAMPLE <n> samples 1 in n; FLOW <mac> traces every frame
 // to or from the MAC regardless of the sampler.
+//
+// ADD TENANT installs (or rotates) a tenant's 64-hex-digit AEAD key; a
+// trailing TENANT <id> clause on ADD LINK binds the link to a tenant
+// (its traffic is sealed under the tenant's key), and on ADD/DEL ROUTE
+// scopes the route to the tenant's private routing table. Tenant 0 is
+// the plaintext default and cannot carry a key.
 func Parse(line string) (*Command, error) {
 	fields := strings.Fields(strings.TrimSpace(line))
 	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
@@ -184,11 +217,11 @@ func Parse(line string) (*Command, error) {
 	switch verb {
 	case "LIST":
 		if len(fields) != 2 {
-			return nil, fmt.Errorf("%w: LIST needs one of ROUTES|LINKS|INTERFACES|STATS|HEALTH|TUNING", ErrSyntax)
+			return nil, fmt.Errorf("%w: LIST needs one of ROUTES|LINKS|INTERFACES|STATS|HEALTH|TUNING|TENANTS", ErrSyntax)
 		}
 		kind := strings.ToUpper(fields[1])
 		switch kind {
-		case "ROUTES", "LINKS", "INTERFACES", "STATS", "HEALTH", "TUNING":
+		case "ROUTES", "LINKS", "INTERFACES", "STATS", "HEALTH", "TUNING", "TENANTS":
 			return &Command{Verb: verb, Kind: kind}, nil
 		}
 		return nil, fmt.Errorf("%w: unknown LIST target %q", ErrSyntax, fields[1])
@@ -279,9 +312,42 @@ func Parse(line string) (*Command, error) {
 		return nil, ErrSyntax
 	}
 	kind := strings.ToUpper(fields[1])
+
+	// Peel a trailing "TENANT <id>" clause off ADD LINK and ADD/DEL
+	// ROUTE before the kind-specific arity checks.
+	var tenant uint32
+	if kind == "LINK" || kind == "ROUTE" {
+		if n := len(fields); n >= 2 && strings.EqualFold(fields[n-2], "TENANT") {
+			id, err := parseTenantID(fields[n-1])
+			if err != nil {
+				return nil, err
+			}
+			tenant = id
+			fields = fields[:n-2]
+		}
+	}
+
 	switch kind {
+	case "TENANT":
+		// ADD TENANT <id> KEY <hex>
+		if verb != "ADD" || len(fields) != 5 || !strings.EqualFold(fields[3], "KEY") {
+			return nil, fmt.Errorf("%w: TENANT needs ADD TENANT <id> KEY <hex>", ErrSyntax)
+		}
+		id, err := parseTenantID(fields[2])
+		if err != nil {
+			return nil, err
+		}
+		if id == 0 {
+			return nil, fmt.Errorf("%w: tenant 0 is the plaintext default and cannot carry a key", ErrSyntax)
+		}
+		key, err := seal.ParseKey(fields[4])
+		if err != nil {
+			// seal.ParseKey's errors never echo the key material.
+			return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+		}
+		return &Command{Verb: verb, Kind: kind, Tenant: id, Key: key}, nil
 	case "LINK":
-		cmd := &Command{Verb: verb, Kind: kind}
+		cmd := &Command{Verb: verb, Kind: kind, Tenant: tenant}
 		switch {
 		case verb == "DEL" && len(fields) == 3:
 			cmd.LinkID = fields[2]
@@ -319,7 +385,8 @@ func Parse(line string) (*Command, error) {
 		r := core.Route{
 			DstMAC: dstMAC, DstQual: dstQ,
 			SrcMAC: srcMAC, SrcQual: srcQ,
-			Dest: core.Destination{Type: dt, ID: fields[5]},
+			Dest:   core.Destination{Type: dt, ID: fields[5]},
+			Tenant: tenant,
 		}
 		if len(fields) == 9 {
 			if !strings.EqualFold(fields[6], "BACKUP") {
@@ -332,9 +399,18 @@ func Parse(line string) (*Command, error) {
 			r.Backup = core.Destination{Type: bt, ID: fields[8]}
 			r.HasBackup = true
 		}
-		return &Command{Verb: verb, Kind: kind, Route: r}, nil
+		return &Command{Verb: verb, Kind: kind, Route: r, Tenant: tenant}, nil
 	}
 	return nil, fmt.Errorf("%w: unknown object %q", ErrSyntax, fields[1])
+}
+
+// parseTenantID parses a decimal tenant ID.
+func parseTenantID(s string) (uint32, error) {
+	id, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad tenant id %q", ErrSyntax, s)
+	}
+	return uint32(id), nil
 }
 
 // FormatRoute renders a route in the language's ROUTE argument form
@@ -348,6 +424,9 @@ func FormatRoute(r core.Route) string {
 	if r.HasBackup {
 		s += fmt.Sprintf(" BACKUP %s %s", strings.ToLower(r.Backup.Type.String()), r.Backup.ID)
 	}
+	if r.Tenant != 0 {
+		s += fmt.Sprintf(" TENANT %d", r.Tenant)
+	}
 	return s
 }
 
@@ -356,7 +435,23 @@ func FormatRoute(r core.Route) string {
 func Apply(t Target, cmd *Command) ([]string, error) {
 	switch cmd.Verb + " " + cmd.Kind {
 	case "ADD LINK":
+		if cmd.Tenant != 0 {
+			if tt, ok := t.(TenantTarget); ok {
+				return nil, tt.AddLinkTenant(cmd.LinkID, cmd.Remote, cmd.Proto, cmd.Tenant)
+			}
+			return nil, fmt.Errorf("control: target does not support tenants")
+		}
 		return nil, t.AddLink(cmd.LinkID, cmd.Remote, cmd.Proto)
+	case "ADD TENANT":
+		if tt, ok := t.(TenantTarget); ok {
+			return nil, tt.AddTenant(cmd.Tenant, cmd.Key)
+		}
+		return nil, fmt.Errorf("control: target does not support tenants")
+	case "LIST TENANTS":
+		if tt, ok := t.(TenantTarget); ok {
+			return tt.TenantSummary(), nil
+		}
+		return nil, fmt.Errorf("control: target does not support tenants")
 	case "DEL LINK":
 		return nil, t.DelLink(cmd.LinkID)
 	case "ADD ROUTE":
@@ -462,6 +557,13 @@ type DaemonConfig struct {
 	// lines get "ERR control: line too long" and the connection is
 	// closed (a protocol violation, not a retryable error). Default 4096.
 	MaxLine int
+
+	// TLS, when non-nil, wraps the console in mutual TLS (see
+	// internal/seal/pki.ServerConfig): every client must present a
+	// certificate from the configured CA, and plaintext clients are
+	// refused at the handshake — no control-language byte is ever parsed
+	// off an unauthenticated connection.
+	TLS *tls.Config
 }
 
 func (c *DaemonConfig) normalize() {
@@ -503,6 +605,9 @@ func NewDaemonWithConfig(target Target, addr string, cfg DaemonConfig) (*Daemon,
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.TLS != nil {
+		ln = tls.NewListener(ln, cfg.TLS)
 	}
 	d := &Daemon{target: target, ln: ln, cfg: cfg, conns: make(map[net.Conn]struct{})}
 	d.wg.Add(1)

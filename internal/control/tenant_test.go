@@ -1,0 +1,231 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"vnetp/internal/seal"
+	"vnetp/internal/seal/pki"
+)
+
+// fakeTenantTarget layers TenantTarget over fakeTarget.
+type fakeTenantTarget struct {
+	*fakeTarget
+	keys        map[uint32]string // id -> fingerprint
+	tenantLinks map[string]uint32
+}
+
+func newTenantFake() *fakeTenantTarget {
+	return &fakeTenantTarget{
+		fakeTarget:  newFake(),
+		keys:        map[uint32]string{},
+		tenantLinks: map[string]uint32{},
+	}
+}
+
+func (f *fakeTenantTarget) AddTenant(id uint32, key []byte) error {
+	if id == 0 {
+		return errors.New("tenant 0 reserved")
+	}
+	f.keys[id] = seal.Fingerprint(key)
+	return nil
+}
+
+func (f *fakeTenantTarget) TenantSummary() []string {
+	var out []string
+	for id, fp := range f.keys {
+		out = append(out, fmt.Sprintf("tenant %d key %s", id, fp))
+	}
+	return out
+}
+
+func (f *fakeTenantTarget) AddLinkTenant(id, remote, proto string, tenant uint32) error {
+	if _, ok := f.keys[tenant]; !ok {
+		return errors.New("unknown tenant")
+	}
+	f.tenantLinks[id] = tenant
+	return f.AddLink(id, remote, proto)
+}
+
+func testKeyHex() string { return strings.Repeat("ab", seal.KeyLen) }
+
+func TestParseAddTenant(t *testing.T) {
+	cmd, err := Parse("ADD TENANT 7 KEY " + testKeyHex())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if cmd.Verb != "ADD" || cmd.Kind != "TENANT" || cmd.Tenant != 7 || len(cmd.Key) != seal.KeyLen {
+		t.Fatalf("parsed %+v", cmd)
+	}
+
+	for _, bad := range []string{
+		"ADD TENANT KEY " + testKeyHex(),   // missing id
+		"ADD TENANT 0 KEY " + testKeyHex(), // tenant 0 reserved
+		"ADD TENANT 7 KEY",                 // missing key
+		"ADD TENANT 7 KEY deadbeef",        // short key
+		"ADD TENANT x KEY " + testKeyHex(), // bad id
+		"DEL TENANT 7",                     // no DEL form
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+
+	// Key-hygiene: a bad key's parse error must not echo the material.
+	badKey := strings.Repeat("cd", seal.KeyLen-1)
+	_, err = Parse("ADD TENANT 7 KEY " + badKey)
+	if err == nil {
+		t.Fatal("short key accepted")
+	}
+	if strings.Contains(err.Error(), badKey) {
+		t.Fatalf("parse error echoes key material: %v", err)
+	}
+}
+
+func TestParseTenantClauses(t *testing.T) {
+	cmd, err := Parse("ADD LINK l1 REMOTE host:1 UDP TENANT 3")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if cmd.Kind != "LINK" || cmd.Tenant != 3 || cmd.LinkID != "l1" || cmd.Proto != "udp" {
+		t.Fatalf("parsed %+v", cmd)
+	}
+	// Without explicit proto the clause still peels.
+	cmd, err = Parse("ADD LINK l2 REMOTE host:1 TENANT 4")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if cmd.Tenant != 4 || cmd.Proto != "udp" {
+		t.Fatalf("parsed %+v", cmd)
+	}
+
+	cmd, err = Parse("ADD ROUTE any any link l1 TENANT 3")
+	if err != nil {
+		t.Fatalf("Parse route: %v", err)
+	}
+	if cmd.Route.Tenant != 3 || cmd.Tenant != 3 {
+		t.Fatalf("route tenant not set: %+v", cmd)
+	}
+	cmd, err = Parse("DEL ROUTE any any link l1 BACKUP link l2 TENANT 3")
+	if err != nil {
+		t.Fatalf("Parse route backup tenant: %v", err)
+	}
+	if cmd.Route.Tenant != 3 || !cmd.Route.HasBackup {
+		t.Fatalf("parsed %+v", cmd.Route)
+	}
+	// No clause: tenant 0.
+	cmd, _ = Parse("ADD ROUTE any any link l1")
+	if cmd.Route.Tenant != 0 {
+		t.Fatalf("implicit tenant: %+v", cmd.Route)
+	}
+}
+
+func TestFormatRouteTenantRoundTrip(t *testing.T) {
+	cmd, err := Parse("ADD ROUTE 02:00:00:00:00:01 any link l1 BACKUP link l2 TENANT 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := "ADD ROUTE " + FormatRoute(cmd.Route)
+	again, err := Parse(line)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", line, err)
+	}
+	if again.Route != cmd.Route {
+		t.Fatalf("round trip: %+v != %+v", again.Route, cmd.Route)
+	}
+}
+
+func TestApplyTenantVerbs(t *testing.T) {
+	f := newTenantFake()
+	if _, err := Apply(f, mustParse(t, "ADD TENANT 7 KEY "+testKeyHex())); err != nil {
+		t.Fatalf("ADD TENANT: %v", err)
+	}
+	out, err := Apply(f, mustParse(t, "LIST TENANTS"))
+	if err != nil || len(out) != 1 {
+		t.Fatalf("LIST TENANTS: %v %v", out, err)
+	}
+	// Fingerprints only — never 64 hex chars of key.
+	if strings.Contains(out[0], testKeyHex()) {
+		t.Fatalf("LIST TENANTS leaked key material: %q", out[0])
+	}
+	if _, err := Apply(f, mustParse(t, "ADD LINK l1 REMOTE h:1 UDP TENANT 7")); err != nil {
+		t.Fatalf("ADD LINK TENANT: %v", err)
+	}
+	if f.tenantLinks["l1"] != 7 {
+		t.Fatalf("link not tenant-bound: %v", f.tenantLinks)
+	}
+	// Unknown tenant fails closed.
+	if _, err := Apply(f, mustParse(t, "ADD LINK l2 REMOTE h:1 UDP TENANT 8")); err == nil {
+		t.Fatal("link to unknown tenant accepted")
+	}
+	// A plain target (no TenantTarget) refuses tenant verbs.
+	plain := newFake()
+	if _, err := Apply(plain, mustParse(t, "ADD TENANT 7 KEY "+testKeyHex())); err == nil {
+		t.Fatal("plain target accepted ADD TENANT")
+	}
+	if _, err := Apply(plain, mustParse(t, "ADD LINK l1 REMOTE h:1 UDP TENANT 7")); err == nil {
+		t.Fatal("plain target accepted tenant-bound link")
+	}
+	// Tenant 0 ADD LINK still goes through the plain path.
+	if _, err := Apply(plain, mustParse(t, "ADD LINK l1 REMOTE h:1 UDP")); err != nil {
+		t.Fatalf("plain ADD LINK: %v", err)
+	}
+}
+
+func mustParse(t *testing.T, line string) *Command {
+	t.Helper()
+	cmd, err := Parse(line)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", line, err)
+	}
+	return cmd
+}
+
+func TestDaemonMutualTLS(t *testing.T) {
+	ca, err := pki.NewCA("vnetp-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvCert, srvKey, _ := ca.IssueHost("node", []string{"127.0.0.1"})
+	cliCert, cliKey, _ := ca.IssueHost("operator", nil)
+	srvTLS, err := pki.ServerConfig(srvCert, srvKey, ca.CertPEM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliTLS, err := pki.ClientConfig(cliCert, cliKey, ca.CertPEM, "node")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := newTenantFake()
+	d, err := NewDaemonWithConfig(f, "127.0.0.1:0", DaemonConfig{TLS: srvTLS})
+	if err != nil {
+		t.Fatalf("daemon: %v", err)
+	}
+	defer d.Close()
+
+	// An mTLS client works end to end, tenant verbs included.
+	cli := NewClient(d.Addr(), ClientConfig{TLS: cliTLS, Retries: -1})
+	if _, err := cli.Do("ADD TENANT 5 KEY " + testKeyHex()); err != nil {
+		t.Fatalf("mTLS ADD TENANT: %v", err)
+	}
+	out, err := cli.Do("LIST TENANTS")
+	if err != nil || len(out) != 1 {
+		t.Fatalf("mTLS LIST TENANTS: %v %v", out, err)
+	}
+
+	// A plaintext client is refused: no OK/ERR ever arrives.
+	plain := NewClient(d.Addr(), ClientConfig{
+		Retries: -1, ConnectTimeout: time.Second, RequestTimeout: time.Second,
+	})
+	if _, err := plain.Do("LIST TENANTS"); err == nil {
+		t.Fatal("plaintext client completed against mTLS daemon")
+	}
+	// And the daemon never executed anything for it.
+	if len(f.keys) != 1 {
+		t.Fatalf("daemon state mutated by refused client: %v", f.keys)
+	}
+}

@@ -86,6 +86,12 @@ type Route struct {
 	// health monitor flips traffic onto when a link goes Down.
 	Backup    Destination
 	HasBackup bool
+
+	// Tenant scopes the route to one tenant's table (0 = the default
+	// tenant). The field rides on Route so the control plane can round-
+	// trip tenant-scoped routes through LIST/DEL; lookup itself happens
+	// in the per-tenant Table the route was installed into.
+	Tenant uint32
 }
 
 // matches reports whether the route matches the packet addresses, and the
@@ -136,6 +142,9 @@ func (r *Route) String() string {
 	s := fmt.Sprintf("src=%s dst=%s -> %s", q(r.SrcMAC, r.SrcQual), q(r.DstMAC, r.DstQual), r.Dest)
 	if r.HasBackup {
 		s += fmt.Sprintf(" (backup %s)", r.Backup)
+	}
+	if r.Tenant != 0 {
+		s += fmt.Sprintf(" [tenant %d]", r.Tenant)
 	}
 	return s
 }

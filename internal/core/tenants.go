@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultTenant is the implicit tenant every pre-tenancy configuration
+// lives in: tenant 0's table is the node's classic flat routing table,
+// and frames on unsealed links route through it exactly as before
+// tenancy existed.
+const DefaultTenant uint32 = 0
+
+// Tenants is the tenant-scoping layer over the routing table: one
+// independent Table (rules, sharded cache, failover marks) per tenant
+// ID, so MAC namespaces never collide across tenants — two tenants can
+// both own 02:00:00:00:00:01 and route it to different places. The
+// default tenant's table always exists.
+type Tenants struct {
+	mu     sync.RWMutex
+	tables map[uint32]*Table
+}
+
+// NewTenants returns a tenant set holding only the default tenant.
+func NewTenants() *Tenants {
+	return &Tenants{tables: map[uint32]*Table{DefaultTenant: NewTable()}}
+}
+
+// Default returns the default tenant's table (never nil).
+func (ts *Tenants) Default() *Table { return ts.tables[DefaultTenant] }
+
+// Table returns tenant id's table, or nil when the tenant has none —
+// lookups for unknown tenants fail closed at the caller.
+func (ts *Tenants) Table(id uint32) *Table {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	return ts.tables[id]
+}
+
+// Ensure returns tenant id's table, creating an empty one on first use.
+func (ts *Tenants) Ensure(id uint32) *Table {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t := ts.tables[id]
+	if t == nil {
+		t = NewTable()
+		ts.tables[id] = t
+	}
+	return t
+}
+
+// IDs lists the tenant IDs that have tables, sorted ascending (the
+// default tenant is always first).
+func (ts *Tenants) IDs() []uint32 {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	ids := make([]uint32, 0, len(ts.tables))
+	for id := range ts.tables {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Each calls fn for every tenant table (ascending tenant order). Used
+// for whole-node operations — link failover, teardown sweeps — that
+// must hit every namespace.
+func (ts *Tenants) Each(fn func(id uint32, t *Table)) {
+	for _, id := range ts.IDs() {
+		if t := ts.Table(id); t != nil {
+			fn(id, t)
+		}
+	}
+}

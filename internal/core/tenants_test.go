@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"vnetp/internal/ethernet"
+)
+
+func TestTenantsIsolatedNamespaces(t *testing.T) {
+	ts := NewTenants()
+	mac := ethernet.LocalMAC(1)
+	// Two tenants own the same MAC, routed to different links.
+	ts.Ensure(1).AddRoute(Route{DstMAC: mac, DstQual: QualExact, SrcQual: QualAny,
+		Dest: Destination{Type: DestLink, ID: "link-a"}, Tenant: 1})
+	ts.Ensure(2).AddRoute(Route{DstMAC: mac, DstQual: QualExact, SrcQual: QualAny,
+		Dest: Destination{Type: DestLink, ID: "link-b"}, Tenant: 2})
+
+	d1, _, err := ts.Table(1).Lookup(ethernet.LocalMAC(9), mac)
+	if err != nil || d1[0].ID != "link-a" {
+		t.Fatalf("tenant 1 lookup: %v %v", d1, err)
+	}
+	d2, _, err := ts.Table(2).Lookup(ethernet.LocalMAC(9), mac)
+	if err != nil || d2[0].ID != "link-b" {
+		t.Fatalf("tenant 2 lookup: %v %v", d2, err)
+	}
+	// The default tenant has no such route: fail closed.
+	if _, _, err := ts.Default().Lookup(ethernet.LocalMAC(9), mac); err != ErrNoRoute {
+		t.Fatalf("default tenant leaked a tenant route: %v", err)
+	}
+	// Unknown tenant: no table at all.
+	if ts.Table(99) != nil {
+		t.Fatal("unknown tenant returned a table")
+	}
+}
+
+func TestTenantsDefaultAndIDs(t *testing.T) {
+	ts := NewTenants()
+	if ts.Default() == nil || ts.Table(DefaultTenant) != ts.Default() {
+		t.Fatal("default tenant table missing")
+	}
+	ts.Ensure(5)
+	ts.Ensure(3)
+	if same := ts.Ensure(5); same != ts.Table(5) {
+		t.Fatal("Ensure not idempotent")
+	}
+	ids := ts.IDs()
+	if len(ids) != 3 || ids[0] != 0 || ids[1] != 3 || ids[2] != 5 {
+		t.Fatalf("IDs: %v", ids)
+	}
+	var visited []uint32
+	ts.Each(func(id uint32, tbl *Table) {
+		if tbl == nil {
+			t.Fatalf("nil table for tenant %d", id)
+		}
+		visited = append(visited, id)
+	})
+	if len(visited) != 3 {
+		t.Fatalf("Each visited %v", visited)
+	}
+}
+
+func TestRouteTenantString(t *testing.T) {
+	r := Route{DstQual: QualAny, SrcQual: QualAny,
+		Dest: Destination{Type: DestLink, ID: "l"}, Tenant: 7}
+	if s := r.String(); s == "" || !contains(s, "[tenant 7]") {
+		t.Fatalf("String: %q", s)
+	}
+	r.Tenant = 0
+	if contains(r.String(), "tenant") {
+		t.Fatalf("default tenant leaked into String: %q", r.String())
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

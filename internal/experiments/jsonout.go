@@ -70,6 +70,7 @@ func CollectMicrobench() []Record {
 	}
 	recs = append(recs, CollectTraceBench()...)
 	recs = append(recs, CollectAdaptiveBench()...)
+	recs = append(recs, CollectSealBench()...)
 	return recs
 }
 

@@ -41,6 +41,11 @@ type Config struct {
 	// through the scheduler.
 	Delay  time.Duration
 	Jitter time.Duration
+	// CorruptProb is the probability a []byte packet is delivered with
+	// its last byte flipped — an on-path tamperer / bit-rot model. The
+	// packet is corrupted in a private copy; non-[]byte packets pass
+	// untouched. Sealed links must reject every corrupted datagram.
+	CorruptProb float64
 }
 
 // heldPacket is a packet parked by the reordering fault.
@@ -64,6 +69,7 @@ type Conduit struct {
 	Duplicated atomic.Uint64 // extra copies emitted
 	Reordered  atomic.Uint64 // packets held for the adjacent swap
 	Delayed    atomic.Uint64 // deliveries deferred through the scheduler
+	Corrupted  atomic.Uint64 // packets delivered with a flipped byte
 }
 
 // New returns a Conduit running on real time (time.AfterFunc).
@@ -121,6 +127,14 @@ func (c *Conduit) Send(pkt any, deliver func(any)) {
 		c.mu.Unlock()
 		c.Dropped.Add(1)
 		return
+	}
+	if c.roll(c.cfg.CorruptProb) {
+		if b, ok := pkt.([]byte); ok && len(b) > 0 {
+			tampered := append([]byte(nil), b...)
+			tampered[len(tampered)-1] ^= 0xff
+			pkt = tampered
+			c.Corrupted.Add(1)
+		}
 	}
 	dup := c.roll(c.cfg.DupProb)
 	var release *heldPacket

@@ -155,3 +155,26 @@ func TestSetConfigSwapsFaults(t *testing.T) {
 		t.Fatalf("got %v", got)
 	}
 }
+
+func TestCorruptFlipsLastByte(t *testing.T) {
+	c := New(Config{CorruptProb: 1})
+	var got [][]byte
+	orig := []byte{1, 2, 3}
+	c.Send(orig, func(p any) { got = append(got, p.([]byte)) })
+	if len(got) != 1 || got[0][2] != 3^0xff {
+		t.Fatalf("got %v", got)
+	}
+	// The caller's buffer is untouched: corruption happens in a copy.
+	if orig[2] != 3 {
+		t.Fatalf("original mutated: %v", orig)
+	}
+	if c.Corrupted.Load() != 1 {
+		t.Fatalf("corrupted = %d", c.Corrupted.Load())
+	}
+	// Non-[]byte packets pass through unmodified.
+	var strs []string
+	c.Send("s", func(p any) { strs = append(strs, p.(string)) })
+	if len(strs) != 1 || strs[0] != "s" || c.Corrupted.Load() != 1 {
+		t.Fatalf("string packet: %v corrupted=%d", strs, c.Corrupted.Load())
+	}
+}

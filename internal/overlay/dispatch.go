@@ -13,11 +13,13 @@ package overlay
 import (
 	"log/slog"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"vnetp/internal/bridge"
 	"vnetp/internal/logging"
+	"vnetp/internal/seal"
 	"vnetp/internal/supervise"
 	"vnetp/internal/telemetry"
 	"vnetp/internal/trace"
@@ -217,11 +219,13 @@ func (n *Node) dispatchLoop(inst *supervise.Instance, s *rxShard) {
 }
 
 // processData runs the data path for one parsed datagram: flight
-// capture, shard-local reassembly, then routing of any completed frame.
-// Shared by the UDP dispatcher workers and the TCP connection readers
-// (which parse on their own goroutines and call in directly). raw is
-// the full encap datagram as it arrived on the wire, captured by the
-// shard's flight recorder when one is armed.
+// capture, AEAD open for sealed datagrams, shard-local reassembly, then
+// routing of any completed frame in its tenant's namespace. Shared by
+// the UDP dispatcher workers and the TCP connection readers (which
+// parse on their own goroutines and call in directly). raw is the full
+// encap datagram as it arrived on the wire, captured by the shard's
+// flight recorder when one is armed (before decryption: the recorder
+// sees what the wire saw).
 func (n *Node) processData(s *rxShard, sender string, h *bridge.EncapHeader, payload, raw []byte, at time.Time) {
 	s.Datagrams.Add(1)
 	var tid uint64
@@ -230,6 +234,26 @@ func (n *Node) processData(s *rxShard, sender string, h *bridge.EncapHeader, pay
 		n.tracer.RecordRemote(tid, h.Trace.Origin, h.Trace.Flags, trace.StageRxDispatch)
 	}
 	s.flight.Record(sender, tid, raw)
+	var tenant uint32
+	if h.HasSeal {
+		// The fragment's wire header (everything before the ciphertext) is
+		// the AEAD's associated data — a tampered flag, ID, or offset fails
+		// authentication even though only the payload is encrypted. Every
+		// failure is counted by typed reason and the datagram vanishes:
+		// nothing unauthenticated reaches reassembly.
+		aad := raw[:len(raw)-len(payload)]
+		pt, err := n.keyring.Open(h.Seal.Tenant, h.Seal.Nonce, aad, payload)
+		if err != nil {
+			n.metrics.sealRejects.With(seal.RejectReasonOf(err)).Add(1)
+			return
+		}
+		n.metrics.sealOpened.Add(1)
+		tenant = h.Seal.Tenant
+		payload = pt
+		// Scope the reassembly stream by tenant: a plaintext and a sealed
+		// stream from one remote address must never interleave fragments.
+		sender = sender + "|t" + strconv.FormatUint(uint64(tenant), 10)
+	}
 	s.mu.Lock()
 	frame, err := s.reasm.AddParsed(sender, h, payload)
 	s.mu.Unlock()
@@ -249,7 +273,7 @@ func (n *Node) processData(s *rxShard, sender string, h *bridge.EncapHeader, pay
 	}
 	s.Frames.Add(1)
 	n.EncapRecv.Add(1)
-	n.route(frame, nil)
+	n.routeTenantAt(frame, nil, time.Time{}, tenant)
 	// The Fig. 7 RX stage budget on the real path: the completing
 	// datagram's socket read to the frame handed off past routing.
 	if !at.IsZero() {

@@ -333,11 +333,11 @@ func (n *Node) noteProbeLocked(lk *link, ok bool) {
 	case h.state != LinkDown && h.consecMissed >= cfg.FailThreshold:
 		h.state = LinkDown
 		h.failovers.Inc()
-		n.table.FailDest(dest)
+		n.tenants.Each(func(_ uint32, t *core.Table) { t.FailDest(dest) })
 	case h.state == LinkDown && h.consecOK >= cfg.RecoverThreshold:
 		h.state = LinkUp
 		h.failbacks.Inc()
-		n.table.RestoreDest(dest)
+		n.tenants.Each(func(_ uint32, t *core.Table) { t.RestoreDest(dest) })
 	case h.state == LinkUp && h.windowLen == len(h.window) && h.lossRate() >= cfg.DegradeLossPct:
 		h.state = LinkDegraded
 	case h.state == LinkDegraded && h.lossRate() < cfg.DegradeLossPct/2:

@@ -21,6 +21,7 @@ import (
 	"vnetp/internal/core"
 	"vnetp/internal/ethernet"
 	"vnetp/internal/faultnet"
+	"vnetp/internal/seal"
 	"vnetp/internal/supervise"
 	"vnetp/internal/telemetry"
 	"vnetp/internal/trace"
@@ -38,11 +39,12 @@ const epQueueDepth = 256
 // virtio NIC would hand to VNET/P, a test or application hands to Send,
 // and receives via Recv.
 type Endpoint struct {
-	node *Node
-	name string
-	mac  ethernet.MAC
-	mtu  int
-	rx   chan *ethernet.Frame
+	node   *Node
+	name   string
+	mac    ethernet.MAC
+	mtu    int
+	tenant uint32 // the VNET this endpoint lives in (0 = default)
+	rx     chan *ethernet.Frame
 
 	// Drops counts frames lost to a full receive ring
 	// (vnetp_endpoint_ring_drops_total in /metrics).
@@ -57,6 +59,9 @@ func (ep *Endpoint) MAC() ethernet.MAC { return ep.mac }
 
 // MTU returns the endpoint's MTU.
 func (ep *Endpoint) MTU() int { return ep.mtu }
+
+// Tenant reports which tenant the endpoint is bound to (0 = default).
+func (ep *Endpoint) Tenant() uint32 { return ep.tenant }
 
 // Send routes a frame into the overlay. The frame's source should be the
 // endpoint's MAC (the overlay routes on whatever addresses the frame
@@ -152,6 +157,13 @@ type link struct {
 	fault  *faultnet.Conduit // optional fault injection on the send path
 	health *linkHealth       // liveness state, nil until monitored
 
+	// tenant binds the link to one tenant's VNET; sealer is the tenant's
+	// per-link AEAD encryptor (nil on tenant-0 plaintext links — the
+	// interface is only assigned when a concrete sealer exists, so a nil
+	// check is always valid). Both are immutable after AddLink.
+	tenant uint32
+	sealer bridge.LinkSealer
+
 	// Batched transmit state (NodeConfig.TxBatch > 1): a bounded ring of
 	// outbound frames drained by this link's sender goroutine (txLoop).
 	// txq is nil on nodes running the synchronous path. txw is the
@@ -209,11 +221,17 @@ type link struct {
 // the control daemon and the VNET/U-compatible language configure it.
 type Node struct {
 	name  string
-	cfg   NodeConfig // normalized datapath configuration
-	table *core.Table
+	cfg   NodeConfig  // normalized datapath configuration
+	table *core.Table // alias of tenants.Default(): the tenant-0 table
 	flows *core.FlowStats
 	conn  *net.UDPConn
 	tcpLn net.Listener // inbound TCP encapsulation (same port as UDP)
+
+	// tenants is the per-tenant routing-table set (tenant 0 = table);
+	// keyring holds the node's tenant AEAD keys and mints per-link
+	// sealers. Both always exist.
+	tenants *core.Tenants
+	keyring *seal.Keyring
 
 	// encap pools the per-frame encapsulation buffers for the whole TX
 	// path (both synchronous and batched sends).
@@ -287,10 +305,13 @@ func NewNodeWithConfig(name, bindAddr string, cfg NodeConfig) (*Node, error) {
 	// would surface as overlay loss. Best effort (the OS may clamp).
 	conn.SetReadBuffer(4 << 20)
 	conn.SetWriteBuffer(4 << 20)
+	tenants := core.NewTenants()
 	n := &Node{
 		name:       name,
 		cfg:        cfg,
-		table:      core.NewTable(),
+		tenants:    tenants,
+		table:      tenants.Default(),
+		keyring:    seal.NewKeyring(originID(name)),
 		flows:      core.NewFlowStats(),
 		conn:       conn,
 		links:      make(map[string]*link),
@@ -415,8 +436,17 @@ func (n *Node) Close() error {
 }
 
 // AttachEndpoint registers an in-process guest NIC under an interface
-// name and adds the unicast route delivering its MAC locally.
+// name and adds the unicast route delivering its MAC locally, in the
+// default tenant.
 func (n *Node) AttachEndpoint(ifName string, mac ethernet.MAC, mtu int) (*Endpoint, error) {
+	return n.AttachEndpointTenant(ifName, mac, mtu, core.DefaultTenant)
+}
+
+// AttachEndpointTenant is AttachEndpoint bound to a tenant: the
+// endpoint's frames route only through the tenant's private table, and
+// only that tenant's frames can be delivered to it. Two tenants may
+// attach endpoints with colliding MACs on the same node.
+func (n *Node) AttachEndpointTenant(ifName string, mac ethernet.MAC, mtu int, tenant uint32) (*Endpoint, error) {
 	if mtu <= 0 {
 		mtu = ethernet.StandardMTU
 	}
@@ -429,36 +459,59 @@ func (n *Node) AttachEndpoint(ifName string, mac ethernet.MAC, mtu int) (*Endpoi
 		return nil, fmt.Errorf("overlay: interface %q exists", ifName)
 	}
 	ep := &Endpoint{
-		node: n, name: ifName, mac: mac, mtu: mtu,
+		node: n, name: ifName, mac: mac, mtu: mtu, tenant: tenant,
 		rx:    make(chan *ethernet.Frame, epQueueDepth),
 		Drops: n.metrics.epDrops.With(ifName),
 	}
 	n.eps[ifName] = ep
-	n.table.AddRoute(core.Route{
+	n.tenants.Ensure(tenant).AddRoute(core.Route{
 		DstMAC: mac, DstQual: core.QualExact, SrcQual: core.QualAny,
-		Dest: core.Destination{Type: core.DestInterface, ID: ifName},
+		Dest:   core.Destination{Type: core.DestInterface, ID: ifName},
+		Tenant: tenant,
 	})
 	return ep, nil
 }
 
 // DetachEndpoint removes an endpoint (e.g. the VM migrated away) along
-// with routes pointing at it.
+// with routes pointing at it, in every tenant's table.
 func (n *Node) DetachEndpoint(ifName string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.eps, ifName)
 	n.metrics.epDrops.Delete(ifName)
-	n.table.RemoveByDest(core.Destination{Type: core.DestInterface, ID: ifName})
+	dest := core.Destination{Type: core.DestInterface, ID: ifName}
+	n.tenants.Each(func(_ uint32, t *core.Table) { t.RemoveByDest(dest) })
 }
 
 // --- control.Target implementation ---
 
 // AddLink installs an overlay link to a remote node: "udp" (the fast
 // path) or "tcp" (length-prefixed encapsulation on a persistent
-// connection, for lossy or middlebox-ridden paths).
+// connection, for lossy or middlebox-ridden paths). The link carries
+// tenant-0 (plaintext) traffic.
 func (n *Node) AddLink(id, remote string, proto string) error {
+	return n.addLink(id, remote, proto, core.DefaultTenant)
+}
+
+// AddLinkTenant installs a link bound to a tenant: every datagram it
+// carries is sealed (AEAD-encrypted and authenticated) under the
+// tenant's key, and only that tenant's frames route onto it. Fails
+// closed if the tenant's key has not been installed (AddTenant).
+func (n *Node) AddLinkTenant(id, remote, proto string, tenant uint32) error {
+	return n.addLink(id, remote, proto, tenant)
+}
+
+func (n *Node) addLink(id, remote, proto string, tenant uint32) error {
 	if proto == "" {
 		proto = "udp"
+	}
+	var sealer bridge.LinkSealer
+	if tenant != core.DefaultTenant {
+		sl, err := n.keyring.Sealer(tenant)
+		if err != nil {
+			return fmt.Errorf("overlay: link %q: %w", id, err)
+		}
+		sealer = sl
 	}
 	var addr *net.UDPAddr
 	switch proto {
@@ -472,7 +525,10 @@ func (n *Node) AddLink(id, remote string, proto string) error {
 	default:
 		return fmt.Errorf("overlay: unknown link protocol %q", proto)
 	}
-	lk := &link{id: id, proto: proto, remote: remote, addr: addr}
+	lk := &link{id: id, proto: proto, remote: remote, addr: addr, tenant: tenant}
+	if sealer != nil {
+		lk.sealer = sealer
+	}
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -554,8 +610,10 @@ func (n *Node) DelLink(id string) error {
 	tcp := lk.tcp
 	lk.tcp = nil
 	dest := core.Destination{Type: core.DestLink, ID: id}
-	n.table.RemoveByDest(dest)
-	n.table.RestoreDest(dest) // drop any lingering failed-over mark
+	n.tenants.Each(func(_ uint32, t *core.Table) {
+		t.RemoveByDest(dest)
+		t.RestoreDest(dest) // drop any lingering failed-over mark
+	})
 	n.mu.Unlock()
 	if txw != nil {
 		txw.Stop()
@@ -596,22 +654,74 @@ func (n *Node) ActiveTCP() int {
 	return c
 }
 
-// AddRoute installs a routing rule.
-func (n *Node) AddRoute(r core.Route) error {
-	n.table.AddRoute(r)
+// AddTenant installs (or rotates) a tenant's AEAD master key and brings
+// the tenant's private routing table into existence. Only the key's
+// fingerprint ever reaches the log.
+func (n *Node) AddTenant(id uint32, key []byte) error {
+	if err := n.keyring.AddTenant(id, key); err != nil {
+		return err
+	}
+	n.tenants.Ensure(id)
+	n.log.Info("tenant key installed",
+		"node", n.name, "tenant", id, "fingerprint", seal.Fingerprint(key))
 	return nil
 }
 
-// DelRoute removes a routing rule.
+// TenantSummary renders the configured tenants for LIST TENANTS: ID,
+// key fingerprint (never the key), remote origins heard, and the
+// tenant's route count.
+func (n *Node) TenantSummary() []string {
+	out := []string{}
+	for _, ti := range n.keyring.Tenants() {
+		routes := 0
+		if tbl := n.tenants.Table(ti.ID); tbl != nil {
+			routes = len(tbl.Routes())
+		}
+		out = append(out, fmt.Sprintf("TENANT %d KEY %s ORIGINS %d ROUTES %d",
+			ti.ID, ti.Fingerprint, ti.Origins, routes))
+	}
+	return out
+}
+
+// routeTable resolves a route's tenant table: tenant 0 always exists,
+// any other tenant must have been created by AddTenant or an endpoint
+// attach — routing state for an unknown tenant fails closed.
+func (n *Node) routeTable(tenant uint32) (*core.Table, error) {
+	tbl := n.tenants.Table(tenant)
+	if tbl == nil {
+		return nil, fmt.Errorf("overlay: unknown tenant %d", tenant)
+	}
+	return tbl, nil
+}
+
+// AddRoute installs a routing rule in its tenant's table.
+func (n *Node) AddRoute(r core.Route) error {
+	tbl, err := n.routeTable(r.Tenant)
+	if err != nil {
+		return err
+	}
+	tbl.AddRoute(r)
+	return nil
+}
+
+// DelRoute removes a routing rule from its tenant's table.
 func (n *Node) DelRoute(r core.Route) error {
-	if !n.table.RemoveRoute(r) {
+	tbl, err := n.routeTable(r.Tenant)
+	if err != nil {
+		return err
+	}
+	if !tbl.RemoveRoute(r) {
 		return errors.New("overlay: no such route")
 	}
 	return nil
 }
 
-// Routes lists the routing table.
-func (n *Node) Routes() []core.Route { return n.table.Routes() }
+// Routes lists every tenant's routing rules (tenant 0 first).
+func (n *Node) Routes() []core.Route {
+	var out []core.Route
+	n.tenants.Each(func(_ uint32, t *core.Table) { out = append(out, t.Routes()...) })
+	return out
+}
 
 // Links lists link IDs.
 func (n *Node) Links() []string {
@@ -679,6 +789,15 @@ func (n *Node) Stats() []string {
 		statLine("encap_pool_hits", poolHits),
 		statLine("encap_pool_misses", poolMisses),
 	)
+	// Sealed-datapath counters (append-only, after the pool lines).
+	sealRejects := n.metrics.sealRejects.Sum()
+	out = append(out,
+		statLine("sealed_sent", n.metrics.sealSealed.Load()),
+		statLine("sealed_opened", n.metrics.sealOpened.Load()),
+		statLine("seal_rejects", sealRejects),
+		statLine("cross_tenant_drops", n.metrics.crossTenantDrops.Load()),
+		statLine("tenants", uint64(n.keyring.Count())),
+	)
 	return out
 }
 
@@ -709,12 +828,34 @@ func (n *Node) route(f *ethernet.Frame, from *Endpoint) error {
 
 // routeAt is route with the frame-arrival timestamp supplied by the
 // caller, so batched senders (Endpoint.SendBatch) stamp a whole batch
-// once. at is zero for forwarded (remotely originated) frames.
+// once. at is zero for forwarded (remotely originated) frames. The
+// frame routes in its tenant's namespace: the sending endpoint's tenant
+// for local frames (forwarded sealed frames enter via routeTenantAt
+// with the authenticated wire tenant).
 func (n *Node) routeAt(f *ethernet.Frame, from *Endpoint, at time.Time) error {
+	var tenant uint32
+	if from != nil {
+		tenant = from.tenant
+	}
+	return n.routeTenantAt(f, from, at, tenant)
+}
+
+// routeTenantAt routes one frame inside one tenant's namespace. The
+// lookup uses only the tenant's private table, and both delivery legs
+// re-check tenancy — an endpoint or link whose binding disagrees with
+// the frame's tenant is skipped and counted (cross_tenant_drops) rather
+// than trusted, so a misinstalled route cannot leak frames across
+// tenants.
+func (n *Node) routeTenantAt(f *ethernet.Frame, from *Endpoint, at time.Time, tenant uint32) error {
 	if from != nil {
 		n.flows.Record(f.Src, f.Dst, f.Len())
 	}
-	dests, _, err := n.table.Lookup(f.Src, f.Dst)
+	tbl := n.tenants.Table(tenant)
+	if tbl == nil {
+		n.NoRouteDrop.Add(1)
+		return fmt.Errorf("overlay: unknown tenant %d", tenant)
+	}
+	dests, _, err := tbl.Lookup(f.Src, f.Dst)
 	if err != nil {
 		n.NoRouteDrop.Add(1)
 		return err
@@ -733,6 +874,10 @@ func (n *Node) routeAt(f *ethernet.Frame, from *Endpoint, at time.Time) error {
 			if ep == nil || ep == from {
 				continue
 			}
+			if ep.tenant != tenant {
+				n.metrics.crossTenantDrops.Add(1)
+				continue
+			}
 			ep.deliver(f)
 			n.Delivered.Add(1)
 			if f.Tag != 0 {
@@ -746,6 +891,10 @@ func (n *Node) routeAt(f *ethernet.Frame, from *Endpoint, at time.Time) error {
 			n.mu.Unlock()
 			if lk == nil {
 				n.NoRouteDrop.Add(1)
+				continue
+			}
+			if lk.tenant != tenant {
+				n.metrics.crossTenantDrops.Add(1)
 				continue
 			}
 			if lk.txq != nil {
@@ -779,21 +928,26 @@ func (n *Node) routeAt(f *ethernet.Frame, from *Endpoint, at time.Time) error {
 // sendEncap encapsulates and transmits a frame over a link synchronously,
 // fragmenting to the datagram budget. Encapsulation buffers come from the
 // node's pool and are recycled before return. A traced frame's context
-// rides the wire in every fragment's trace extension.
+// rides the wire in every fragment's trace extension; on a tenant-bound
+// link every fragment is sealed under the tenant's key.
 func (n *Node) sendEncap(lk *link, f *ethernet.Frame) error {
 	id := n.nextID.Add(1)
 	n.mu.Lock()
 	proto := lk.proto
 	n.mu.Unlock()
+	sl := lk.sealer // immutable after AddLink
 	budget := maxDatagram
 	if proto == "tcp" {
 		budget = tcpMaxDatagram
 	}
-	pkt, err := n.encap.EncapsulateTrace(f, id, budget, n.traceExt(f.Tag))
+	pkt, err := n.encap.EncapsulateSealed(f, id, budget, n.traceExt(f.Tag), sl)
 	if err != nil {
 		return err
 	}
 	defer pkt.Release()
+	if sl != nil {
+		n.metrics.sealSealed.Add(uint64(len(pkt.Datagrams)))
+	}
 	if f.Tag != 0 {
 		n.tracer.Record(f.Tag, trace.StageEncap)
 	}

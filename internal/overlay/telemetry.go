@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"vnetp/internal/seal"
 	"vnetp/internal/telemetry"
 )
 
@@ -48,6 +49,14 @@ type nodeMetrics struct {
 	dispDrops     *telemetry.CounterVec
 	dispRing      *telemetry.GaugeVec
 	reasmPending  *telemetry.GaugeVec
+
+	// Sealed-datapath families: datagrams sealed on TX, opened on RX,
+	// fail-closed rejections by typed reason, and frames dropped by the
+	// tenancy guards.
+	sealSealed       *telemetry.Counter
+	sealOpened       *telemetry.Counter
+	sealRejects      *telemetry.CounterVec // reason
+	crossTenantDrops *telemetry.Counter
 
 	reasmEvictions *telemetry.Counter
 	txBatchSize    *telemetry.Histogram
@@ -115,6 +124,15 @@ func newNodeMetrics(reg *telemetry.Registry) *nodeMetrics {
 		reasmPending: reg.GaugeVec("vnetp_reassembly_pending",
 			"Partially reassembled packets held per dispatcher worker.", "worker"),
 
+		sealSealed: reg.Counter("vnetp_seal_sealed_total",
+			"Encapsulation datagrams sealed (AEAD-encrypted) on the transmit path."),
+		sealOpened: reg.Counter("vnetp_seal_opened_total",
+			"Sealed datagrams authenticated and decrypted on the receive path."),
+		sealRejects: reg.CounterVec("vnetp_seal_reject_total",
+			"Sealed datagrams rejected fail-closed, by reason.", "reason"),
+		crossTenantDrops: reg.Counter("vnetp_cross_tenant_drops_total",
+			"Frames dropped by the tenancy guards (endpoint or link bound to a different tenant)."),
+
 		reasmEvictions: reg.Counter("vnetp_reassembly_evictions_total",
 			"Stale partial reassemblies aged out."),
 		txBatchSize: reg.Histogram("vnetp_tx_batch_size",
@@ -163,6 +181,14 @@ func (n *Node) registerNodeFuncs() {
 			defer s.mu.Unlock()
 			return float64(s.reasm.Pending())
 		}, w)
+	}
+	reg.GaugeFunc("vnetp_tenants",
+		"Tenants with installed AEAD keys on this node.",
+		func() float64 { return float64(n.keyring.Count()) })
+	// The reject-reason label set is fixed (seal.RejectReasons), so every
+	// child exists from node start — a scrape sees zeroes, not absence.
+	for _, r := range seal.RejectReasons {
+		m.sealRejects.With(r)
 	}
 	reg.CounterFunc("vnetp_trace_sampled_total",
 		"Frames selected for live tracing (sampler or flow trigger).",

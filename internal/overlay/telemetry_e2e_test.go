@@ -201,6 +201,11 @@ func TestTelemetryEndToEnd(t *testing.T) {
 		"tx_ring_drops":      func() float64 { return sumFamily(series, "vnetp_link_tx_ring_drops_total") },
 		"encap_pool_hits":    func() float64 { return series["vnetp_encap_pool_hits_total"] },
 		"encap_pool_misses":  func() float64 { return series["vnetp_encap_pool_misses_total"] },
+		"sealed_sent":        func() float64 { return series["vnetp_seal_sealed_total"] },
+		"sealed_opened":      func() float64 { return series["vnetp_seal_opened_total"] },
+		"seal_rejects":       func() float64 { return sumFamily(series, "vnetp_seal_reject_total") },
+		"cross_tenant_drops": func() float64 { return series["vnetp_cross_tenant_drops_total"] },
+		"tenants":            func() float64 { return series["vnetp_tenants"] },
 	}
 	checked := 0
 	for _, line := range lines {
@@ -255,6 +260,8 @@ func TestListStatsBackcompat(t *testing.T) {
 		// Keys below appended after the original pinned set (growth is
 		// append-only; parsers indexing the lines above stay correct).
 		"tx_ring_drops", "encap_pool_hits", "encap_pool_misses",
+		"sealed_sent", "sealed_opened", "seal_rejects",
+		"cross_tenant_drops", "tenants",
 	}
 	stats := n.Stats()
 	if len(stats) != len(want) {

@@ -139,6 +139,7 @@ func (n *Node) sendTxBatch(lk *link, batch []txFrame, s *txScratch) {
 	n.mu.Lock()
 	fault, proto, addr := lk.fault, lk.proto, lk.addr
 	n.mu.Unlock()
+	sl := lk.sealer // immutable after AddLink
 	budget := maxDatagram
 	if proto == "tcp" {
 		budget = tcpMaxDatagram
@@ -147,13 +148,16 @@ func (n *Node) sendTxBatch(lk *link, batch []txFrame, s *txScratch) {
 	dgs := s.dgs[:0]
 	sentFrames := s.frames[:0]
 	for _, tf := range batch {
-		pkt, err := n.encap.EncapsulateTrace(tf.f, n.nextID.Add(1), budget, n.traceExt(tf.f.Tag))
+		pkt, err := n.encap.EncapsulateSealed(tf.f, n.nextID.Add(1), budget, n.traceExt(tf.f.Tag), sl)
 		if err != nil {
 			lk.sendErrors.Add(1)
 			continue
 		}
 		if tf.f.Tag != 0 {
 			n.tracer.Record(tf.f.Tag, trace.StageEncap)
+		}
+		if sl != nil {
+			n.metrics.sealSealed.Add(uint64(len(pkt.Datagrams)))
 		}
 		pkts = append(pkts, pkt)
 		dgs = append(dgs, pkt.Datagrams...)

@@ -1,0 +1,305 @@
+// Package pki is the minimal certificate plant for the control plane's
+// mTLS: a self-signed ECDSA P-256 CA and per-host certificates good for
+// both serving the control console and dialing it (one identity per
+// host, used in both directions). It is deliberately small — no
+// intermediates, no revocation, no OCSP — because the threat model is
+// "the console port is reachable from a hostile network", not a public
+// PKI: the CA file distributed to the hosts IS the trust domain, and
+// plaintext clients are refused at the TLS handshake before a single
+// control-language byte is parsed.
+package pki
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+const (
+	caValidity   = 10 * 365 * 24 * time.Hour
+	certValidity = 2 * 365 * 24 * time.Hour
+)
+
+// CA is a loaded certificate authority: the signing key never leaves
+// the struct and is never logged (the key PEM is written once, mode
+// 0600, by Keygen).
+type CA struct {
+	cert    *x509.Certificate
+	key     *ecdsa.PrivateKey
+	CertPEM []byte
+}
+
+func newSerial() (*big.Int, error) {
+	limit := new(big.Int).Lsh(big.NewInt(1), 128)
+	return rand.Int(rand.Reader, limit)
+}
+
+func keyToPEM(key *ecdsa.PrivateKey) ([]byte, error) {
+	der, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return nil, err
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: der}), nil
+}
+
+func certToPEM(der []byte) []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+}
+
+// NewCA mints a fresh self-signed authority for the trust domain cn.
+func NewCA(cn string) (*CA, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	serial, err := newSerial()
+	if err != nil {
+		return nil, err
+	}
+	tpl := &x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: cn, Organization: []string{"vnetp"}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(caValidity),
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+		MaxPathLen:            0,
+		MaxPathLenZero:        true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tpl, tpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &CA{cert: cert, key: key, CertPEM: certToPEM(der)}, nil
+}
+
+func parsePEM(data []byte, wantType string) ([]byte, error) {
+	block, _ := pem.Decode(data)
+	if block == nil || block.Type != wantType {
+		return nil, fmt.Errorf("pki: expected a %s PEM block", wantType)
+	}
+	return block.Bytes, nil
+}
+
+// LoadCA reconstructs an authority from its PEM pair.
+func LoadCA(certPEM, keyPEM []byte) (*CA, error) {
+	certDER, err := parsePEM(certPEM, "CERTIFICATE")
+	if err != nil {
+		return nil, err
+	}
+	cert, err := x509.ParseCertificate(certDER)
+	if err != nil {
+		return nil, err
+	}
+	if !cert.IsCA {
+		return nil, errors.New("pki: certificate is not a CA")
+	}
+	keyDER, err := parsePEM(keyPEM, "EC PRIVATE KEY")
+	if err != nil {
+		return nil, err
+	}
+	key, err := x509.ParseECPrivateKey(keyDER)
+	if err != nil {
+		return nil, err
+	}
+	return &CA{cert: cert, key: key, CertPEM: certToPEM(certDER)}, nil
+}
+
+// KeyPEM renders the CA's signing key (for Keygen's one write to disk).
+func (ca *CA) KeyPEM() ([]byte, error) { return keyToPEM(ca.key) }
+
+// IssueHost signs a certificate for one host, valid as both a TLS
+// server and client. Each name in sans that parses as an IP becomes an
+// IP SAN, the rest DNS SANs; cn is always included.
+func (ca *CA) IssueHost(cn string, sans []string) (certPEM, keyPEM []byte, err error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	serial, err := newSerial()
+	if err != nil {
+		return nil, nil, err
+	}
+	tpl := &x509.Certificate{
+		SerialNumber: serial,
+		Subject:      pkix.Name{CommonName: cn, Organization: []string{"vnetp"}},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(certValidity),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+	}
+	for _, san := range append([]string{cn}, sans...) {
+		if ip := net.ParseIP(san); ip != nil {
+			tpl.IPAddresses = append(tpl.IPAddresses, ip)
+		} else if san != "" {
+			tpl.DNSNames = append(tpl.DNSNames, san)
+		}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tpl, ca.cert, &key.PublicKey, ca.key)
+	if err != nil {
+		return nil, nil, err
+	}
+	keyPEM, err = keyToPEM(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	return certToPEM(der), keyPEM, nil
+}
+
+func caPool(caPEM []byte) (*x509.CertPool, error) {
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(caPEM) {
+		return nil, errors.New("pki: no CA certificate in PEM")
+	}
+	return pool, nil
+}
+
+// ServerConfig builds the control daemon's TLS side: present the host
+// cert, require and verify a client certificate from the same CA.
+// Plaintext and unauthenticated clients fail the handshake.
+func ServerConfig(certPEM, keyPEM, caPEM []byte) (*tls.Config, error) {
+	cert, err := tls.X509KeyPair(certPEM, keyPEM)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := caPool(caPEM)
+	if err != nil {
+		return nil, err
+	}
+	return &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		ClientCAs:    pool,
+		ClientAuth:   tls.RequireAndVerifyClientCert,
+		MinVersion:   tls.VersionTLS13,
+	}, nil
+}
+
+// ClientConfig builds the control client's TLS side: present the host
+// cert, verify the server against the CA. serverName overrides SNI
+// verification when the dial address differs from the cert identity
+// (empty uses the dialed host).
+func ClientConfig(certPEM, keyPEM, caPEM []byte, serverName string) (*tls.Config, error) {
+	cert, err := tls.X509KeyPair(certPEM, keyPEM)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := caPool(caPEM)
+	if err != nil {
+		return nil, err
+	}
+	return &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		RootCAs:      pool,
+		ServerName:   serverName,
+		MinVersion:   tls.VersionTLS13,
+	}, nil
+}
+
+// LoadServerConfig is ServerConfig over files (vnetpd's
+// -control-tls-cert/-key/-ca flags).
+func LoadServerConfig(certFile, keyFile, caFile string) (*tls.Config, error) {
+	certPEM, keyPEM, caPEM, err := readTriple(certFile, keyFile, caFile)
+	if err != nil {
+		return nil, err
+	}
+	return ServerConfig(certPEM, keyPEM, caPEM)
+}
+
+// LoadClientConfig is ClientConfig over files (vnetctl's
+// -tls-cert/-key/-ca flags).
+func LoadClientConfig(certFile, keyFile, caFile, serverName string) (*tls.Config, error) {
+	certPEM, keyPEM, caPEM, err := readTriple(certFile, keyFile, caFile)
+	if err != nil {
+		return nil, err
+	}
+	return ClientConfig(certPEM, keyPEM, caPEM, serverName)
+}
+
+func readTriple(certFile, keyFile, caFile string) (certPEM, keyPEM, caPEM []byte, err error) {
+	if certPEM, err = os.ReadFile(certFile); err != nil {
+		return nil, nil, nil, err
+	}
+	if keyPEM, err = os.ReadFile(keyFile); err != nil {
+		return nil, nil, nil, err
+	}
+	if caPEM, err = os.ReadFile(caFile); err != nil {
+		return nil, nil, nil, err
+	}
+	return certPEM, keyPEM, caPEM, nil
+}
+
+// Keygen populates dir with the trust domain's material: ca.pem and
+// ca-key.pem (created once, reused on later runs so hosts can be added
+// incrementally) plus <host>.pem / <host>-key.pem per host. Key files
+// are written mode 0600. Returns the files written this run.
+func Keygen(dir, caCN string, hosts []string) ([]string, error) {
+	if len(hosts) == 0 {
+		return nil, errors.New("pki: keygen needs at least one host")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	caCert := filepath.Join(dir, "ca.pem")
+	caKey := filepath.Join(dir, "ca-key.pem")
+	var ca *CA
+	var written []string
+	certPEM, certErr := os.ReadFile(caCert)
+	keyPEM, keyErr := os.ReadFile(caKey)
+	switch {
+	case certErr == nil && keyErr == nil:
+		var err error
+		if ca, err = LoadCA(certPEM, keyPEM); err != nil {
+			return nil, fmt.Errorf("pki: existing CA in %s: %w", dir, err)
+		}
+	case os.IsNotExist(certErr) && os.IsNotExist(keyErr):
+		var err error
+		if ca, err = NewCA(caCN); err != nil {
+			return nil, err
+		}
+		kp, err := ca.KeyPEM()
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(caCert, ca.CertPEM, 0o644); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(caKey, kp, 0o600); err != nil {
+			return nil, err
+		}
+		written = append(written, caCert, caKey)
+	default:
+		return nil, fmt.Errorf("pki: %s holds half a CA (cert and key must both exist or neither)", dir)
+	}
+	for _, host := range hosts {
+		cert, key, err := ca.IssueHost(host, []string{"localhost", "127.0.0.1", "::1"})
+		if err != nil {
+			return nil, err
+		}
+		certFile := filepath.Join(dir, host+".pem")
+		keyFile := filepath.Join(dir, host+"-key.pem")
+		if err := os.WriteFile(certFile, cert, 0o644); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(keyFile, key, 0o600); err != nil {
+			return nil, err
+		}
+		written = append(written, certFile, keyFile)
+	}
+	return written, nil
+}

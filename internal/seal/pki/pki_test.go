@@ -1,0 +1,209 @@
+package pki
+
+import (
+	"crypto/tls"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestIssueAndMutualTLS(t *testing.T) {
+	ca, err := NewCA("vnetp-test")
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	srvCert, srvKey, err := ca.IssueHost("alpha", []string{"localhost", "127.0.0.1"})
+	if err != nil {
+		t.Fatalf("IssueHost(alpha): %v", err)
+	}
+	cliCert, cliKey, err := ca.IssueHost("beta", nil)
+	if err != nil {
+		t.Fatalf("IssueHost(beta): %v", err)
+	}
+	srvCfg, err := ServerConfig(srvCert, srvKey, ca.CertPEM)
+	if err != nil {
+		t.Fatalf("ServerConfig: %v", err)
+	}
+	cliCfg, err := ClientConfig(cliCert, cliKey, ca.CertPEM, "alpha")
+	if err != nil {
+		t.Fatalf("ClientConfig: %v", err)
+	}
+
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", srvCfg)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 4)
+		if _, err := c.Read(buf); err != nil {
+			done <- err
+			return
+		}
+		_, err = c.Write(buf)
+		done <- err
+	}()
+	conn, err := tls.Dial("tcp", ln.Addr().String(), cliCfg)
+	if err != nil {
+		t.Fatalf("mTLS dial: %v", err)
+	}
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 4)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	conn.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("server side: %v", err)
+	}
+}
+
+func TestServerRefusesPlaintextAndNoClientCert(t *testing.T) {
+	ca, _ := NewCA("vnetp-test")
+	srvCert, srvKey, _ := ca.IssueHost("alpha", []string{"127.0.0.1"})
+	srvCfg, err := ServerConfig(srvCert, srvKey, ca.CertPEM)
+	if err != nil {
+		t.Fatalf("ServerConfig: %v", err)
+	}
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", srvCfg)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 16)
+				c.Read(buf)
+				c.Write([]byte("should not leak"))
+			}(c)
+		}
+	}()
+
+	// Plaintext client: writing succeeds into the handshake buffer, but
+	// no application bytes ever come back.
+	pc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("plaintext dial: %v", err)
+	}
+	pc.Write([]byte("LIST STATS\n"))
+	buf := make([]byte, 16)
+	n, rerr := pc.Read(buf)
+	pc.Close()
+	if rerr == nil && strings.Contains(string(buf[:n]), "leak") {
+		t.Fatal("plaintext client received application data from mTLS server")
+	}
+
+	// TLS client without a certificate: handshake (or first read, with
+	// TLS 1.3's deferred alert) must fail.
+	pool := ca.CertPEM
+	noCert, err := ClientConfig(nil, nil, pool, "alpha")
+	if err == nil {
+		t.Fatal("ClientConfig accepted empty cert pair")
+	}
+	_ = noCert
+	rootPool, err := caPool(pool)
+	if err != nil {
+		t.Fatalf("caPool: %v", err)
+	}
+	conn, err := tls.Dial("tcp", ln.Addr().String(), &tls.Config{RootCAs: rootPool, ServerName: "alpha", MinVersion: tls.VersionTLS13})
+	if err == nil {
+		conn.Write([]byte("LIST STATS\n"))
+		rb := make([]byte, 16)
+		if _, rerr := conn.Read(rb); rerr == nil {
+			t.Fatal("certless client completed an application exchange")
+		}
+		conn.Close()
+	}
+}
+
+func TestKeygenWritesAndReusesCA(t *testing.T) {
+	dir := t.TempDir()
+	files, err := Keygen(dir, "vnetp-test", []string{"alpha", "beta"})
+	if err != nil {
+		t.Fatalf("Keygen: %v", err)
+	}
+	if len(files) != 6 { // ca.pem, ca-key.pem, 2×(cert,key)
+		t.Fatalf("wrote %d files, want 6: %v", len(files), files)
+	}
+	for _, f := range files {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("stat %s: %v", f, err)
+		}
+		if strings.Contains(f, "-key") && st.Mode().Perm() != 0o600 {
+			t.Fatalf("%s mode %o, want 0600", f, st.Mode().Perm())
+		}
+	}
+	caBefore, _ := os.ReadFile(filepath.Join(dir, "ca.pem"))
+
+	// Second run adds a host under the SAME CA.
+	files2, err := Keygen(dir, "vnetp-test", []string{"gamma"})
+	if err != nil {
+		t.Fatalf("Keygen reuse: %v", err)
+	}
+	if len(files2) != 2 {
+		t.Fatalf("reuse wrote %d files, want 2: %v", len(files2), files2)
+	}
+	caAfter, _ := os.ReadFile(filepath.Join(dir, "ca.pem"))
+	if string(caBefore) != string(caAfter) {
+		t.Fatal("Keygen replaced the existing CA")
+	}
+
+	// Material from both runs interoperates.
+	srvCfg, err := LoadServerConfig(filepath.Join(dir, "alpha.pem"), filepath.Join(dir, "alpha-key.pem"), filepath.Join(dir, "ca.pem"))
+	if err != nil {
+		t.Fatalf("LoadServerConfig: %v", err)
+	}
+	cliCfg, err := LoadClientConfig(filepath.Join(dir, "gamma.pem"), filepath.Join(dir, "gamma-key.pem"), filepath.Join(dir, "ca.pem"), "alpha")
+	if err != nil {
+		t.Fatalf("LoadClientConfig: %v", err)
+	}
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", srvCfg)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 2)
+		c.Read(buf)
+		c.Write(buf)
+		c.Close()
+	}()
+	conn, err := tls.Dial("tcp", ln.Addr().String(), cliCfg)
+	if err != nil {
+		t.Fatalf("cross-run mTLS dial: %v", err)
+	}
+	conn.Write([]byte("ok"))
+	buf := make([]byte, 2)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("cross-run read: %v", err)
+	}
+	conn.Close()
+
+	// Half a CA on disk is an error, not a silent regeneration.
+	os.Remove(filepath.Join(dir, "ca-key.pem"))
+	if _, err := Keygen(dir, "vnetp-test", []string{"delta"}); err == nil {
+		t.Fatal("Keygen accepted a directory with half a CA")
+	}
+}

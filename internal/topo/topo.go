@@ -52,15 +52,48 @@ func (k Kind) String() string {
 	}
 }
 
-// linkID names the link from one host toward another.
-func linkID(to Host) string { return "to-" + to.Name }
-
-func addLink(to Host, proto string) string {
-	return fmt.Sprintf("ADD LINK %s REMOTE %s %s", linkID(to), to.Addr, proto)
+// Options parameterizes script generation beyond the topology shape.
+type Options struct {
+	// Proto is the link transport, "udp" (default) or "tcp".
+	Proto string
+	// Hub selects the center host for Star (ignored otherwise).
+	Hub int
+	// Tenant, when nonzero, scopes the whole topology to one tenant:
+	// every ADD LINK and ADD ROUTE carries a TENANT clause, so links are
+	// sealed under the tenant's key and routes land in its private table.
+	Tenant uint32
+	// TenantKey is the tenant's AEAD key in hex (vnetctl newkey). When
+	// set (with Tenant), each host script begins with the ADD TENANT line
+	// installing it — for operators distributing one script per host.
+	// Leave empty to manage keys out of band.
+	TenantKey string
 }
 
-func addRouteVia(mac ethernet.MAC, to Host) string {
-	return fmt.Sprintf("ADD ROUTE %s any link %s", mac, linkID(to))
+// linkID names the link from one host toward another, disambiguated per
+// tenant so multiple tenants' topologies coexist on one node.
+func linkID(to Host, tenant uint32) string {
+	if tenant != 0 {
+		return fmt.Sprintf("t%d-to-%s", tenant, to.Name)
+	}
+	return "to-" + to.Name
+}
+
+// tenantSuffix renders the trailing TENANT clause for scoped commands.
+func tenantSuffix(tenant uint32) string {
+	if tenant == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" TENANT %d", tenant)
+}
+
+func addLink(to Host, opt Options) string {
+	return fmt.Sprintf("ADD LINK %s REMOTE %s %s%s",
+		linkID(to, opt.Tenant), to.Addr, opt.Proto, tenantSuffix(opt.Tenant))
+}
+
+func addRouteVia(mac ethernet.MAC, to Host, opt Options) string {
+	return fmt.Sprintf("ADD ROUTE %s any link %s%s",
+		mac, linkID(to, opt.Tenant), tenantSuffix(opt.Tenant))
 }
 
 // Scripts returns the per-host control scripts (keyed by host name) that
@@ -68,12 +101,21 @@ func addRouteVia(mac ethernet.MAC, to Host) string {
 // otherwise). proto is "udp" or "tcp". Local-delivery routes for a host's
 // own endpoints are installed by AttachEndpoint and are not emitted here.
 func Scripts(kind Kind, hosts []Host, hub int, proto string) (map[string][]string, error) {
+	return ScriptsOpt(kind, hosts, Options{Proto: proto, Hub: hub})
+}
+
+// ScriptsOpt is Scripts with the full option set (tenant scoping).
+func ScriptsOpt(kind Kind, hosts []Host, opt Options) (map[string][]string, error) {
 	if len(hosts) < 2 {
 		return nil, fmt.Errorf("topo: need at least 2 hosts, got %d", len(hosts))
 	}
-	if proto == "" {
-		proto = "udp"
+	if opt.Proto == "" {
+		opt.Proto = "udp"
 	}
+	if opt.TenantKey != "" && opt.Tenant == 0 {
+		return nil, fmt.Errorf("topo: TenantKey set without Tenant")
+	}
+	hub := opt.Hub
 	seen := map[string]bool{}
 	for _, h := range hosts {
 		if h.Name == "" || h.Addr == "" {
@@ -93,9 +135,9 @@ func Scripts(kind Kind, hosts []Host, hub int, proto string) (map[string][]strin
 				if i == j {
 					continue
 				}
-				script = append(script, addLink(peer, proto))
+				script = append(script, addLink(peer, opt))
 				for _, mac := range peer.MACs {
-					script = append(script, addRouteVia(mac, peer))
+					script = append(script, addRouteVia(mac, peer, opt))
 				}
 			}
 			out[h.Name] = script
@@ -114,22 +156,22 @@ func Scripts(kind Kind, hosts []Host, hub int, proto string) (map[string][]strin
 					if j == hub {
 						continue
 					}
-					script = append(script, addLink(peer, proto))
+					script = append(script, addLink(peer, opt))
 					for _, mac := range peer.MACs {
-						script = append(script, addRouteVia(mac, peer))
+						script = append(script, addRouteVia(mac, peer, opt))
 					}
 				}
 				out[h.Name] = script
 				continue
 			}
 			// Spokes reach every non-local MAC via the hub.
-			script := []string{addLink(center, proto)}
+			script := []string{addLink(center, opt)}
 			for j, peer := range hosts {
 				if j == i {
 					continue
 				}
 				for _, mac := range peer.MACs {
-					script = append(script, addRouteVia(mac, center))
+					script = append(script, addRouteVia(mac, center, opt))
 				}
 			}
 			out[h.Name] = script
@@ -137,7 +179,7 @@ func Scripts(kind Kind, hosts []Host, hub int, proto string) (map[string][]strin
 	case Ring:
 		for i, h := range hosts {
 			next := hosts[(i+1)%len(hosts)]
-			script := []string{addLink(next, proto)}
+			script := []string{addLink(next, opt)}
 			// Every non-local MAC is one hop clockwise; transit forwards
 			// the rest of the way.
 			for j, peer := range hosts {
@@ -145,7 +187,7 @@ func Scripts(kind Kind, hosts []Host, hub int, proto string) (map[string][]strin
 					continue
 				}
 				for _, mac := range peer.MACs {
-					script = append(script, addRouteVia(mac, next))
+					script = append(script, addRouteVia(mac, next, opt))
 				}
 			}
 			out[h.Name] = script
@@ -153,13 +195,28 @@ func Scripts(kind Kind, hosts []Host, hub int, proto string) (map[string][]strin
 	default:
 		return nil, fmt.Errorf("topo: unknown topology %v", kind)
 	}
+	if opt.Tenant != 0 && opt.TenantKey != "" {
+		// Key installation leads each script so the tenant exists before
+		// its links and routes reference it.
+		tenantLine := fmt.Sprintf("ADD TENANT %d KEY %s", opt.Tenant, opt.TenantKey)
+		for name, script := range out {
+			out[name] = append([]string{tenantLine}, script...)
+		}
+	}
 	return out, nil
 }
 
 // Teardown returns per-host scripts removing everything Scripts
 // installed.
 func Teardown(kind Kind, hosts []Host, hub int) (map[string][]string, error) {
-	built, err := Scripts(kind, hosts, hub, "udp")
+	return TeardownOpt(kind, hosts, Options{Hub: hub})
+}
+
+// TeardownOpt is Teardown with the full option set. Tenant keys are not
+// removed (the control language has no DEL TENANT; rotation replaces).
+func TeardownOpt(kind Kind, hosts []Host, opt Options) (map[string][]string, error) {
+	opt.TenantKey = "" // never re-emit key material in teardown scripts
+	built, err := ScriptsOpt(kind, hosts, opt)
 	if err != nil {
 		return nil, err
 	}

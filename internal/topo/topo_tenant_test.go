@@ -1,0 +1,217 @@
+package topo_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"vnetp/internal/control"
+	"vnetp/internal/ethernet"
+	"vnetp/internal/overlay"
+	"vnetp/internal/topo"
+)
+
+// TestScriptsTenantScoping checks the generated lines: tenant-prefixed
+// link IDs, trailing TENANT clauses, the leading ADD TENANT line when a
+// key is supplied, and that everything still parses in the control
+// language.
+func TestScriptsTenantScoping(t *testing.T) {
+	hosts := []topo.Host{
+		{Name: "a", Addr: "10.0.0.1:7777", MACs: []ethernet.MAC{ethernet.LocalMAC(1)}},
+		{Name: "b", Addr: "10.0.0.2:7777", MACs: []ethernet.MAC{ethernet.LocalMAC(2)}},
+	}
+	key := strings.Repeat("42", 32)
+	scripts, err := topo.ScriptsOpt(topo.Mesh, hosts, topo.Options{Tenant: 7, TenantKey: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for host, lines := range scripts {
+		if lines[0] != "ADD TENANT 7 KEY "+key {
+			t.Errorf("%s: first line %q, want ADD TENANT", host, lines[0])
+		}
+		for _, line := range lines[1:] {
+			if !strings.HasSuffix(line, " TENANT 7") {
+				t.Errorf("%s: line %q lacks TENANT clause", host, line)
+			}
+			if strings.Contains(line, "LINK") && !strings.Contains(line, "t7-to-") {
+				t.Errorf("%s: link line %q not tenant-prefixed", host, line)
+			}
+		}
+		for _, line := range lines {
+			if _, err := control.Parse(line); err != nil {
+				t.Errorf("%s: unparseable line %q: %v", host, line, err)
+			}
+		}
+	}
+
+	// Without a key the ADD TENANT line must not appear.
+	scripts, err = topo.ScriptsOpt(topo.Mesh, hosts, topo.Options{Tenant: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for host, lines := range scripts {
+		for _, line := range lines {
+			if strings.HasPrefix(line, "ADD TENANT") {
+				t.Errorf("%s: key line emitted without TenantKey: %q", host, line)
+			}
+		}
+	}
+
+	// A key without a tenant is a configuration error.
+	if _, err := topo.ScriptsOpt(topo.Mesh, hosts, topo.Options{TenantKey: key}); err == nil {
+		t.Error("TenantKey without Tenant accepted")
+	}
+}
+
+// TestTeardownTenantScoping checks teardown never re-emits key material
+// and removes the tenant-scoped links and routes.
+func TestTeardownTenantScoping(t *testing.T) {
+	hosts := []topo.Host{
+		{Name: "a", Addr: "10.0.0.1:7777", MACs: []ethernet.MAC{ethernet.LocalMAC(1)}},
+		{Name: "b", Addr: "10.0.0.2:7777", MACs: []ethernet.MAC{ethernet.LocalMAC(2)}},
+	}
+	key := strings.Repeat("42", 32)
+	down, err := topo.TeardownOpt(topo.Mesh, hosts, topo.Options{Tenant: 7, TenantKey: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for host, lines := range down {
+		for _, line := range lines {
+			if strings.Contains(line, key) || strings.Contains(line, "TENANT 7 KEY") {
+				t.Errorf("%s: teardown leaks key material: %q", host, line)
+			}
+			if !strings.HasPrefix(line, "DEL ") {
+				t.Errorf("%s: non-DEL teardown line %q", host, line)
+			}
+			if strings.Contains(line, "LINK") && !strings.Contains(line, "t7-to-") {
+				t.Errorf("%s: link teardown %q not tenant-scoped", host, line)
+			}
+			if _, err := control.Parse(line); err != nil {
+				t.Errorf("%s: unparseable teardown line %q: %v", host, line, err)
+			}
+		}
+	}
+}
+
+// TestMultiTenantTopologyLive stacks two tenants' mesh topologies on the
+// same two live nodes, entirely from generated scripts (including the
+// key-install lines). Each tenant's pair must exchange sealed frames;
+// neither tenant may reach — or even route toward — the other's
+// endpoints.
+func TestMultiTenantTopologyLive(t *testing.T) {
+	const n = 2
+	nodes := make([]*overlay.Node, n)
+	for i := range nodes {
+		node, err := overlay.NewNode(hostName(i), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		nodes[i] = node
+	}
+
+	type tenantNet struct {
+		id   uint32
+		key  string
+		eps  []*overlay.Endpoint
+		macs []ethernet.MAC
+	}
+	tenants := []*tenantNet{
+		{id: 7, key: strings.Repeat("07", 32)},
+		{id: 9, key: strings.Repeat("09", 32)},
+	}
+	for ti, tn := range tenants {
+		hosts := make([]topo.Host, n)
+		for i, node := range nodes {
+			mac := ethernet.LocalMAC(uint32(ti*10 + i + 1))
+			ifName := "nic-t" + strconv.FormatUint(uint64(tn.id), 10) + "-" + hostName(i)
+			ep, err := node.AttachEndpointTenant(ifName, mac, 1500, tn.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tn.eps = append(tn.eps, ep)
+			tn.macs = append(tn.macs, mac)
+			hosts[i] = topo.Host{Name: hostName(i), Addr: node.Addr(), MACs: []ethernet.MAC{mac}}
+		}
+		scripts, err := topo.ScriptsOpt(topo.Mesh, hosts, topo.Options{Tenant: tn.id, TenantKey: tn.key})
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyScripts(t, scripts, nodes)
+	}
+
+	// Both tenants exchange concurrently over the shared nodes.
+	for _, tn := range tenants {
+		for i, from := range tn.eps {
+			for j, to := range tn.eps {
+				if i == j {
+					continue
+				}
+				if err := from.Send(&ethernet.Frame{
+					Dst: to.MAC(), Src: from.MAC(), Type: ethernet.TypeTest,
+					Payload: []byte{byte(tn.id), byte(i), byte(j)},
+				}); err != nil {
+					t.Fatalf("tenant %d %d->%d send: %v", tn.id, i, j, err)
+				}
+				got, ok := to.Recv(2 * time.Second)
+				if !ok {
+					t.Fatalf("tenant %d %d->%d: frame never arrived", tn.id, i, j)
+				}
+				if got.Payload[0] != byte(tn.id) {
+					t.Fatalf("tenant %d received foreign frame %v", tn.id, got.Payload)
+				}
+			}
+		}
+	}
+
+	// Cross-tenant reach must fail closed: tenant 7's endpoint has no
+	// route to tenant 9's MAC (separate tables), so the send errors.
+	if err := tenants[0].eps[0].Send(&ethernet.Frame{
+		Dst: tenants[1].macs[1], Src: tenants[0].macs[0], Type: ethernet.TypeTest,
+	}); err == nil {
+		t.Error("cross-tenant send found a route; tables are not isolated")
+	}
+	// And nothing leaked into the other tenant's receive queues.
+	for _, tn := range tenants {
+		for i, ep := range tn.eps {
+			if f, ok := ep.Recv(50 * time.Millisecond); ok {
+				t.Errorf("tenant %d ep %d received stray frame %v", tn.id, i, f.Payload)
+			}
+		}
+	}
+
+	// Every datagram between the nodes was sealed: both tenants' traffic
+	// shows up in the seal counters, never as plaintext tenant-0 routing.
+	for i, node := range nodes {
+		st := statLine(t, node, "sealed_opened")
+		if st < 2 {
+			t.Errorf("node %d sealed_opened = %d, want >= 2", i, st)
+		}
+		if rej := statLine(t, node, "seal_rejects"); rej != 0 {
+			t.Errorf("node %d seal_rejects = %d, want 0", i, rej)
+		}
+		if ct := statLine(t, node, "cross_tenant_drops"); ct != 0 {
+			t.Errorf("node %d cross_tenant_drops = %d, want 0", i, ct)
+		}
+		if tc := statLine(t, node, "tenants"); tc != 2 {
+			t.Errorf("node %d tenants = %d, want 2", i, tc)
+		}
+	}
+}
+
+// statLine pulls one counter out of a node's LIST STATS snapshot.
+func statLine(t *testing.T, node *overlay.Node, key string) uint64 {
+	t.Helper()
+	for _, line := range node.Stats() {
+		if f, ok := strings.CutPrefix(line, key+" "); ok {
+			v, err := strconv.ParseUint(f, 10, 64)
+			if err != nil {
+				t.Fatalf("stat %s: %v", key, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("stat %s not in LIST STATS", key)
+	return 0
+}

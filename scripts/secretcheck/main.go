@@ -1,0 +1,130 @@
+// Command secretcheck is the secrets-hygiene gate run by `make verify`
+// and CI: tenant AEAD keys and TLS private keys must never reach logs
+// or other formatted output. The approved disclosure form for key
+// material is seal.Fingerprint (first four bytes of the SHA-256, hex),
+// which is what LIST TENANTS and the "tenant key installed" log line
+// carry.
+//
+// It is a pure-stdlib text scan (no build, no network) over non-test
+// .go files under internal/ and cmd/, enforcing two rules:
+//
+//  1. No logging call (slog/log/logger.Info|Warn|Error|Debug|Fatal|
+//     Print, plus the daemons' fatal helper) may reference a
+//     key-material identifier in its arguments. String literals are
+//     stripped first (log MESSAGES may say "key"), and Fingerprint(...)
+//     calls are stripped too — fingerprinting is the approved way to
+//     mention a key.
+//  2. hex.EncodeToString over key-looking material is confined to an
+//     allowlist: seal.Fingerprint itself and `vnetctl newkey` (which
+//     prints a freshly minted key to stdout — its entire purpose).
+//
+// Runtime response hygiene (TenantSummary carrying fingerprints, parse
+// errors not echoing hex input) is covered by unit tests in
+// internal/seal and internal/overlay; this gate catches the log-call
+// regressions tests cannot see.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var (
+	logCallRe = regexp.MustCompile(
+		`\b(?:[A-Za-z_][A-Za-z0-9_.]*\.)?(?:log|logger|slog)\.(?:Info|Warn|Error|Debug|Fatalf?|Fatalln|Printf?|Println)\(|\bfatal\(`)
+	stringLitRe   = regexp.MustCompile(`"(?:[^"\\]|\\.)*"` + "|`[^`]*`")
+	fingerprintRe = regexp.MustCompile(`\bFingerprint\([^()]*\)`)
+	secretIdentRe = regexp.MustCompile(
+		`\b(?:key|keys|hexKey|keyHex|rawKey|tenantKey|keyBytes|keyPEM|keyDER|privPEM|privDER|privKey|secret)\b`)
+	hexEncodeRe = regexp.MustCompile(`hex\.EncodeToString\(([^()]*(?:\([^()]*\))?[^()]*)\)`)
+	hexKeyArgRe = regexp.MustCompile(`(?i)key|priv|secret`)
+)
+
+// hexAllowlist names the files allowed to hex-encode key material.
+var hexAllowlist = map[string]bool{
+	filepath.Join("internal", "seal", "seal.go"): true, // Fingerprint
+	filepath.Join("cmd", "vnetctl", "main.go"):   true, // newkey → stdout
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	failures := 0
+	for _, dir := range []string{"internal", "cmd"} {
+		err := filepath.Walk(filepath.Join(root, dir), func(path string, info os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if info.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			rel, _ := filepath.Rel(root, path)
+			failures += checkFile(rel, string(b))
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "secretcheck: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "secretcheck: %d potential secret leak(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("secretcheck: no key material in logs or encodings")
+}
+
+func checkFile(rel, src string) int {
+	failures := 0
+	for _, loc := range logCallRe.FindAllStringIndex(src, -1) {
+		call := balancedCall(src, loc[1]-1)
+		args := fingerprintRe.ReplaceAllString(stringLitRe.ReplaceAllString(call, `""`), "fp()")
+		if m := secretIdentRe.FindString(args); m != "" {
+			fmt.Fprintf(os.Stderr, "secretcheck: %s:%d: log call references key material %q\n",
+				rel, lineOf(src, loc[0]), m)
+			failures++
+		}
+	}
+	if !hexAllowlist[rel] {
+		for _, m := range hexEncodeRe.FindAllStringSubmatchIndex(src, -1) {
+			arg := src[m[2]:m[3]]
+			if hexKeyArgRe.MatchString(arg) {
+				fmt.Fprintf(os.Stderr, "secretcheck: %s:%d: hex-encodes key-like material %q (fingerprint it instead)\n",
+					rel, lineOf(src, m[0]), arg)
+				failures++
+			}
+		}
+	}
+	return failures
+}
+
+// balancedCall returns the call expression starting at the opening
+// paren at src[open], through its matching close (or to a sane bound).
+func balancedCall(src string, open int) string {
+	depth := 0
+	for i := open; i < len(src) && i < open+2000; i++ {
+		switch src[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				return src[open : i+1]
+			}
+		}
+	}
+	return src[open:min(len(src), open+2000)]
+}
+
+func lineOf(src string, off int) int {
+	return strings.Count(src[:off], "\n") + 1
+}
