@@ -64,6 +64,8 @@ func main() {
 	txBatch := flag.Int("tx-batch", 1, "frames coalesced per link TX batch (1: synchronous sends)")
 	txFlush := flag.Duration("tx-flush", 100*time.Microsecond, "max wait for a partial TX batch (with -tx-batch > 1)")
 	adaptive := flag.Bool("adaptive", false, "per-link adaptive dispatch: retune batch size between latency and throughput mode by observed rate (implies batched transmit)")
+	flowCache := flag.Bool("flow-cache", true, "per-flow forwarding cache: one lookup plus a header memcpy on the steady-state path (false: per-frame route lookup)")
+	rxBatch := flag.Int("rx-batch", 0, "datagrams drained from the UDP socket per wakeup, via recvmmsg where available (0: default 16, 1: one ReadFromUDP per datagram)")
 	telemetryAddr := flag.String("telemetry-addr", "", "HTTP address for /metrics, /trace, /flight, /debug/pprof/, /healthz (empty: disabled)")
 	health := flag.Bool("health", false, "enable the link health monitor (heartbeats, failover, redial)")
 	probeInterval := flag.Duration("probe-interval", 200*time.Millisecond, "heartbeat probe interval (with -health)")
@@ -96,13 +98,15 @@ func main() {
 	}
 
 	node, err := overlay.NewNodeWithConfig(*name, *bind, overlay.NodeConfig{
-		Dispatchers:    *dispatchers,
-		TxBatch:        *txBatch,
-		TxFlushTimeout: *txFlush,
-		Adaptive:       overlay.AdaptiveConfig{Enabled: *adaptive},
-		TraceSample:    *traceSample,
-		FlightDepth:    *flightDepth,
-		Logger:         logger,
+		Dispatchers:       *dispatchers,
+		TxBatch:           *txBatch,
+		TxFlushTimeout:    *txFlush,
+		Adaptive:          overlay.AdaptiveConfig{Enabled: *adaptive},
+		FlowCacheDisabled: !*flowCache,
+		RxBatch:           *rxBatch,
+		TraceSample:       *traceSample,
+		FlightDepth:       *flightDepth,
+		Logger:            logger,
 	})
 	if err != nil {
 		fatal("node startup failed", "err", err)

@@ -1,0 +1,143 @@
+package bridge
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"testing"
+
+	"vnetp/internal/ethernet"
+)
+
+// ctrSealer is a deterministic LinkSealer for equality tests: real
+// AES-GCM under a fixed key, with a plain counter nonce stream. Two
+// instances built from the same key and counter produce identical
+// nonce draws and ciphertexts, which a production seal.Sealer (shared
+// atomic sequence, random start offset) deliberately does not.
+type ctrSealer struct {
+	tenant uint32
+	next   uint64
+	aead   cipher.AEAD
+}
+
+func newCtrSealer(t *testing.T, tenant uint32) *ctrSealer {
+	t.Helper()
+	key := bytes.Repeat([]byte{0x42}, 32)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &ctrSealer{tenant: tenant, aead: aead}
+}
+
+func (s *ctrSealer) Tenant() uint32 { return s.tenant }
+func (s *ctrSealer) NextNonce() uint64 {
+	s.next++
+	return s.next
+}
+func (s *ctrSealer) Seal(nonce uint64, additional, plaintext []byte) []byte {
+	var nb [12]byte
+	binary.BigEndian.PutUint32(nb[:4], s.tenant)
+	binary.BigEndian.PutUint64(nb[4:], nonce)
+	return s.aead.Seal(plaintext[:0], nb[:], plaintext, additional)
+}
+
+// TestEncapTemplateEquality pins the template encoder's core contract:
+// for plaintext and sealed links alike, across frame sizes from
+// single-fragment 64B to multi-fragment jumbo, EncapsulateTemplate
+// produces byte-for-byte the datagrams EncapsulateSealed produces for
+// the same id and nonce stream. A template that drifted from the
+// reference encoder would emit frames the remote node misparses — this
+// test is why the flow cache may skip the field-by-field marshal.
+func TestEncapTemplateEquality(t *testing.T) {
+	sizes := []int{1, 50, 1400 - EncapHeaderLen - 14, 1400, 4000, 9000}
+	budgets := []int{1400, 9000}
+	for _, sealed := range []bool{false, true} {
+		for _, size := range sizes {
+			for _, budget := range budgets {
+				f := &ethernet.Frame{
+					Dst: ethernet.LocalMAC(1), Src: ethernet.LocalMAC(2),
+					Type: ethernet.TypeTest, Payload: bytes.Repeat([]byte{0xa5}, size),
+				}
+				var refSl, tmplSl LinkSealer
+				if sealed {
+					refSl = newCtrSealer(t, 7)
+					tmplSl = newCtrSealer(t, 7)
+				}
+				var enc Encapsulator
+				ref, err := enc.EncapsulateSealed(f, 99, budget, nil, refSl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refCopy := make([][]byte, len(ref.Datagrams))
+				for i, d := range ref.Datagrams {
+					refCopy[i] = append([]byte(nil), d...)
+				}
+				ref.Release()
+
+				tmpl := NewEncapTemplate(tmplSl)
+				got, err := enc.EncapsulateTemplate(f, 99, budget, tmpl, tmplSl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got.Datagrams) != len(refCopy) {
+					t.Fatalf("sealed=%v size=%d budget=%d: template %d datagrams, reference %d",
+						sealed, size, budget, len(got.Datagrams), len(refCopy))
+				}
+				for i := range refCopy {
+					if !bytes.Equal(got.Datagrams[i], refCopy[i]) {
+						t.Fatalf("sealed=%v size=%d budget=%d: datagram %d differs\ntmpl: % x\nref:  % x",
+							sealed, size, budget, i, got.Datagrams[i], refCopy[i])
+					}
+				}
+				got.Release()
+			}
+		}
+	}
+}
+
+// Sealed template datagrams must decode and carry the template's
+// tenant; plaintext template datagrams must carry no seal extension.
+func TestEncapTemplateParses(t *testing.T) {
+	f := &ethernet.Frame{
+		Dst: ethernet.LocalMAC(3), Src: ethernet.LocalMAC(4),
+		Type: ethernet.TypeTest, Payload: []byte("hello"),
+	}
+	var enc Encapsulator
+
+	plain := NewEncapTemplate(nil)
+	if plain.Sealed() || plain.Tenant() != 0 || plain.WireLen() != EncapHeaderLen {
+		t.Fatalf("plaintext template: sealed=%v tenant=%d wirelen=%d",
+			plain.Sealed(), plain.Tenant(), plain.WireLen())
+	}
+	p, err := enc.EncapsulateTemplate(f, 1, 1400, plain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := ParseEncap(p.Datagrams[0])
+	if err != nil || h.HasSeal || h.ID != 1 {
+		t.Fatalf("plaintext parse: h=%+v err=%v", h, err)
+	}
+	p.Release()
+
+	sl := newCtrSealer(t, 9)
+	sealedTmpl := NewEncapTemplate(sl)
+	if !sealedTmpl.Sealed() || sealedTmpl.Tenant() != 9 || sealedTmpl.WireLen() != EncapHeaderLen+EncapSealLen {
+		t.Fatalf("sealed template: sealed=%v tenant=%d wirelen=%d",
+			sealedTmpl.Sealed(), sealedTmpl.Tenant(), sealedTmpl.WireLen())
+	}
+	sp, err := enc.EncapsulateTemplate(f, 2, 1400, sealedTmpl, sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, _, err := ParseEncap(sp.Datagrams[0])
+	if err != nil || !sh.HasSeal || sh.Seal.Tenant != 9 || sh.Seal.Nonce == 0 {
+		t.Fatalf("sealed parse: h=%+v err=%v", sh, err)
+	}
+	sp.Release()
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"encoding/binary"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"vnetp/internal/ethernet"
 )
@@ -11,6 +13,10 @@ import (
 // volume — the raw material of the VNET model's adaptation loop (paper
 // Sect. 3: "monitor application communication ... and address such
 // problems through VM migration and overlay network control").
+//
+// Bytes and Packets are updated with sync/atomic: holders of a live
+// pointer (Acquire) add concurrently with Record, without the shard
+// lock.
 type Flow struct {
 	Src, Dst ethernet.MAC
 	Bytes    uint64
@@ -25,56 +31,110 @@ type flowKey struct{ src, dst ethernet.MAC }
 // cares about, stay).
 const maxTrackedFlows = 4096
 
-// FlowStats accumulates per-flow traffic counters. Safe for concurrent
-// use (the real-socket overlay records from socket goroutines).
-type FlowStats struct {
+// flowStatShards is the number of independently locked accounting
+// segments. Record sits on the per-frame datapath (every routed frame
+// touches it), so a single table mutex serializes otherwise parallel
+// senders; sharding by flow key keeps distinct flows on distinct locks.
+// Power of two for cheap masking.
+const flowStatShards = 16
+
+// flowStatShard is one accounting segment: its own lock, map, and slice
+// of the global capacity.
+type flowStatShard struct {
 	mu    sync.Mutex
 	flows map[flowKey]*Flow
 }
 
+// FlowStats accumulates per-flow traffic counters. Safe for concurrent
+// use (the real-socket overlay records from socket goroutines); sharded
+// so concurrent senders on distinct flows do not contend. The capacity
+// bound and smallest-flow eviction apply per shard, which preserves the
+// intent (heavy flows survive) while keeping eviction scans local.
+type FlowStats struct {
+	shards [flowStatShards]flowStatShard
+}
+
 // NewFlowStats returns an empty accounting table.
 func NewFlowStats() *FlowStats {
-	return &FlowStats{flows: make(map[flowKey]*Flow)}
+	fs := &FlowStats{}
+	for i := range fs.shards {
+		fs.shards[i].flows = make(map[flowKey]*Flow)
+	}
+	return fs
+}
+
+// shardOf maps a flow key onto its segment: word-at-a-time multiply-mix
+// over both MACs. Record sits on the per-frame datapath, so the hash is
+// two loads and two multiplies rather than a byte loop; the high bits
+// fold down so the vendor prefix still influences shard choice.
+func (fs *FlowStats) shardOf(k flowKey) *flowStatShard {
+	a := binary.BigEndian.Uint32(k.src[2:])
+	b := binary.BigEndian.Uint32(k.dst[2:])
+	c := uint32(k.src[0])<<24 | uint32(k.src[1])<<16 | uint32(k.dst[0])<<8 | uint32(k.dst[1])
+	h := (a ^ c) * 0x9E3779B1
+	h ^= (b ^ h>>15) * 0x85EBCA6B
+	h ^= h >> 16
+	return &fs.shards[h&uint32(flowStatShards-1)]
 }
 
 // Record adds one packet of n bytes to the flow.
 func (fs *FlowStats) Record(src, dst ethernet.MAC, n int) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	k := flowKey{src, dst}
-	f := fs.flows[k]
-	if f == nil {
-		if len(fs.flows) >= maxTrackedFlows {
-			fs.evictSmallestLocked()
-		}
-		f = &Flow{Src: src, Dst: dst}
-		fs.flows[k] = f
-	}
-	f.Bytes += uint64(n)
-	f.Packets++
+	f := fs.Acquire(src, dst)
+	atomic.AddUint64(&f.Bytes, uint64(n))
+	atomic.AddUint64(&f.Packets, 1)
 }
 
-func (fs *FlowStats) evictSmallestLocked() {
+// Acquire returns the live accounting entry for a flow, inserting (and
+// evicting, at capacity) as needed, without counting anything. Callers
+// may retain the pointer and add to Bytes/Packets with sync/atomic —
+// the overlay's flow cache does exactly that, so a cache hit accounts
+// its frame with two atomic adds instead of a hash + lock + map probe.
+// A retained pointer whose entry is later evicted (or swept by Reset)
+// keeps counting into the detached object until the holder refreshes;
+// those counts are lost, which matches eviction's semantics — the table
+// is an adaptation sensor, not a ledger.
+func (fs *FlowStats) Acquire(src, dst ethernet.MAC) *Flow {
+	k := flowKey{src, dst}
+	sh := fs.shardOf(k)
+	sh.mu.Lock()
+	f := sh.flows[k]
+	if f == nil {
+		if len(sh.flows) >= maxTrackedFlows/flowStatShards {
+			sh.evictSmallestLocked()
+		}
+		f = &Flow{Src: src, Dst: dst}
+		sh.flows[k] = f
+	}
+	sh.mu.Unlock()
+	return f
+}
+
+func (sh *flowStatShard) evictSmallestLocked() {
 	var victim flowKey
 	min := ^uint64(0)
-	for k, f := range fs.flows {
-		if f.Bytes < min {
-			min = f.Bytes
+	for k, f := range sh.flows {
+		if b := atomic.LoadUint64(&f.Bytes); b < min {
+			min = b
 			victim = k
 		}
 	}
-	delete(fs.flows, victim)
+	delete(sh.flows, victim)
 }
 
 // Top returns the k largest flows by bytes, descending (ties broken by
 // MAC order for determinism).
 func (fs *FlowStats) Top(k int) []Flow {
-	fs.mu.Lock()
-	out := make([]Flow, 0, len(fs.flows))
-	for _, f := range fs.flows {
-		out = append(out, *f)
+	var out []Flow
+	for i := range fs.shards {
+		sh := &fs.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.flows {
+			out = append(out, Flow{Src: f.Src, Dst: f.Dst,
+				Bytes:   atomic.LoadUint64(&f.Bytes),
+				Packets: atomic.LoadUint64(&f.Packets)})
+		}
+		sh.mu.Unlock()
 	}
-	fs.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Bytes != out[j].Bytes {
 			return out[i].Bytes > out[j].Bytes
@@ -101,14 +161,22 @@ func lessMAC(a, b ethernet.MAC) bool {
 
 // Reset clears the counters (start of a new observation window).
 func (fs *FlowStats) Reset() {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	fs.flows = make(map[flowKey]*Flow)
+	for i := range fs.shards {
+		sh := &fs.shards[i]
+		sh.mu.Lock()
+		sh.flows = make(map[flowKey]*Flow)
+		sh.mu.Unlock()
+	}
 }
 
 // Len reports the number of tracked flows.
 func (fs *FlowStats) Len() int {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	return len(fs.flows)
+	total := 0
+	for i := range fs.shards {
+		sh := &fs.shards[i]
+		sh.mu.Lock()
+		total += len(sh.flows)
+		sh.mu.Unlock()
+	}
+	return total
 }

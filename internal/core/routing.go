@@ -205,6 +205,14 @@ type Table struct {
 	// Stats. Atomic so the hot lookup path never takes an exclusive lock
 	// just to bump a counter.
 	Hits, Misses atomic.Uint64
+
+	// onInvalidate, when set, is called (under t.mu) every time the
+	// routing cache is cleared. The overlay installs a hook that bumps
+	// its flow-cache epoch, so any event that can change a routing
+	// answer — route churn, FailDest/RestoreDest, teardown sweeps —
+	// also retires every derived per-flow forwarding decision. The hook
+	// must be cheap and must not call back into the table.
+	onInvalidate func()
 }
 
 // NewTable returns an empty routing table with the cache enabled.
@@ -231,6 +239,17 @@ func (t *Table) invalidateCacheLocked() {
 		sh.m = make(map[cacheKey][]Destination)
 		sh.mu.Unlock()
 	}
+	if t.onInvalidate != nil {
+		t.onInvalidate()
+	}
+}
+
+// SetInvalidateHook registers fn to run whenever the routing cache is
+// invalidated. One hook per table; passing nil clears it.
+func (t *Table) SetInvalidateHook(fn func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onInvalidate = fn
 }
 
 // FailDest marks a destination as failed: routes pointing at it that

@@ -19,6 +19,12 @@ const DefaultTenant uint32 = 0
 type Tenants struct {
 	mu     sync.RWMutex
 	tables map[uint32]*Table
+
+	// invalidate, when set, is installed as the cache-invalidation hook
+	// on every table — existing ones and ones Ensure creates later — so
+	// a route-cache clear in any tenant namespace reaches the overlay's
+	// flow-cache epoch.
+	invalidate func()
 }
 
 // NewTenants returns a tenant set holding only the default tenant.
@@ -44,9 +50,25 @@ func (ts *Tenants) Ensure(id uint32) *Table {
 	t := ts.tables[id]
 	if t == nil {
 		t = NewTable()
+		if ts.invalidate != nil {
+			t.SetInvalidateHook(ts.invalidate)
+		}
 		ts.tables[id] = t
 	}
 	return t
+}
+
+// SetInvalidateHook installs fn as the cache-invalidation hook on every
+// current table and every table Ensure creates afterwards. The overlay
+// uses it to bump its flow-cache epoch on any route-cache clear in any
+// tenant namespace.
+func (ts *Tenants) SetInvalidateHook(fn func()) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.invalidate = fn
+	for _, t := range ts.tables {
+		t.SetInvalidateHook(fn)
+	}
 }
 
 // IDs lists the tenant IDs that have tables, sorted ascending (the

@@ -71,6 +71,7 @@ func CollectMicrobench() []Record {
 	recs = append(recs, CollectTraceBench()...)
 	recs = append(recs, CollectAdaptiveBench()...)
 	recs = append(recs, CollectSealBench()...)
+	recs = append(recs, CollectFlowBench()...)
 	return recs
 }
 

@@ -198,6 +198,10 @@ func (n *Node) SetLinkTune(id, mode string) error {
 	default:
 		return fmt.Errorf("overlay: unknown tune mode %q (want latency, throughput, or auto)", mode)
 	}
+	// An operator retune retires cached flow decisions (rate-driven
+	// adaptive switches deliberately do not — they fire often under
+	// bursty load and the tunables snapshot is read per batch anyway).
+	n.bumpFlowEpoch()
 	n.log.Info("link tuned", "node", n.name, "link", id, "mode", strings.ToLower(mode))
 	return nil
 }

@@ -79,6 +79,24 @@ type NodeConfig struct {
 	// (100µs).
 	TxFlushTimeout time.Duration
 
+	// FlowCacheDisabled turns off the per-flow forwarding cache
+	// (flowcache.go), restoring the per-frame route-lookup path. The
+	// cache is on by default; disabling it exists for ablation
+	// benchmarks (BenchmarkOverlayFlowCache, flowbench) and as an
+	// operational escape hatch (vnetpd -flow-cache=false).
+	FlowCacheDisabled bool
+	// FlowCacheSize is the flow cache's total entry capacity across its
+	// shards. Zero means the default (16384).
+	FlowCacheSize int
+
+	// RxBatch is the number of datagrams the read loop pulls from the
+	// UDP socket per wakeup. Above one, linux/{amd64,arm64} hosts drain
+	// the socket via recvmmsg(2), amortizing the syscall over the batch
+	// (the receive-side twin of the sendmmsg transmit path); elsewhere —
+	// and at one — each datagram is a ReadFromUDP call. Zero means the
+	// default (16).
+	RxBatch int
+
 	// Adaptive enables the per-link adaptive dispatch controller: an
 	// ω-tick rate sampler with α_l/α_u hysteresis that retunes each
 	// link's effective batch size and flush timeout between latency
@@ -134,6 +152,9 @@ func (c *NodeConfig) normalize() {
 	}
 	if c.TxRing <= 0 {
 		c.TxRing = defaultTxRing
+	}
+	if c.RxBatch <= 0 {
+		c.RxBatch = defaultRxBatch
 	}
 	if c.TxFlushTimeout <= 0 {
 		c.TxFlushTimeout = defaultTxFlush

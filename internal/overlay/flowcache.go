@@ -1,0 +1,259 @@
+// The per-flow fast path (ISSUE 9): a flat (tenant, srcMAC, dstMAC) →
+// forwarding-decision cache in front of the routing machinery, modeled
+// on ONCache's observation that an overlay matches its baseline by
+// caching the *entire* per-packet decision, not just the route. A hit
+// resolves the destination endpoint or link, the encapsulation budget,
+// the seal context, and the prebuilt header template in one sharded
+// map read — no tenant-table lookup, no route-cache probe, and no
+// node-mutex acquisition — so the steady-state hot path is one cache
+// hit + one header memcpy + TX-ring enqueue.
+//
+// Correctness rests on epoch-based invalidation: the node keeps a
+// single atomic flow epoch, and every event that can change a
+// forwarding answer bumps it — route churn and FailDest/RestoreDest
+// (via the routing table's invalidation hook), link add/delete/replace,
+// tenant key installs, endpoint detach, LINK TUNE retunes, fault-
+// conduit installs, and UDP→TCP auto-upgrades. An entry records the
+// epoch observed *before* its backing route lookup ran; a hit is valid
+// only while the entry's epoch equals the current one, so an
+// invalidation racing a fill can only strand an already-stale entry,
+// never resurrect one. A stale flow-cache entry would be a silent
+// cross-tenant or dead-link delivery; the churn, fuzz, and failover
+// suites pin that this never happens.
+
+package overlay
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vnetp/internal/core"
+	"vnetp/internal/ethernet"
+	"vnetp/internal/trace"
+)
+
+// defaultFlowCacheSize is the default total entry capacity across all
+// shards (NodeConfig.FlowCacheSize zero value): generous for the
+// paper's VM-pair working sets while bounding a MAC-scan's memory.
+const defaultFlowCacheSize = 16384
+
+// flowShards is the number of independent cache segments, hashed by
+// the packed flow key. Power of two for cheap masking.
+const flowShards = 16
+
+// flowEntry is one cached forwarding decision. All fields are
+// immutable after the entry is stored; mutable link state (tunables,
+// fault conduits, transport upgrades) is either read through the link
+// pointer's own atomics or guarded by an epoch bump at mutation time.
+type flowEntry struct {
+	epoch  uint64 // flow epoch observed before the backing lookup
+	tenant uint32
+
+	// fl is the flow's live accounting entry (core.FlowStats.Acquire),
+	// set when the entry was filled by a locally originated frame. A
+	// hit accounts its frame with two atomic adds on it instead of the
+	// stats table's hash + lock + map probe; nil (forwarded fills)
+	// falls back to Record.
+	fl *core.Flow
+
+	// Exactly one of ep/lk is non-nil: local delivery or link forward.
+	ep *Endpoint
+	lk *link
+
+	// Synchronous-transmit snapshot (meaningful when lk != nil and the
+	// link has no TX ring): the encapsulation budget for the link's
+	// transport, and whether the datagrams may go straight to the UDP
+	// socket (fastUDP: UDP transport, no fault conduit) with the
+	// prebuilt header template instead of the general send path.
+	budget  int
+	fastUDP bool
+	addr    *net.UDPAddr
+}
+
+// flowShard is one cache segment. The map is read under the shard
+// read-lock on every hit; fills and evictions take the write lock.
+type flowShard struct {
+	mu sync.RWMutex
+	m  map[core.FlowKey]*flowEntry
+}
+
+// flowCache is the node's per-flow forwarding cache: flowShards
+// independent segments plus atomic counters the telemetry funcs read.
+// Invalidation is implicit (epoch mismatch on read) — a bump costs one
+// atomic add no matter how many entries it retires; stale entries are
+// overwritten on refill or evicted by the capacity bound.
+type flowCache struct {
+	shards   [flowShards]flowShard
+	perShard int // entry cap per shard
+
+	hits, misses, evictions atomic.Uint64
+}
+
+func newFlowCache(total int) *flowCache {
+	if total <= 0 {
+		total = defaultFlowCacheSize
+	}
+	per := total / flowShards
+	if per < 1 {
+		per = 1
+	}
+	c := &flowCache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].m = make(map[core.FlowKey]*flowEntry)
+	}
+	return c
+}
+
+// lookup returns the entry for k if it exists and is current at epoch;
+// a missing or stale entry is a miss.
+func (c *flowCache) lookup(k core.FlowKey, epoch uint64) *flowEntry {
+	sh := &c.shards[k.Shard(flowShards)]
+	sh.mu.RLock()
+	e := sh.m[k]
+	sh.mu.RUnlock()
+	if e == nil || e.epoch != epoch {
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	return e
+}
+
+// store installs (or refreshes) k's entry. At capacity one resident
+// entry is evicted — arbitrary victim, counted; the epoch check on
+// read makes victim choice a pure performance question.
+func (c *flowCache) store(k core.FlowKey, e *flowEntry) {
+	sh := &c.shards[k.Shard(flowShards)]
+	sh.mu.Lock()
+	if _, resident := sh.m[k]; !resident && len(sh.m) >= c.perShard {
+		for victim := range sh.m {
+			delete(sh.m, victim)
+			c.evictions.Add(1)
+			break
+		}
+	}
+	sh.m[k] = e
+	sh.mu.Unlock()
+}
+
+// entries reports the resident entry count (current and stale alike —
+// stale entries still occupy capacity until overwritten or evicted).
+func (c *flowCache) entries() int {
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		total += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// bumpFlowEpoch retires every cached flow decision. Called from every
+// mutation that can change a forwarding answer; route-table
+// invalidations arrive via the core.Tenants hook installed at node
+// construction.
+func (n *Node) bumpFlowEpoch() { n.flowEpoch.Add(1) }
+
+// FlowCacheStats reports the flow cache's counters and occupancy
+// (zeroes when the cache is disabled).
+func (n *Node) FlowCacheStats() (hits, misses, evictions uint64, entries int) {
+	fc := n.fcache
+	if fc == nil {
+		return 0, 0, 0, 0
+	}
+	return fc.hits.Load(), fc.misses.Load(), fc.evictions.Load(), fc.entries()
+}
+
+// FlowEpoch exposes the current flow epoch (tests pin that specific
+// events bump it).
+func (n *Node) FlowEpoch() uint64 { return n.flowEpoch.Load() }
+
+// flowHit forwards one frame from a cached decision — the hot path.
+// The tenancy guards re-run here on immutable fields (entry, endpoint,
+// and link tenants are all fixed at their creation), so even a
+// hypothetical stale entry surviving an epoch bump could not cross
+// tenants.
+func (n *Node) flowHit(e *flowEntry, f *ethernet.Frame, from *Endpoint, at time.Time, tenant uint32) error {
+	if from != nil {
+		if fl := e.fl; fl != nil {
+			atomic.AddUint64(&fl.Bytes, uint64(f.Len()))
+			atomic.AddUint64(&fl.Packets, 1)
+		} else {
+			n.flows.Record(f.Src, f.Dst, f.Len())
+		}
+	}
+	if f.Tag != 0 {
+		n.tracer.Record(f.Tag, trace.StageRouteLookup)
+	}
+	if e.ep != nil {
+		ep := e.ep
+		if ep == from {
+			return nil
+		}
+		if ep.tenant != tenant {
+			n.metrics.crossTenantDrops.Add(1)
+			return nil
+		}
+		ep.deliver(f)
+		n.Delivered.Add(1)
+		if f.Tag != 0 {
+			n.tracer.Record(f.Tag, trace.StageDeliver)
+			n.log.Debug("traced frame delivered",
+				"trace_id", fmt.Sprintf("%016x", f.Tag), "interface", ep.name)
+		}
+		return nil
+	}
+	lk := e.lk
+	if lk.tenant != tenant {
+		n.metrics.crossTenantDrops.Add(1)
+		return nil
+	}
+	if lk.txq != nil {
+		if f.Tag != 0 {
+			n.tracer.Record(f.Tag, trace.StageTxEnqueue)
+		}
+		n.enqueueTx(lk, txFrame{f: f, at: at})
+		return nil
+	}
+	if err := n.sendEncapCached(e, f); err != nil {
+		return fmt.Errorf("link %q: %w", lk.id, err)
+	}
+	if !at.IsZero() {
+		n.metrics.txLatency.Observe(time.Since(at).Seconds())
+	}
+	return nil
+}
+
+// sendEncapCached is the synchronous transmit leg of a flow-cache hit:
+// template encapsulation plus a direct socket write when the cached
+// snapshot allows it. Traced frames need the trace extension and
+// faulted or TCP links need the general transport path, so both fall
+// back to sendEncap — correctness first, the template is purely a
+// fast-path encoding of the identical wire bytes.
+func (n *Node) sendEncapCached(e *flowEntry, f *ethernet.Frame) error {
+	lk := e.lk
+	if f.Tag != 0 || !e.fastUDP {
+		return n.sendEncap(lk, f)
+	}
+	pkt, err := n.encap.EncapsulateTemplate(f, n.nextID.Add(1), e.budget, lk.tmpl, lk.sealer)
+	if err != nil {
+		return err
+	}
+	defer pkt.Release()
+	if lk.sealer != nil {
+		n.metrics.sealSealed.Add(uint64(len(pkt.Datagrams)))
+	}
+	for _, d := range pkt.Datagrams {
+		if _, err := n.conn.WriteToUDP(d, e.addr); err != nil {
+			lk.sendErrors.Add(1)
+			return err
+		}
+		lk.bytesSent.Add(uint64(len(d)))
+	}
+	n.EncapSent.Add(1)
+	return nil
+}

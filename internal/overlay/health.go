@@ -351,6 +351,9 @@ func (n *Node) noteProbeLocked(lk *link, ok bool) {
 		lk.proto = "tcp"
 		h.upgrades.Inc()
 		h.resetWindow() // the TCP transport starts with a clean history
+		// Cached flow decisions snapshot the transport (budget, direct-
+		// UDP eligibility); the upgraded link needs fresh ones.
+		n.bumpFlowEpoch()
 	}
 }
 

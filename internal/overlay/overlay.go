@@ -164,6 +164,12 @@ type link struct {
 	tenant uint32
 	sealer bridge.LinkSealer
 
+	// tmpl is the link's prebuilt encapsulation header template (sealed
+	// for tenant links, plain otherwise): the flow cache and the batched
+	// sender stamp per-fragment fields into a memcpy of it instead of
+	// re-marshalling the header per fragment. Immutable after AddLink.
+	tmpl *bridge.EncapTemplate
+
 	// Batched transmit state (NodeConfig.TxBatch > 1): a bounded ring of
 	// outbound frames drained by this link's sender goroutine (txLoop).
 	// txq is nil on nodes running the synchronous path. txw is the
@@ -246,10 +252,19 @@ type Node struct {
 	probeCh    chan probeEvent       // control traffic, split off the data path
 	nextID     atomic.Uint32
 	linkEpoch  atomic.Uint64 // bumped on AddLink/DelLink; readLoop's addr→link cache key
-	closed     bool
-	draining   atomic.Bool // Drain in progress (or finished): admission stopped
-	quit       chan struct{}
-	wg         sync.WaitGroup // TCP accept/reader goroutines (connection-scoped)
+
+	// Per-flow fast path (flowcache.go). fcache is nil when disabled
+	// (NodeConfig.FlowCacheDisabled); flowEpoch is bumped by every event
+	// that can change a forwarding answer — route-cache invalidations in
+	// any tenant table (via the core.Tenants hook), link lifecycle,
+	// tenant changes, LINK TUNE, fault installs, transport upgrades —
+	// retiring every cached decision in one atomic add.
+	fcache    *flowCache
+	flowEpoch atomic.Uint64
+	closed    bool
+	draining  atomic.Bool // Drain in progress (or finished): admission stopped
+	quit      chan struct{}
+	wg        sync.WaitGroup // TCP accept/reader goroutines (connection-scoped)
 
 	// sup supervises the long-lived datapath goroutines (dispatcher
 	// workers, per-link TX senders, the prober, the evictor, the health
@@ -321,6 +336,13 @@ func NewNodeWithConfig(name, bindAddr string, cfg NodeConfig) (*Node, error) {
 		probeCh:    make(chan probeEvent, 256),
 		quit:       make(chan struct{}),
 	}
+	if !cfg.FlowCacheDisabled {
+		n.fcache = newFlowCache(cfg.FlowCacheSize)
+	}
+	// Any route-cache invalidation in any tenant namespace — route
+	// churn, FailDest/RestoreDest, teardown sweeps — retires the flow
+	// cache wholesale. Installed before any table can carry routes.
+	tenants.SetInvalidateHook(n.bumpFlowEpoch)
 	n.log = cfg.Logger
 	n.tracer = trace.NewLive(name, originID(name))
 	if cfg.TraceSample > 0 {
@@ -479,6 +501,7 @@ func (n *Node) DetachEndpoint(ifName string) {
 	defer n.mu.Unlock()
 	delete(n.eps, ifName)
 	n.metrics.epDrops.Delete(ifName)
+	n.bumpFlowEpoch() // cached deliveries to the detached endpoint must die
 	dest := core.Destination{Type: core.DestInterface, ID: ifName}
 	n.tenants.Each(func(_ uint32, t *core.Table) { t.RemoveByDest(dest) })
 }
@@ -529,6 +552,7 @@ func (n *Node) addLink(id, remote, proto string, tenant uint32) error {
 	if sealer != nil {
 		lk.sealer = sealer
 	}
+	lk.tmpl = bridge.NewEncapTemplate(sealer)
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -561,6 +585,10 @@ func (n *Node) addLink(id, remote, proto string, tenant uint32) error {
 		n.linkByAddr[addr.String()] = lk
 	}
 	n.linkEpoch.Add(1)
+	// A replaced link's cached decisions point at the dead *link; a
+	// fresh link may satisfy flows that previously had no answer. Either
+	// way every cached decision predating this link set is now suspect.
+	n.bumpFlowEpoch()
 	if lk.txq != nil {
 		lk.txw = n.sup.Go("tx/"+id, func(i *supervise.Instance) { n.txLoop(i, lk) })
 	}
@@ -606,6 +634,10 @@ func (n *Node) DelLink(id string) error {
 	n.unmapLinkAddrLocked(lk)
 	n.dropLinkMetrics(id)
 	n.linkEpoch.Add(1)
+	// Explicit bump (not just the route-sweep hook below): the DEL LINK
+	// may find no routes to remove, yet cached decisions still hold the
+	// deleted link and must die before the sweep's outcome is known.
+	n.bumpFlowEpoch()
 	txw := lk.txw // stop the TX sender; queued frames are dropped
 	tcp := lk.tcp
 	lk.tcp = nil
@@ -637,6 +669,9 @@ func (n *Node) SetLinkFault(id string, c *faultnet.Conduit) error {
 		return fmt.Errorf("overlay: no link %q", id)
 	}
 	lk.fault = c
+	// Cached synchronous-send decisions snapshot the fault conduit's
+	// presence (flowEntry.fastUDP); they must be rebuilt around it.
+	n.bumpFlowEpoch()
 	return nil
 }
 
@@ -662,6 +697,7 @@ func (n *Node) AddTenant(id uint32, key []byte) error {
 		return err
 	}
 	n.tenants.Ensure(id)
+	n.bumpFlowEpoch() // tenant changes retire cached flow decisions
 	n.log.Info("tenant key installed",
 		"node", n.name, "tenant", id, "fingerprint", seal.Fingerprint(key))
 	return nil
@@ -798,6 +834,14 @@ func (n *Node) Stats() []string {
 		statLine("cross_tenant_drops", n.metrics.crossTenantDrops.Load()),
 		statLine("tenants", uint64(n.keyring.Count())),
 	)
+	// Per-flow fast-path counters (append-only, after the seal lines).
+	fcHits, fcMisses, fcEvictions, fcEntries := n.FlowCacheStats()
+	out = append(out,
+		statLine("flow_cache_hits", fcHits),
+		statLine("flow_cache_misses", fcMisses),
+		statLine("flow_cache_evictions", fcEvictions),
+		statLine("flow_cache_entries", uint64(fcEntries)),
+	)
 	return out
 }
 
@@ -847,8 +891,39 @@ func (n *Node) routeAt(f *ethernet.Frame, from *Endpoint, at time.Time) error {
 // than trusted, so a misinstalled route cannot leak frames across
 // tenants.
 func (n *Node) routeTenantAt(f *ethernet.Frame, from *Endpoint, at time.Time, tenant uint32) error {
+	// Per-flow fast path: a current cache entry resolves the entire
+	// forwarding decision in one sharded read. Only unicast flows are
+	// cacheable (broadcast fans out to a destination set). The fill
+	// epoch is captured BEFORE the backing route lookup: an
+	// invalidation racing the lookup lands the entry already stale, so
+	// a hit can never serve a decision older than the last epoch bump
+	// it observed. Flow accounting for hits happens inside flowHit
+	// (atomic adds on the entry's cached accounting pointer); the
+	// hash + lock + map probe of FlowStats.Record is paid only here,
+	// on the miss path.
+	var (
+		fc        *flowCache
+		key       core.FlowKey
+		fillEpoch uint64
+		fl        *core.Flow
+	)
+	if n.fcache != nil && !f.Dst.IsBroadcast() && !f.Dst.IsMulticast() {
+		key = core.FlowKey{Tenant: tenant, Src: f.Src, Dst: f.Dst}
+		fillEpoch = n.flowEpoch.Load()
+		if e := n.fcache.lookup(key, fillEpoch); e != nil {
+			return n.flowHit(e, f, from, at, tenant)
+		}
+		fc = n.fcache
+	}
 	if from != nil {
 		n.flows.Record(f.Src, f.Dst, f.Len())
+		if fc != nil {
+			// Locally originated and cacheable: resolve the accounting
+			// entry once so hits can add to it without touching the
+			// stats table. Forwarded frames (from == nil) are not flow-
+			// accounted, so their entries carry no pointer.
+			fl = n.flows.Acquire(f.Src, f.Dst)
+		}
 	}
 	tbl := n.tenants.Table(tenant)
 	if tbl == nil {
@@ -863,6 +938,7 @@ func (n *Node) routeTenantAt(f *ethernet.Frame, from *Endpoint, at time.Time, te
 	if f.Tag != 0 {
 		n.tracer.Record(f.Tag, trace.StageRouteLookup)
 	}
+	cacheable := fc != nil && len(dests) == 1
 	var errs []error
 	sentOnLink := false
 	for _, d := range dests {
@@ -871,11 +947,17 @@ func (n *Node) routeTenantAt(f *ethernet.Frame, from *Endpoint, at time.Time, te
 			n.mu.Lock()
 			ep := n.eps[d.ID]
 			n.mu.Unlock()
-			if ep == nil || ep == from {
+			if ep == nil {
 				continue
 			}
 			if ep.tenant != tenant {
 				n.metrics.crossTenantDrops.Add(1)
+				continue
+			}
+			if cacheable {
+				fc.store(key, &flowEntry{epoch: fillEpoch, tenant: tenant, ep: ep, fl: fl})
+			}
+			if ep == from {
 				continue
 			}
 			ep.deliver(f)
@@ -888,6 +970,21 @@ func (n *Node) routeTenantAt(f *ethernet.Frame, from *Endpoint, at time.Time, te
 		case core.DestLink:
 			n.mu.Lock()
 			lk := n.links[d.ID]
+			var ent *flowEntry
+			if lk != nil && lk.tenant == tenant && cacheable {
+				// Snapshot the synchronous-transmit parameters under the
+				// same n.mu hold that resolved the link, so the entry is
+				// consistent with one instant of link state.
+				ent = &flowEntry{
+					epoch: fillEpoch, tenant: tenant, lk: lk, fl: fl,
+					budget:  maxDatagram,
+					fastUDP: lk.proto == "udp" && lk.fault == nil && lk.txq == nil,
+					addr:    lk.addr,
+				}
+				if lk.proto == "tcp" {
+					ent.budget = tcpMaxDatagram
+				}
+			}
 			n.mu.Unlock()
 			if lk == nil {
 				n.NoRouteDrop.Add(1)
@@ -896,6 +993,9 @@ func (n *Node) routeTenantAt(f *ethernet.Frame, from *Endpoint, at time.Time, te
 			if lk.tenant != tenant {
 				n.metrics.crossTenantDrops.Add(1)
 				continue
+			}
+			if ent != nil {
+				fc.store(key, ent)
 			}
 			if lk.txq != nil {
 				// Batched mode: hand the frame to the link's sender ring.
@@ -1032,28 +1132,35 @@ type probeEvent struct {
 	from *net.UDPAddr
 }
 
-// readLoop is the receive producer: it pulls datagrams off the UDP
-// socket, steers control traffic to the probe handler, and hands raw data
-// datagrams to the dispatcher pool keyed by sender. It does no parsing
-// beyond a one-byte flag peek, so the socket drains at wire rate and the
-// heavy work (parse, reassemble, route) parallelizes across workers.
-// Supervised: a panic restarts the loop over the still-open socket (the
-// address caches rebuild); a clean return (socket closed) retires it.
-// The progress markers bracket per-datagram handling only — blocking in
-// ReadFromUDP is idle, not a stall.
+// rxAttrib is the read loop's sender-attribution cache: the sender-key
+// string for the common case of consecutive datagrams from one peer (a
+// fragmented jumbo frame arrives as a burst from the same address) —
+// String() per datagram would allocate — plus the sender's link for
+// receive-byte attribution, invalidated when the key or the link
+// table's epoch changes.
+type rxAttrib struct {
+	lastAddr  net.UDPAddr
+	lastKey   string
+	lastLink  *link
+	lastEpoch uint64
+}
+
+// readLoop is the receive producer: it drains datagram batches off the
+// UDP socket (recvmmsg on linux/{amd64,arm64} when RxBatch > 1, one
+// ReadFromUDP per wakeup elsewhere), steers control traffic to the probe
+// handler, and hands raw data datagrams to the dispatcher pool keyed by
+// sender. It does no parsing beyond a one-byte flag peek, so the socket
+// drains at wire rate and the heavy work (parse, reassemble, route)
+// parallelizes across workers. Supervised: a panic restarts the loop
+// over the still-open socket (the address caches rebuild); a clean
+// return (socket closed) retires it. The progress markers bracket
+// per-batch handling only — blocking in readBatch is idle, not a stall.
 func (n *Node) readLoop(inst *supervise.Instance) {
-	buf := make([]byte, 65536)
-	// Cache the sender-key string for the common case of consecutive
-	// datagrams from one peer (a fragmented jumbo frame arrives as a burst
-	// from the same address): String() per datagram would allocate. The
-	// sender's link (for receive-byte attribution) is cached alongside,
-	// invalidated when the key or the link table's epoch changes.
-	var lastAddr net.UDPAddr
-	var lastKey string
-	var lastLink *link
-	var lastEpoch uint64
+	rdr := newBatchReader(n.conn, n.cfg.RxBatch)
+	batch := make([]rxPacket, n.cfg.RxBatch)
+	var attr rxAttrib
 	for {
-		sz, from, err := n.conn.ReadFromUDP(buf)
+		cnt, err := rdr.readBatch(batch)
 		if err != nil {
 			return
 		}
@@ -1064,35 +1171,44 @@ func (n *Node) readLoop(inst *supervise.Instance) {
 		}
 		inst.Working()
 		at := time.Now()
-		pkt := make([]byte, sz)
-		copy(pkt, buf[:sz])
-		changed := lastKey == "" || from.Port != lastAddr.Port || !from.IP.Equal(lastAddr.IP)
-		if changed {
-			lastAddr = *from
-			lastKey = from.String()
+		n.metrics.rxBatchSize.Observe(float64(cnt))
+		for i := 0; i < cnt; i++ {
+			n.handleDatagram(batch[i].pkt, batch[i].from, at, &attr)
+			batch[i] = rxPacket{} // drop the owned copy's ref once handed off
 		}
-		if epoch := n.linkEpoch.Load(); changed || epoch != lastEpoch {
-			lastEpoch = epoch
-			n.mu.Lock()
-			lastLink = n.linkByAddr[lastKey]
-			n.mu.Unlock()
-		}
-		if lastLink != nil {
-			lastLink.bytesRecv.Add(uint64(sz))
-		}
-		if bridge.EncapIsControl(pkt) {
-			select {
-			case n.probeCh <- probeEvent{pkt: pkt, from: from}:
-			default:
-				// Control ring full: the dropped probe surfaces as a lost
-				// heartbeat at its sender, which is the correct signal.
-			}
-			inst.Idle()
-			continue
-		}
-		n.enqueue(lastKey, pkt, at)
 		inst.Idle()
 	}
+}
+
+// handleDatagram classifies and routes one received datagram: link
+// attribution via the read loop's cache, control steering to the probe
+// handler, data enqueue onto the sender's dispatcher shard. pkt must be
+// an owned copy (it outlives the call on both paths).
+func (n *Node) handleDatagram(pkt []byte, from *net.UDPAddr, at time.Time, attr *rxAttrib) {
+	changed := attr.lastKey == "" || from.Port != attr.lastAddr.Port || !from.IP.Equal(attr.lastAddr.IP)
+	if changed {
+		attr.lastAddr = *from
+		attr.lastKey = from.String()
+	}
+	if epoch := n.linkEpoch.Load(); changed || epoch != attr.lastEpoch {
+		attr.lastEpoch = epoch
+		n.mu.Lock()
+		attr.lastLink = n.linkByAddr[attr.lastKey]
+		n.mu.Unlock()
+	}
+	if attr.lastLink != nil {
+		attr.lastLink.bytesRecv.Add(uint64(len(pkt)))
+	}
+	if bridge.EncapIsControl(pkt) {
+		select {
+		case n.probeCh <- probeEvent{pkt: pkt, from: from}:
+		default:
+			// Control ring full: the dropped probe surfaces as a lost
+			// heartbeat at its sender, which is the correct signal.
+		}
+		return
+	}
+	n.enqueue(attr.lastKey, pkt, at)
 }
 
 // probeLoop handles control traffic (liveness probes and replies) off the

@@ -1,0 +1,11 @@
+//go:build !linux || !(amd64 || arm64)
+
+package overlay
+
+import "net"
+
+// newPlatformBatchReader on platforms without recvmmsg: no batch
+// reader; the caller falls back to the portable per-datagram loop.
+func newPlatformBatchReader(c *net.UDPConn, batch int) batchReader {
+	return nil
+}

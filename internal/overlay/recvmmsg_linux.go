@@ -1,0 +1,122 @@
+//go:build linux && (amd64 || arm64)
+
+// recvmmsg(2) batch receive: one syscall drains a burst of datagrams
+// from the UDP socket, mirroring the sendmmsg transmit path. The reader
+// owns a fixed set of 64KiB buffers and mmsghdr/iovec/sockaddr arrays,
+// rebuilt never — readBatch's only per-datagram allocation is the owned
+// packet copy handed up the stack.
+
+package overlay
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// mmsgReader is the linux batchReader: a non-blocking recvmmsg loop
+// integrated with the runtime poller via RawConn.Read (EAGAIN parks the
+// goroutine until readable; EINTR retries the syscall).
+type mmsgReader struct {
+	rc    syscall.RawConn
+	bufs  [][]byte
+	iovs  []syscall.Iovec
+	msgs  []mmsghdr
+	names []syscall.RawSockaddrInet6 // big enough for both families
+}
+
+func newPlatformBatchReader(c *net.UDPConn, batch int) batchReader {
+	rc, err := c.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	r := &mmsgReader{
+		rc:    rc,
+		bufs:  make([][]byte, batch),
+		iovs:  make([]syscall.Iovec, batch),
+		msgs:  make([]mmsghdr, batch),
+		names: make([]syscall.RawSockaddrInet6, batch),
+	}
+	for i := range r.msgs {
+		r.bufs[i] = make([]byte, 65536)
+		r.iovs[i].Base = &r.bufs[i][0]
+		r.iovs[i].SetLen(len(r.bufs[i]))
+		r.msgs[i].hdr.Iov = &r.iovs[i]
+		r.msgs[i].hdr.Iovlen = 1 // uint64 on both supported 64-bit arches
+		r.msgs[i].hdr.Name = (*byte)(unsafe.Pointer(&r.names[i]))
+	}
+	return r
+}
+
+func (r *mmsgReader) readBatch(into []rxPacket) (int, error) {
+	want := len(into)
+	if want > len(r.msgs) {
+		want = len(r.msgs)
+	}
+	// Namelen is value-result: the kernel shrinks it to the sockaddr it
+	// wrote, so it must be restored to the buffer size before every call.
+	for i := 0; i < want; i++ {
+		r.msgs[i].hdr.Namelen = uint32(unsafe.Sizeof(r.names[i]))
+	}
+	got := 0
+	var opErr error
+	rerr := r.rc.Read(func(fd uintptr) bool {
+		for {
+			n1, _, errno := syscall.Syscall6(sysRecvmmsg, fd,
+				uintptr(unsafe.Pointer(&r.msgs[0])), uintptr(want), 0, 0, 0)
+			switch {
+			case errno == syscall.EINTR:
+				continue // interrupted before any datagram: retry
+			case errno == syscall.EAGAIN:
+				return false // park on the poller until readable
+			case errno != 0:
+				opErr = errno
+				return true
+			}
+			got = int(n1)
+			return true
+		}
+	})
+	if rerr != nil {
+		return 0, rerr // socket closed (shutdown) or poller error
+	}
+	if opErr != nil {
+		return 0, opErr
+	}
+	for i := 0; i < got; i++ {
+		sz := int(r.msgs[i].cnt)
+		pkt := make([]byte, sz)
+		copy(pkt, r.bufs[i][:sz])
+		into[i] = rxPacket{pkt: pkt, from: udpAddrOf(&r.names[i])}
+	}
+	return got, nil
+}
+
+// udpAddrOf decodes a kernel-written sockaddr into a *net.UDPAddr. The
+// storage is RawSockaddrInet6-sized; AF_INET reinterprets the prefix as
+// RawSockaddrInet4 (the layouts agree through the family field). Ports
+// are network byte order in both.
+func udpAddrOf(sa *syscall.RawSockaddrInet6) *net.UDPAddr {
+	switch sa.Family {
+	case syscall.AF_INET:
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		ip := make(net.IP, 4)
+		copy(ip, sa4.Addr[:])
+		p := (*[2]byte)(unsafe.Pointer(&sa4.Port))
+		return &net.UDPAddr{IP: ip, Port: int(p[0])<<8 | int(p[1])}
+	case syscall.AF_INET6:
+		ip := make(net.IP, 16)
+		copy(ip, sa.Addr[:])
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		addr := &net.UDPAddr{IP: ip, Port: int(p[0])<<8 | int(p[1])}
+		if sa.Scope_id != 0 {
+			// Numeric zone: enough for equality and attribution; the
+			// overlay never dials zoned addresses itself.
+			if ifi, err := net.InterfaceByIndex(int(sa.Scope_id)); err == nil {
+				addr.Zone = ifi.Name
+			}
+		}
+		return addr
+	}
+	return &net.UDPAddr{}
+}

@@ -1,0 +1,7 @@
+//go:build linux
+
+package overlay
+
+// recvmmsg(2) syscall number on linux/amd64; like sendmmsg, absent from
+// the frozen stdlib syscall table.
+const sysRecvmmsg = 299

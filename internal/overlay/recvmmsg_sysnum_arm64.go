@@ -1,0 +1,6 @@
+//go:build linux
+
+package overlay
+
+// recvmmsg(2) syscall number on linux/arm64.
+const sysRecvmmsg = 243

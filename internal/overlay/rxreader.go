@@ -1,0 +1,62 @@
+// The batched receive front end: the read loop's socket access goes
+// through a batchReader so linux/{amd64,arm64} hosts can drain the UDP
+// socket with recvmmsg(2) — one syscall per batch, the receive-side twin
+// of the sendmmsg transmit path (Sect. 4.3's per-batch, not per-packet,
+// exit economics) — while every other platform keeps the portable
+// one-ReadFromUDP-per-datagram loop with identical semantics.
+
+package overlay
+
+import "net"
+
+// defaultRxBatch is the read loop's per-wakeup datagram budget when
+// NodeConfig.RxBatch is zero. 16 amortizes the syscall well past the
+// knee of the curve without holding a burst's worth of 64KiB buffers.
+const defaultRxBatch = 16
+
+// rxPacket is one received datagram: an owned copy of the payload (the
+// reader's internal buffers are reused across batches) and its sender.
+type rxPacket struct {
+	pkt  []byte
+	from *net.UDPAddr
+}
+
+// batchReader abstracts "drain up to len(into) datagrams from the
+// socket". readBatch blocks until at least one datagram is available,
+// fills into[0:n] with owned packet copies, and returns n. A socket
+// error (including close during shutdown) returns err; the read loop
+// treats any error as retirement, matching the old ReadFromUDP contract.
+type batchReader interface {
+	readBatch(into []rxPacket) (int, error)
+}
+
+// singleReader is the portable batchReader: one blocking ReadFromUDP
+// per call, so batches degenerate to size one. Used on platforms
+// without recvmmsg and whenever RxBatch <= 1.
+type singleReader struct {
+	c   *net.UDPConn
+	buf []byte
+}
+
+func (r *singleReader) readBatch(into []rxPacket) (int, error) {
+	sz, from, err := r.c.ReadFromUDP(r.buf)
+	if err != nil {
+		return 0, err
+	}
+	pkt := make([]byte, sz)
+	copy(pkt, r.buf[:sz])
+	into[0] = rxPacket{pkt: pkt, from: from}
+	return 1, nil
+}
+
+// newBatchReader picks the best reader for this platform and batch
+// size: the recvmmsg reader when the platform has one and batch > 1,
+// the portable single-datagram reader otherwise.
+func newBatchReader(c *net.UDPConn, batch int) batchReader {
+	if batch > 1 {
+		if r := newPlatformBatchReader(c, batch); r != nil {
+			return r
+		}
+	}
+	return &singleReader{c: c, buf: make([]byte, 65536)}
+}

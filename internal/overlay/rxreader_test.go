@@ -1,0 +1,219 @@
+package overlay
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"vnetp/internal/core"
+	"vnetp/internal/ethernet"
+)
+
+// TestRxBatchParity pins that the batched receive path is semantically
+// invisible: the same frame stream (mixed sizes, including frames that
+// fragment across datagrams) delivered to a recvmmsg-batched node and a
+// portable single-read node (RxBatch: 1 always selects singleReader)
+// arrives byte-identical and in order on both.
+func TestRxBatchParity(t *testing.T) {
+	recv := func(rxBatch int) []string {
+		n, err := NewNodeWithConfig(fmt.Sprintf("rx-%d", rxBatch), "127.0.0.1:0",
+			NodeConfig{RxBatch: rxBatch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		ep, err := n.AttachEndpoint("nic0", ethernet.LocalMAC(1), ethernet.JumboMTU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sender, err := NewNode("tx", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sender.Close()
+		src, err := sender.AttachEndpoint("nic0", ethernet.LocalMAC(2), ethernet.JumboMTU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sender.AddLink("to-rx", n.Addr(), "udp"); err != nil {
+			t.Fatal(err)
+		}
+		sender.AddRoute(core.Route{DstMAC: ep.MAC(), DstQual: core.QualExact, SrcQual: core.QualAny,
+			Dest: core.Destination{Type: core.DestLink, ID: "to-rx"}})
+
+		// One sender, sequential sends: per-sender order is guaranteed
+		// end to end, so the received sequence must match exactly.
+		sizes := []int{1, 63, 64, 1000, 1400, 4000, 9000, 2, 8999}
+		var got []string
+		for i, sz := range sizes {
+			payload := make([]byte, sz)
+			for j := range payload {
+				payload[j] = byte(i + j)
+			}
+			if err := src.Send(&ethernet.Frame{Dst: ep.MAC(), Src: src.MAC(),
+				Type: ethernet.TypeTest, Payload: payload}); err != nil {
+				t.Fatal(err)
+			}
+			f, ok := ep.Recv(2 * time.Second)
+			if !ok {
+				t.Fatalf("RxBatch=%d: frame %d (size %d) lost", rxBatch, i, sz)
+			}
+			got = append(got, string(f.Payload))
+		}
+		return got
+	}
+	single := recv(1)
+	batched := recv(8)
+	if len(single) != len(batched) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(single), len(batched))
+	}
+	for i := range single {
+		if single[i] != batched[i] {
+			t.Fatalf("frame %d differs between single-read and batched receive", i)
+		}
+	}
+}
+
+// TestMmsgReaderShortBatch is the recvmmsg regression suite (skipped
+// where the platform has no batch reader): a batch smaller than the
+// ring returns immediately with exactly what was queued (recvmmsg must
+// not block waiting to fill the vector), a parked reader wakes on the
+// next single datagram (the EAGAIN park/retry loop, which is also the
+// EINTR retry loop), and payloads plus sender addresses survive the
+// sockaddr round trip intact.
+func TestMmsgReaderShortBatch(t *testing.T) {
+	rconn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rconn.Close()
+	r := newPlatformBatchReader(rconn, 8)
+	if r == nil {
+		t.Skip("no platform batch reader (recvmmsg) on this host")
+	}
+	sconn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sconn.Close()
+	dst := rconn.LocalAddr().(*net.UDPAddr)
+
+	// Short batch: 3 datagrams queued, ring of 8 — one read returns all
+	// three (loopback delivery is synchronous) without waiting for five
+	// more.
+	for i := 0; i < 3; i++ {
+		if _, err := sconn.WriteToUDP([]byte{byte(i), 0xAA, byte(i)}, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	into := make([]rxPacket, 8)
+	deadline := time.Now().Add(2 * time.Second)
+	got := 0
+	for got < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/3 datagrams after 2s", got)
+		}
+		n, err := r.readBatch(into[got:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += n
+	}
+	want := sconn.LocalAddr().(*net.UDPAddr)
+	for i := 0; i < 3; i++ {
+		p := into[i]
+		if len(p.pkt) != 3 || p.pkt[0] != byte(i) || p.pkt[1] != 0xAA {
+			t.Fatalf("datagram %d corrupted: %x", i, p.pkt)
+		}
+		if p.from == nil || p.from.Port != want.Port || !p.from.IP.Equal(want.IP) {
+			t.Fatalf("datagram %d sender = %v, want %v", i, p.from, want)
+		}
+	}
+
+	// Parked read: the reader blocks on an empty socket (EAGAIN →
+	// poller), then a single late datagram wakes it with a batch of one.
+	type result struct {
+		n   int
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		n, err := r.readBatch(into)
+		done <- result{n, err}
+	}()
+	select {
+	case res := <-done:
+		t.Fatalf("readBatch returned (%d, %v) on an empty socket", res.n, res.err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, err := sconn.WriteToUDP([]byte("wake"), dst); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-done:
+		if res.err != nil || res.n != 1 || string(into[0].pkt) != "wake" {
+			t.Fatalf("woken read = (%d, %v, %q)", res.n, res.err, into[0].pkt)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked readBatch never woke on a late datagram")
+	}
+
+	// Close unblocks: a parked reader must return an error when the
+	// socket is torn down (shutdown path), not hang.
+	go func() {
+		n, err := r.readBatch(into)
+		done <- result{n, err}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	rconn.Close()
+	select {
+	case res := <-done:
+		if res.err == nil {
+			t.Fatalf("readBatch returned %d datagrams after close, want error", res.n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("readBatch hung across socket close")
+	}
+}
+
+// TestSingleReaderContract pins the portable fallback's contract: one
+// datagram per call, owned copies, correct sender.
+func TestSingleReaderContract(t *testing.T) {
+	rconn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rconn.Close()
+	sconn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sconn.Close()
+	r := newBatchReader(rconn, 1)
+	if _, ok := r.(*singleReader); !ok {
+		t.Fatalf("RxBatch=1 selected %T, want *singleReader", r)
+	}
+	dst := rconn.LocalAddr().(*net.UDPAddr)
+	for i := 0; i < 2; i++ {
+		if _, err := sconn.WriteToUDP([]byte{byte(0x40 + i)}, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	into := make([]rxPacket, 4)
+	n, err := r.readBatch(into)
+	if err != nil || n != 1 {
+		t.Fatalf("readBatch = (%d, %v), want (1, nil)", n, err)
+	}
+	keep := into[0].pkt
+	n, err = r.readBatch(into)
+	if err != nil || n != 1 {
+		t.Fatalf("second readBatch = (%d, %v)", n, err)
+	}
+	if keep[0] != 0x40 || into[0].pkt[0] != 0x41 {
+		t.Fatalf("reads not owned copies in order: %x then %x", keep, into[0].pkt)
+	}
+	if into[0].from.Port != sconn.LocalAddr().(*net.UDPAddr).Port {
+		t.Fatalf("sender port = %d", into[0].from.Port)
+	}
+}

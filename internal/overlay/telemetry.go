@@ -60,6 +60,7 @@ type nodeMetrics struct {
 
 	reasmEvictions *telemetry.Counter
 	txBatchSize    *telemetry.Histogram
+	rxBatchSize    *telemetry.Histogram
 	txLatency      *telemetry.Histogram
 	rxLatency      *telemetry.Histogram
 
@@ -138,6 +139,9 @@ func newNodeMetrics(reg *telemetry.Registry) *nodeMetrics {
 		txBatchSize: reg.Histogram("vnetp_tx_batch_size",
 			"Frames coalesced per link TX batch flush.",
 			telemetry.HistogramOpts{Start: 1, Factor: 2, Count: 9}),
+		rxBatchSize: reg.Histogram("vnetp_rx_batch_size",
+			"Datagrams drained from the UDP socket per read-loop wakeup (recvmmsg batch).",
+			telemetry.HistogramOpts{Start: 1, Factor: 2, Count: 9}),
 		txLatency: reg.Histogram("vnetp_tx_latency_seconds",
 			"Frame-in to datagram-out latency for locally originated frames hitting a link.",
 			telemetry.LatencyBuckets),
@@ -182,6 +186,20 @@ func (n *Node) registerNodeFuncs() {
 			return float64(s.reasm.Pending())
 		}, w)
 	}
+	// Flow-cache families read the cache's atomics (all zero when the
+	// cache is disabled, so the scrape surface is stable either way).
+	reg.CounterFunc("vnetp_flow_cache_hits_total",
+		"Per-flow forwarding cache hits (full decision served in one lookup).",
+		func() uint64 { h, _, _, _ := n.FlowCacheStats(); return h })
+	reg.CounterFunc("vnetp_flow_cache_misses_total",
+		"Per-flow forwarding cache misses (absent or epoch-stale entries).",
+		func() uint64 { _, m, _, _ := n.FlowCacheStats(); return m })
+	reg.CounterFunc("vnetp_flow_cache_evictions_total",
+		"Per-flow forwarding cache entries evicted at the capacity bound.",
+		func() uint64 { _, _, e, _ := n.FlowCacheStats(); return e })
+	reg.GaugeFunc("vnetp_flow_cache_entries",
+		"Per-flow forwarding cache resident entries (stale entries included until overwritten).",
+		func() float64 { _, _, _, ent := n.FlowCacheStats(); return float64(ent) })
 	reg.GaugeFunc("vnetp_tenants",
 		"Tenants with installed AEAD keys on this node.",
 		func() float64 { return float64(n.keyring.Count()) })

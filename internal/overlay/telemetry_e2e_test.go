@@ -183,29 +183,33 @@ func TestTelemetryEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	expect := map[string]func() float64{
-		"encap_sent":         func() float64 { return series["vnetp_encap_sent_total"] },
-		"encap_recv":         func() float64 { return series["vnetp_encap_recv_total"] },
-		"delivered":          func() float64 { return series["vnetp_frames_delivered_total"] },
-		"no_route_drops":     func() float64 { return series["vnetp_no_route_drops_total"] },
-		"bad_packets":        func() float64 { return series["vnetp_bad_packets_total"] },
-		"send_errors":        func() float64 { return sumFamily(series, "vnetp_link_send_errors_total") },
-		"route_cache_hits":   func() float64 { return series["vnetp_route_cache_hits_total"] },
-		"route_cache_misses": func() float64 { return series["vnetp_route_cache_misses_total"] },
-		"probes_sent":        func() float64 { return sumFamily(series, "vnetp_link_probes_sent_total") },
-		"probes_lost":        func() float64 { return sumFamily(series, "vnetp_link_probes_lost_total") },
-		"failovers":          func() float64 { return sumFamily(series, "vnetp_link_failovers_total") },
-		"failbacks":          func() float64 { return sumFamily(series, "vnetp_link_failbacks_total") },
-		"redials":            func() float64 { return sumFamily(series, "vnetp_link_redials_total") },
-		"link_upgrades":      func() float64 { return sumFamily(series, "vnetp_link_upgrades_total") },
-		"dispatchers":        func() float64 { return series["vnetp_dispatchers"] },
-		"tx_ring_drops":      func() float64 { return sumFamily(series, "vnetp_link_tx_ring_drops_total") },
-		"encap_pool_hits":    func() float64 { return series["vnetp_encap_pool_hits_total"] },
-		"encap_pool_misses":  func() float64 { return series["vnetp_encap_pool_misses_total"] },
-		"sealed_sent":        func() float64 { return series["vnetp_seal_sealed_total"] },
-		"sealed_opened":      func() float64 { return series["vnetp_seal_opened_total"] },
-		"seal_rejects":       func() float64 { return sumFamily(series, "vnetp_seal_reject_total") },
-		"cross_tenant_drops": func() float64 { return series["vnetp_cross_tenant_drops_total"] },
-		"tenants":            func() float64 { return series["vnetp_tenants"] },
+		"encap_sent":           func() float64 { return series["vnetp_encap_sent_total"] },
+		"encap_recv":           func() float64 { return series["vnetp_encap_recv_total"] },
+		"delivered":            func() float64 { return series["vnetp_frames_delivered_total"] },
+		"no_route_drops":       func() float64 { return series["vnetp_no_route_drops_total"] },
+		"bad_packets":          func() float64 { return series["vnetp_bad_packets_total"] },
+		"send_errors":          func() float64 { return sumFamily(series, "vnetp_link_send_errors_total") },
+		"route_cache_hits":     func() float64 { return series["vnetp_route_cache_hits_total"] },
+		"route_cache_misses":   func() float64 { return series["vnetp_route_cache_misses_total"] },
+		"probes_sent":          func() float64 { return sumFamily(series, "vnetp_link_probes_sent_total") },
+		"probes_lost":          func() float64 { return sumFamily(series, "vnetp_link_probes_lost_total") },
+		"failovers":            func() float64 { return sumFamily(series, "vnetp_link_failovers_total") },
+		"failbacks":            func() float64 { return sumFamily(series, "vnetp_link_failbacks_total") },
+		"redials":              func() float64 { return sumFamily(series, "vnetp_link_redials_total") },
+		"link_upgrades":        func() float64 { return sumFamily(series, "vnetp_link_upgrades_total") },
+		"dispatchers":          func() float64 { return series["vnetp_dispatchers"] },
+		"tx_ring_drops":        func() float64 { return sumFamily(series, "vnetp_link_tx_ring_drops_total") },
+		"encap_pool_hits":      func() float64 { return series["vnetp_encap_pool_hits_total"] },
+		"encap_pool_misses":    func() float64 { return series["vnetp_encap_pool_misses_total"] },
+		"sealed_sent":          func() float64 { return series["vnetp_seal_sealed_total"] },
+		"sealed_opened":        func() float64 { return series["vnetp_seal_opened_total"] },
+		"seal_rejects":         func() float64 { return sumFamily(series, "vnetp_seal_reject_total") },
+		"cross_tenant_drops":   func() float64 { return series["vnetp_cross_tenant_drops_total"] },
+		"tenants":              func() float64 { return series["vnetp_tenants"] },
+		"flow_cache_hits":      func() float64 { return series["vnetp_flow_cache_hits_total"] },
+		"flow_cache_misses":    func() float64 { return series["vnetp_flow_cache_misses_total"] },
+		"flow_cache_evictions": func() float64 { return series["vnetp_flow_cache_evictions_total"] },
+		"flow_cache_entries":   func() float64 { return series["vnetp_flow_cache_entries"] },
 	}
 	checked := 0
 	for _, line := range lines {
@@ -262,6 +266,8 @@ func TestListStatsBackcompat(t *testing.T) {
 		"tx_ring_drops", "encap_pool_hits", "encap_pool_misses",
 		"sealed_sent", "sealed_opened", "seal_rejects",
 		"cross_tenant_drops", "tenants",
+		"flow_cache_hits", "flow_cache_misses", "flow_cache_evictions",
+		"flow_cache_entries",
 	}
 	stats := n.Stats()
 	if len(stats) != len(want) {

@@ -148,7 +148,18 @@ func (n *Node) sendTxBatch(lk *link, batch []txFrame, s *txScratch) {
 	dgs := s.dgs[:0]
 	sentFrames := s.frames[:0]
 	for _, tf := range batch {
-		pkt, err := n.encap.EncapsulateSealed(tf.f, n.nextID.Add(1), budget, n.traceExt(tf.f.Tag), sl)
+		// Untraced frames (the steady state) encapsulate through the
+		// link's prebuilt header template — one memcpy plus fixed-offset
+		// patches per fragment. Traced frames need the trace extension,
+		// which the template deliberately omits, so they take the
+		// general encoder.
+		var pkt *bridge.EncapPacket
+		var err error
+		if tf.f.Tag == 0 {
+			pkt, err = n.encap.EncapsulateTemplate(tf.f, n.nextID.Add(1), budget, lk.tmpl, sl)
+		} else {
+			pkt, err = n.encap.EncapsulateSealed(tf.f, n.nextID.Add(1), budget, n.traceExt(tf.f.Tag), sl)
+		}
 		if err != nil {
 			lk.sendErrors.Add(1)
 			continue
