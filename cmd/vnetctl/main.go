@@ -33,6 +33,14 @@
 // prints a fresh tenant AEAD key. The -tls-* flags dial the console over
 // mutual TLS — required once the daemon runs with -control-tls-*.
 //
+// Diagnostics (see DESIGN.md "Introspection and drop ledger"):
+//
+//	vnetctl diag -addr 127.0.0.1:9090
+//
+// diag fetches the one-shot snapshot bundle from the daemon's telemetry
+// listener (GET /diag) and streams the JSON document to stdout — one
+// capture for a bug report instead of five separate scrapes.
+//
 // Every request is bounded by -timeout; transport failures on
 // idempotent commands (LIST/LINK/TRACE/ADD LINK/ADD TENANT) are retried
 // with jittered backoff, so a momentarily busy console does not fail a
@@ -44,7 +52,9 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -74,6 +84,28 @@ func runKeygen(args []string) {
 	}
 }
 
+// runDiag is the `vnetctl diag` subcommand: fetch the diagnostic
+// snapshot bundle from a daemon's telemetry listener and stream the
+// JSON to stdout, ready to attach to a bug report.
+func runDiag(args []string) {
+	fs := flag.NewFlagSet("diag", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "daemon telemetry address (the -telemetry-addr vnetpd was started with)")
+	timeout := fs.Duration("timeout", 10*time.Second, "request timeout")
+	fs.Parse(args)
+	cl := &http.Client{Timeout: *timeout}
+	resp, err := cl.Get("http://" + *addr + "/diag")
+	if err != nil {
+		log.Fatalf("vnetctl diag: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("vnetctl diag: %s returned %s", *addr, resp.Status)
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		log.Fatalf("vnetctl diag: %v", err)
+	}
+}
+
 // runNewkey prints one fresh tenant AEAD key in ADD TENANT hex form —
 // to stdout only, never logged.
 func runNewkey() {
@@ -92,6 +124,9 @@ func main() {
 			return
 		case "newkey":
 			runNewkey()
+			return
+		case "diag":
+			runDiag(os.Args[2:])
 			return
 		}
 	}

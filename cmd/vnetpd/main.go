@@ -28,8 +28,13 @@
 // -trace-sample enables 1-in-N live packet tracing at startup (also
 // switchable at runtime via the TRACE control verb), and -flight-depth
 // arms the per-dispatcher flight recorder. With -telemetry-addr set, the
-// HTTP server additionally serves /trace (sampled packet paths, JSON) and
-// /flight (flight-recorder contents; ?format=pcap downloads a capture).
+// HTTP server additionally serves /trace (sampled packet paths, JSON),
+// /flight (flight-recorder contents; ?format=pcap downloads a capture),
+// /topflows (per-tenant heavy hitters, JSON), and /diag (the one-shot
+// diagnostic snapshot bundle `vnetctl diag` fetches). The anomaly
+// watchdog is on by default: it samples the unified drop ledger and
+// alerts (structured log + counter) when the drop rate crosses
+// -anomaly-drop-rate; -anomaly-interval=0 disables it.
 package main
 
 import (
@@ -66,7 +71,9 @@ func main() {
 	adaptive := flag.Bool("adaptive", false, "per-link adaptive dispatch: retune batch size between latency and throughput mode by observed rate (implies batched transmit)")
 	flowCache := flag.Bool("flow-cache", true, "per-flow forwarding cache: one lookup plus a header memcpy on the steady-state path (false: per-frame route lookup)")
 	rxBatch := flag.Int("rx-batch", 0, "datagrams drained from the UDP socket per wakeup, via recvmmsg where available (0: default 16, 1: one ReadFromUDP per datagram)")
-	telemetryAddr := flag.String("telemetry-addr", "", "HTTP address for /metrics, /trace, /flight, /debug/pprof/, /healthz (empty: disabled)")
+	telemetryAddr := flag.String("telemetry-addr", "", "HTTP address for /metrics, /trace, /flight, /topflows, /diag, /debug/pprof/, /healthz (empty: disabled)")
+	anomalyInterval := flag.Duration("anomaly-interval", 5*time.Second, "anomaly watchdog sample period (0: watchdog off)")
+	anomalyDropRate := flag.Float64("anomaly-drop-rate", 100, "ledger drops per second that trigger an anomaly alert")
 	health := flag.Bool("health", false, "enable the link health monitor (heartbeats, failover, redial)")
 	probeInterval := flag.Duration("probe-interval", 200*time.Millisecond, "heartbeat probe interval (with -health)")
 	probeFail := flag.Int("probe-fail", 3, "consecutive missed probes before a link is down (with -health)")
@@ -107,6 +114,11 @@ func main() {
 		TraceSample:       *traceSample,
 		FlightDepth:       *flightDepth,
 		Logger:            logger,
+		Anomaly: overlay.AnomalyConfig{
+			Disabled: *anomalyInterval <= 0,
+			Interval: *anomalyInterval,
+			DropRate: *anomalyDropRate,
+		},
 	})
 	if err != nil {
 		fatal("node startup failed", "err", err)
@@ -130,8 +142,10 @@ func main() {
 
 	if *telemetryAddr != "" {
 		srv, err := telemetry.ServeWith(*telemetryAddr, node.Telemetry(), map[string]http.Handler{
-			"/trace":  node.TraceHandler(),
-			"/flight": node.FlightHandler(),
+			"/trace":    node.TraceHandler(),
+			"/flight":   node.FlightHandler(),
+			"/topflows": node.TopFlowsHandler(),
+			"/diag":     node.DiagHandler(),
 		})
 		if err != nil {
 			fatal("telemetry startup failed", "err", err)
@@ -140,7 +154,9 @@ func main() {
 		logger.Info("telemetry serving",
 			"metrics", "http://"+srv.Addr()+"/metrics",
 			"trace", "http://"+srv.Addr()+"/trace",
-			"flight", "http://"+srv.Addr()+"/flight")
+			"flight", "http://"+srv.Addr()+"/flight",
+			"topflows", "http://"+srv.Addr()+"/topflows",
+			"diag", "http://"+srv.Addr()+"/diag")
 	}
 
 	if *health {

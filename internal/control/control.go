@@ -95,6 +95,16 @@ type TenantTarget interface {
 	AddLinkTenant(id, remote, proto string, tenant uint32) error
 }
 
+// FlowsProvider is an optional Target extension: nodes tracking
+// per-tenant heavy-hitter flows answer LIST FLOWS with the top flows by
+// live byte count (the inspectable face of the flow accounting the
+// VNET adaptation loop consumes).
+type FlowsProvider interface {
+	// TopFlowSummary reports a "flows N" count line followed by one
+	// line per heavy-hitter candidate, ordered by tenant then bytes.
+	TopFlowSummary() []string
+}
+
 // Command is one parsed control command.
 type Command struct {
 	Verb string // ADD, DEL, LIST, LINK, TRACE
@@ -185,7 +195,7 @@ func parseDestType(s string) (core.DestType, error) {
 //	ADD ROUTE <dst-spec> <src-spec> {interface|link} <dest-id> [BACKUP {interface|link} <dest-id>] [TENANT <id>]
 //	DEL ROUTE <dst-spec> <src-spec> {interface|link} <dest-id> [BACKUP {interface|link} <dest-id>] [TENANT <id>]
 //	ADD TENANT <id> KEY <hex>
-//	LIST {ROUTES|LINKS|INTERFACES|STATS|HEALTH|TUNING|TENANTS}
+//	LIST {ROUTES|LINKS|INTERFACES|STATS|HEALTH|TUNING|TENANTS|FLOWS}
 //	LINK STATUS <id>
 //	LINK PROBE <interval-ms> <fail-threshold> <recover-threshold>
 //	LINK TUNE <id> {LATENCY|THROUGHPUT|AUTO}
@@ -217,11 +227,11 @@ func Parse(line string) (*Command, error) {
 	switch verb {
 	case "LIST":
 		if len(fields) != 2 {
-			return nil, fmt.Errorf("%w: LIST needs one of ROUTES|LINKS|INTERFACES|STATS|HEALTH|TUNING|TENANTS", ErrSyntax)
+			return nil, fmt.Errorf("%w: LIST needs one of ROUTES|LINKS|INTERFACES|STATS|HEALTH|TUNING|TENANTS|FLOWS", ErrSyntax)
 		}
 		kind := strings.ToUpper(fields[1])
 		switch kind {
-		case "ROUTES", "LINKS", "INTERFACES", "STATS", "HEALTH", "TUNING", "TENANTS":
+		case "ROUTES", "LINKS", "INTERFACES", "STATS", "HEALTH", "TUNING", "TENANTS", "FLOWS":
 			return &Command{Verb: verb, Kind: kind}, nil
 		}
 		return nil, fmt.Errorf("%w: unknown LIST target %q", ErrSyntax, fields[1])
@@ -473,6 +483,11 @@ func Apply(t Target, cmd *Command) ([]string, error) {
 			return sp.Stats(), nil
 		}
 		return nil, fmt.Errorf("control: target does not export statistics")
+	case "LIST FLOWS":
+		if fp, ok := t.(FlowsProvider); ok {
+			return fp.TopFlowSummary(), nil
+		}
+		return nil, fmt.Errorf("control: target does not track flows")
 	case "LIST HEALTH":
 		if ht, ok := t.(HealthTarget); ok {
 			return ht.HealthSummary(), nil

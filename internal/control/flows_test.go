@@ -1,0 +1,54 @@
+package control
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeFlowsTarget layers FlowsProvider over fakeTarget.
+type fakeFlowsTarget struct {
+	*fakeTarget
+	lines []string
+}
+
+func (f *fakeFlowsTarget) TopFlowSummary() []string { return f.lines }
+
+func TestParseListFlows(t *testing.T) {
+	for _, line := range []string{"LIST FLOWS", "list flows"} {
+		cmd, err := Parse(line)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", line, err)
+		}
+		if cmd.Verb != "LIST" || cmd.Kind != "FLOWS" {
+			t.Fatalf("Parse(%q) = %+v", line, cmd)
+		}
+	}
+	if _, err := Parse("LIST FLOWS extra"); err == nil {
+		t.Fatal("LIST FLOWS with trailing junk accepted")
+	}
+}
+
+func TestApplyListFlows(t *testing.T) {
+	f := &fakeFlowsTarget{
+		fakeTarget: newFake(),
+		lines: []string{
+			"flows 1",
+			"flow tenant=7 src=02:00:00:00:00:01 dst=02:00:00:00:00:02 bytes=10 packets=1",
+		},
+	}
+	cmd, err := Parse("LIST FLOWS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Apply(f, cmd)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if len(out) != 2 || out[0] != "flows 1" || !strings.Contains(out[1], "tenant=7") {
+		t.Fatalf("Apply output = %q", out)
+	}
+	// A target without the extension fails closed with a typed message.
+	if _, err := Apply(newFake(), cmd); err == nil || !strings.Contains(err.Error(), "track flows") {
+		t.Fatalf("bare target error = %v", err)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// TopFlowCapacity is the heavy-hitter candidate capacity per tenant:
+// top 32 flows by bytes, the working set an operator actually reads.
+const TopFlowCapacity = 32
+
+// TopFlowEntry is one heavy-hitter reading: a flow key and its live
+// byte/packet counts at query time.
+type TopFlowEntry struct {
+	Key     FlowKey
+	Bytes   uint64
+	Packets uint64
+}
+
+// TopFlows is a bounded heavy-hitter candidate set over live FlowStats
+// accounting entries — a space-saving sketch specialised to this
+// codebase's flow fast path. Classic space-saving maintains k counters
+// and, at capacity, replaces the minimum-count entry with each new
+// arrival. Here the counts are not sketch-internal: each candidate
+// holds a live *Flow pointer (FlowStats.Acquire), whose atomic
+// Bytes/Packets every routed frame already updates. Membership
+// therefore only needs refreshing when a flow could be new — the
+// flow-cache miss path, which every flow's first frame takes — while
+// readings stay exactly current without the sketch ever touching the
+// per-frame hot path.
+//
+// The space-saving error characteristics carry over: a genuinely heavy
+// flow is never the minimum, so it is never evicted; churn is confined
+// to the light tail. The one sketch-style caveat: a flow evicted while
+// its forwarding-cache entry stays hot is not re-offered until the next
+// flow-cache miss (epoch bump, eviction, or restart), so Top can
+// under-report a flow that was light when the table was full and grew
+// heavy later without any cache churn. Heavier-than-minimum flows at
+// offer time are always admitted, which bounds the window.
+type TopFlows struct {
+	mu sync.Mutex
+	k  int
+	m  map[FlowKey]*Flow
+}
+
+// NewTopFlows returns an empty candidate set holding at most k flows
+// (TopFlowCapacity when k <= 0).
+func NewTopFlows(k int) *TopFlows {
+	if k <= 0 {
+		k = TopFlowCapacity
+	}
+	return &TopFlows{k: k, m: make(map[FlowKey]*Flow, k)}
+}
+
+// Offer proposes a flow for candidacy. Present flows are a no-op
+// (their live counters are already tracked); with room the flow is
+// admitted; at capacity the current minimum-bytes candidate is evicted
+// in its favor (space-saving replacement on live readings).
+func (t *TopFlows) Offer(key FlowKey, fl *Flow) {
+	if fl == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.m[key]; ok {
+		return
+	}
+	if len(t.m) >= t.k {
+		var minKey FlowKey
+		minBytes := uint64(0)
+		first := true
+		for k2, f2 := range t.m {
+			b := atomic.LoadUint64(&f2.Bytes)
+			if first || b < minBytes {
+				first, minKey, minBytes = false, k2, b
+			}
+		}
+		delete(t.m, minKey)
+	}
+	t.m[key] = fl
+}
+
+// Len reports the current candidate count.
+func (t *TopFlows) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// Top returns up to n candidates ordered by live byte count (packets,
+// then key rendering break ties deterministically). n <= 0 means all.
+func (t *TopFlows) Top(n int) []TopFlowEntry {
+	t.mu.Lock()
+	out := make([]TopFlowEntry, 0, len(t.m))
+	for key, fl := range t.m {
+		out = append(out, TopFlowEntry{
+			Key:     key,
+			Bytes:   atomic.LoadUint64(&fl.Bytes),
+			Packets: atomic.LoadUint64(&fl.Packets),
+		})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		if out[i].Packets != out[j].Packets {
+			return out[i].Packets > out[j].Packets
+		}
+		return out[i].Key.String() < out[j].Key.String()
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

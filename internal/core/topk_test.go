@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vnetp/internal/ethernet"
+)
+
+func topkMAC(b byte) ethernet.MAC { return ethernet.MAC{0x02, 0, 0, 0, 0, b} }
+
+func topkKey(i int) FlowKey {
+	return FlowKey{Tenant: 1, Src: topkMAC(byte(i)), Dst: topkMAC(byte(i + 1))}
+}
+
+func TestTopFlowsOrderAndLiveCounts(t *testing.T) {
+	tf := NewTopFlows(8)
+	flows := make([]*Flow, 4)
+	for i := range flows {
+		flows[i] = &Flow{Src: topkMAC(byte(i)), Dst: topkMAC(byte(i + 1))}
+		flows[i].Bytes = uint64((i + 1) * 100)
+		flows[i].Packets = uint64(i + 1)
+		tf.Offer(topkKey(i), flows[i])
+	}
+	top := tf.Top(2)
+	if len(top) != 2 {
+		t.Fatalf("top len = %d, want 2", len(top))
+	}
+	if top[0].Key != topkKey(3) || top[0].Bytes != 400 {
+		t.Fatalf("top[0] = %+v", top[0])
+	}
+	if top[1].Key != topkKey(2) || top[1].Bytes != 300 {
+		t.Fatalf("top[1] = %+v", top[1])
+	}
+	// Live readings: growth after Offer is visible without re-offering.
+	atomic.AddUint64(&flows[0].Bytes, 10_000)
+	top = tf.Top(1)
+	if top[0].Key != topkKey(0) || top[0].Bytes != 10_100 {
+		t.Fatalf("live top[0] = %+v", top[0])
+	}
+	// Re-offering a present key is a no-op.
+	tf.Offer(topkKey(0), &Flow{})
+	if got := tf.Top(1)[0].Bytes; got != 10_100 {
+		t.Fatalf("re-offer replaced live entry: bytes = %d", got)
+	}
+}
+
+func TestTopFlowsEvictsMinimum(t *testing.T) {
+	tf := NewTopFlows(3)
+	heavy := &Flow{Bytes: 1000}
+	mid := &Flow{Bytes: 500}
+	light := &Flow{Bytes: 1}
+	tf.Offer(topkKey(0), heavy)
+	tf.Offer(topkKey(1), mid)
+	tf.Offer(topkKey(2), light)
+	if tf.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tf.Len())
+	}
+	// At capacity: the new arrival displaces the current minimum (light),
+	// never the heavy hitters.
+	tf.Offer(topkKey(3), &Flow{Bytes: 50})
+	top := tf.Top(0)
+	if len(top) != 3 {
+		t.Fatalf("len = %d, want 3", len(top))
+	}
+	if top[0].Bytes != 1000 || top[1].Bytes != 500 || top[2].Bytes != 50 {
+		t.Fatalf("post-evict top = %+v", top)
+	}
+}
+
+func TestTopFlowsDefaultCapacity(t *testing.T) {
+	tf := NewTopFlows(0)
+	for i := 0; i < TopFlowCapacity*2; i++ {
+		tf.Offer(FlowKey{Tenant: 2, Src: topkMAC(byte(i)), Dst: topkMAC(byte(i >> 8))},
+			&Flow{Bytes: uint64(i)})
+	}
+	if tf.Len() != TopFlowCapacity {
+		t.Fatalf("len = %d, want %d", tf.Len(), TopFlowCapacity)
+	}
+}
+
+func TestTopFlowsConcurrent(t *testing.T) {
+	tf := NewTopFlows(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				fl := &Flow{Bytes: uint64(w*1000 + i)}
+				key := FlowKey{Tenant: uint32(w), Src: topkMAC(byte(i))}
+				tf.Offer(key, fl)
+				if i%17 == 0 {
+					_ = tf.Top(4)
+					_ = tf.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tf.Len(); got != 16 {
+		t.Fatalf("len = %d, want 16", got)
+	}
+	top := tf.Top(0)
+	for i := 1; i < len(top); i++ {
+		if top[i-1].Bytes < top[i].Bytes {
+			t.Fatalf("unsorted top: %s", fmt.Sprint(top))
+		}
+	}
+}

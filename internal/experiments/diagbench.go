@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"vnetp/internal/core"
+	"vnetp/internal/ethernet"
+	"vnetp/internal/overlay"
+)
+
+// The diag bench measures the one-shot snapshot bundle's render cost on
+// a node carrying realistic state (endpoints, flows, a populated drop
+// ledger and heavy-hitter set): assembling the DiagBundle, and
+// assembling plus JSON-encoding it — the full GET /diag service cost.
+// Operators scrape /diag on demand, not on a tight loop, so the records
+// deliberately use units benchguard does not gate ("us", "bytes"): the
+// figures are tracked for context, and a pathological regression shows
+// up in review of the JSON artifact rather than flaking CI on loopback
+// machine noise.
+const (
+	diagBenchFlows   = 256 // distinct flows populating the stats table and top-k
+	diagBenchRenders = 50
+)
+
+// CollectDiagBench measures bundle render and encode cost. Like the
+// other live-datapath collectors, it returns nil rather than failing
+// the whole bench run on a sandboxed host without loopback sockets.
+func CollectDiagBench() []Record {
+	n, err := overlay.NewNodeWithConfig("diagbench", "127.0.0.1:0", overlay.NodeConfig{})
+	if err != nil {
+		return nil
+	}
+	defer n.Close()
+	src, err := n.AttachEndpoint("src", ethernet.LocalMAC(1), 1500)
+	if err != nil {
+		return nil
+	}
+	dst, err := n.AttachEndpoint("dst", ethernet.LocalMAC(2), 1500)
+	if err != nil {
+		return nil
+	}
+	// Populate: many distinct flows (stats table + heavy hitters), plus
+	// some ledger entries via unrouted destinations.
+	for i := 0; i < diagBenchFlows; i++ {
+		f := &ethernet.Frame{Dst: dst.MAC(), Src: ethernet.LocalMAC(uint32(100 + i)),
+			Type: ethernet.TypeTest, Payload: make([]byte, 64+i%512)}
+		if err := src.Send(f); err != nil {
+			return nil
+		}
+		dst.TryRecv()
+		if i%8 == 0 {
+			src.Send(&ethernet.Frame{Dst: ethernet.LocalMAC(0xffff), Src: src.MAC(),
+				Type: ethernet.TypeTest, Payload: []byte("drop")})
+		}
+	}
+	_ = core.DefaultTenant // tenant 0 carries the bench traffic
+
+	enc := json.NewEncoder(io.Discard)
+	var bundleBytes int
+	render := func(encode bool) float64 {
+		start := time.Now()
+		for i := 0; i < diagBenchRenders; i++ {
+			b := n.Diag()
+			if encode {
+				if err := enc.Encode(&b); err != nil {
+					return 0
+				}
+			}
+		}
+		return time.Since(start).Seconds() * 1e6 / diagBenchRenders
+	}
+	renderUS := render(false)
+	encodeUS := render(true)
+	if blob, err := json.Marshal(n.Diag()); err == nil {
+		bundleBytes = len(blob)
+	}
+	if renderUS <= 0 || encodeUS <= 0 {
+		return nil
+	}
+	return []Record{
+		{ID: "diagbench", Metric: "bundle_render_us", Value: renderUS, Unit: "us"},
+		{ID: "diagbench", Metric: "bundle_render_encode_us", Value: encodeUS, Unit: "us"},
+		{ID: "diagbench", Metric: fmt.Sprintf("bundle_size_%d_flows", diagBenchFlows),
+			Value: float64(bundleBytes), Unit: "bytes"},
+	}
+}

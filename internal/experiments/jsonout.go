@@ -72,6 +72,7 @@ func CollectMicrobench() []Record {
 	recs = append(recs, CollectAdaptiveBench()...)
 	recs = append(recs, CollectSealBench()...)
 	recs = append(recs, CollectFlowBench()...)
+	recs = append(recs, CollectDiagBench()...)
 	return recs
 }
 

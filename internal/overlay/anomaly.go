@@ -1,0 +1,109 @@
+// The anomaly watchdog (ISSUE 10): a supervised loop that samples the
+// unified drop ledger and the supervision stall counter on a fixed
+// period and raises structured alerts when a threshold is crossed —
+// the push half of the introspection layer (the /diag bundle is the
+// pull half). Alerts are slog events plus vnetp_anomalies_total{kind}
+// increments, so both log pipelines and metric alerting see them.
+
+package overlay
+
+import (
+	"time"
+
+	"vnetp/internal/supervise"
+)
+
+// Anomaly kinds (the vnetp_anomalies_total label values).
+const (
+	// anomalyDropRate: the ledger-wide drop rate exceeded
+	// AnomalyConfig.DropRate over one sample period.
+	anomalyDropRate = "drop_rate"
+	// anomalyWatchdogStall: the supervision watchdog superseded at
+	// least one stalled component since the previous sample.
+	anomalyWatchdogStall = "watchdog_stall"
+)
+
+// Default anomaly-watchdog tuning (AnomalyConfig zero values).
+const (
+	defaultAnomalyInterval = 5 * time.Second
+	defaultAnomalyDropRate = 100 // drops/second
+)
+
+// AnomalyConfig tunes the anomaly watchdog.
+type AnomalyConfig struct {
+	// Disabled turns the watchdog loop off entirely.
+	Disabled bool
+	// Interval is the sample period. Zero means the default (5s);
+	// tests shorten it to fake the clock.
+	Interval time.Duration
+	// DropRate is the alert threshold in ledger drops per second,
+	// measured over one sample period. Zero means the default (100/s).
+	DropRate float64
+}
+
+func (c *AnomalyConfig) normalize() {
+	if c.Interval <= 0 {
+		c.Interval = defaultAnomalyInterval
+	}
+	if c.DropRate <= 0 {
+		c.DropRate = defaultAnomalyDropRate
+	}
+}
+
+// anomalyLoop samples drop and stall totals each tick and alerts on
+// threshold crossings. The previous-sample totals live on the Node (not
+// the loop frame), so a supervised restart resumes from the last
+// observed values instead of re-alerting on the whole history.
+// Supervised as "anomaly".
+func (n *Node) anomalyLoop(inst *supervise.Instance) {
+	cfg := n.cfg.Anomaly
+	t := time.NewTicker(cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case <-inst.Quit():
+			return
+		case <-t.C:
+			inst.Working()
+			n.anomalySample(cfg)
+			inst.Idle()
+		}
+	}
+}
+
+// anomalySample runs one watchdog evaluation (split out so tests can
+// drive it without waiting on the ticker).
+func (n *Node) anomalySample(cfg AnomalyConfig) {
+	drops := n.ledger.Total()
+	stalls := n.metrics.watchdogStalls.Sum()
+	prevDrops := n.anomalyDrops.Swap(drops)
+	prevStalls := n.anomalyStalls.Swap(stalls)
+	if d := drops - prevDrops; d > 0 {
+		rate := float64(d) / cfg.Interval.Seconds()
+		if rate > cfg.DropRate {
+			n.metrics.anomalies.With(anomalyDropRate).Add(1)
+			// The largest cumulative reason orients triage; the /diag
+			// bundle's ledger tails carry the per-drop detail.
+			var topReason string
+			var topCount uint64
+			for _, r := range dropReasons {
+				if c := n.ledger.Count(r); c > topCount {
+					topReason, topCount = r, c
+				}
+			}
+			n.log.Warn("anomaly: drop rate over threshold",
+				"node", n.name, "kind", anomalyDropRate,
+				"drops", d, "rate_per_s", rate,
+				"threshold_per_s", cfg.DropRate,
+				"top_reason", topReason, "top_reason_total", topCount)
+		}
+	}
+	if s := stalls - prevStalls; s > 0 {
+		n.metrics.anomalies.With(anomalyWatchdogStall).Add(1)
+		n.log.Warn("anomaly: supervised component stalls",
+			"node", n.name, "kind", anomalyWatchdogStall,
+			"stalls", s, "stalls_total", stalls)
+	}
+}

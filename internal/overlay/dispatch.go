@@ -11,6 +11,7 @@
 package overlay
 
 import (
+	"fmt"
 	"log/slog"
 	"runtime"
 	"strconv"
@@ -132,6 +133,12 @@ type NodeConfig struct {
 	// stall watchdog). Zero values take the supervise package defaults;
 	// tests shorten StallTimeout to exercise the watchdog quickly.
 	Supervise supervise.Config
+
+	// Anomaly tunes the anomaly watchdog: a supervised loop sampling
+	// the unified drop ledger and the stall counter, alerting (slog +
+	// vnetp_anomalies_total) on threshold crossings. Zero values take
+	// the defaults (5s period, 100 drops/s).
+	Anomaly AnomalyConfig
 }
 
 func (c *NodeConfig) normalize() {
@@ -162,6 +169,7 @@ func (c *NodeConfig) normalize() {
 	if c.EvictInterval <= 0 {
 		c.EvictInterval = time.Second
 	}
+	c.Anomaly.normalize()
 	if c.FlightSnap <= 0 {
 		c.FlightSnap = 256
 	}
@@ -230,6 +238,9 @@ func (n *Node) dispatchLoop(inst *supervise.Instance, s *rxShard) {
 			h, payload, err := bridge.ParseEncap(d.pkt)
 			if err != nil {
 				n.BadPackets.Add(1)
+				n.drop(dropBadPacket, 1, telemetry.DropDetail{
+					Scope: d.sender, Stage: "rx_parse",
+				})
 				inst.Idle()
 				continue
 			}
@@ -265,7 +276,16 @@ func (n *Node) processData(s *rxShard, sender string, h *bridge.EncapHeader, pay
 		aad := raw[:len(raw)-len(payload)]
 		pt, err := n.keyring.Open(h.Seal.Tenant, h.Seal.Nonce, aad, payload)
 		if err != nil {
-			n.metrics.sealRejects.With(seal.RejectReasonOf(err)).Add(1)
+			rr := seal.RejectReasonOf(err)
+			n.metrics.sealRejects.With(rr).Add(1)
+			// The wire-claimed tenant ID is unauthenticated; charging the
+			// claimed tenant is deliberate — a forged datagram charges
+			// the tenant it impersonates, which is the tenant whose
+			// traffic an operator should inspect.
+			n.slis.get(h.Seal.Tenant).sealRejects.Add(1)
+			n.drop(dropSealReject, 1, telemetry.DropDetail{
+				Tenant: h.Seal.Tenant, Scope: sender, Stage: rr,
+			})
 			return
 		}
 		n.metrics.sealOpened.Add(1)
@@ -280,6 +300,9 @@ func (n *Node) processData(s *rxShard, sender string, h *bridge.EncapHeader, pay
 	s.mu.Unlock()
 	if err != nil {
 		n.BadPackets.Add(1)
+		n.drop(dropBadPacket, 1, telemetry.DropDetail{
+			Tenant: tenant, Scope: sender, Stage: "reassembly",
+		})
 		return
 	}
 	if frame == nil {
@@ -296,9 +319,12 @@ func (n *Node) processData(s *rxShard, sender string, h *bridge.EncapHeader, pay
 	n.EncapRecv.Add(1)
 	n.routeTenantAt(frame, nil, time.Time{}, tenant)
 	// The Fig. 7 RX stage budget on the real path: the completing
-	// datagram's socket read to the frame handed off past routing.
+	// datagram's socket read to the frame handed off past routing. The
+	// same sample lands in the owning tenant's latency SLI.
 	if !at.IsZero() {
-		n.metrics.rxLatency.Observe(time.Since(at).Seconds())
+		el := time.Since(at).Seconds()
+		n.metrics.rxLatency.Observe(el)
+		n.slis.get(tenant).rxLatency.Observe(el)
 	}
 }
 
@@ -311,6 +337,9 @@ func (n *Node) enqueue(sender string, pkt []byte, at time.Time) {
 	case s.in <- inDatagram{sender: sender, pkt: pkt, at: at}:
 	default:
 		s.Drops.Add(1)
+		n.drop(dropDispatcherRing, 1, telemetry.DropDetail{
+			Scope: fmt.Sprint(s.idx), Stage: "rx_ring",
+		})
 	}
 }
 

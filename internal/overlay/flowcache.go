@@ -32,6 +32,7 @@ import (
 
 	"vnetp/internal/core"
 	"vnetp/internal/ethernet"
+	"vnetp/internal/telemetry"
 	"vnetp/internal/trace"
 )
 
@@ -58,6 +59,10 @@ type flowEntry struct {
 	// stats table's hash + lock + map probe; nil (forwarded fills)
 	// falls back to Record.
 	fl *core.Flow
+
+	// sli is the flow tenant's per-tenant indicator handles, resolved
+	// at fill time so hits account tenant traffic with atomic adds.
+	sli *tenantSLI
 
 	// Exactly one of ep/lk is non-nil: local delivery or link forward.
 	ep *Endpoint
@@ -185,6 +190,8 @@ func (n *Node) flowHit(e *flowEntry, f *ethernet.Frame, from *Endpoint, at time.
 		} else {
 			n.flows.Record(f.Src, f.Dst, f.Len())
 		}
+		e.sli.framesOut.Add(1)
+		e.sli.bytesOut.Add(uint64(f.Len()))
 	}
 	if f.Tag != 0 {
 		n.tracer.Record(f.Tag, trace.StageRouteLookup)
@@ -196,6 +203,10 @@ func (n *Node) flowHit(e *flowEntry, f *ethernet.Frame, from *Endpoint, at time.
 		}
 		if ep.tenant != tenant {
 			n.metrics.crossTenantDrops.Add(1)
+			n.drop(dropCrossTenant, 1, telemetry.DropDetail{
+				Tenant: tenant, Scope: ep.name, Stage: "flow_hit",
+				Flow: core.FlowKey{Tenant: tenant, Src: f.Src, Dst: f.Dst}.String(),
+			})
 			return nil
 		}
 		ep.deliver(f)
@@ -210,6 +221,10 @@ func (n *Node) flowHit(e *flowEntry, f *ethernet.Frame, from *Endpoint, at time.
 	lk := e.lk
 	if lk.tenant != tenant {
 		n.metrics.crossTenantDrops.Add(1)
+		n.drop(dropCrossTenant, 1, telemetry.DropDetail{
+			Tenant: tenant, Scope: lk.id, Stage: "flow_hit",
+			Flow: core.FlowKey{Tenant: tenant, Src: f.Src, Dst: f.Dst}.String(),
+		})
 		return nil
 	}
 	if lk.txq != nil {

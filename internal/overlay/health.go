@@ -472,6 +472,7 @@ func (n *Node) handleProbeReply(payload []byte) {
 	seq, linkID, ok := parseProbePayload(payload)
 	if !ok {
 		n.BadPackets.Add(1)
+		n.drop(dropBadPacket, 1, telemetry.DropDetail{Stage: "probe_reply"})
 		return
 	}
 	now := time.Now()

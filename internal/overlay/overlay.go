@@ -49,6 +49,10 @@ type Endpoint struct {
 	// Drops counts frames lost to a full receive ring
 	// (vnetp_endpoint_ring_drops_total in /metrics).
 	Drops *telemetry.Counter
+
+	// sli is the owning tenant's per-tenant indicator handles, resolved
+	// once at attach so delivery accounting is plain atomic adds.
+	sli *tenantSLI
 }
 
 // Name returns the interface name the endpoint is registered under.
@@ -143,8 +147,14 @@ func (ep *Endpoint) TryRecv() (*ethernet.Frame, bool) {
 func (ep *Endpoint) deliver(f *ethernet.Frame) {
 	select {
 	case ep.rx <- f:
+		ep.sli.framesIn.Add(1)
+		ep.sli.bytesIn.Add(uint64(f.Len()))
 	default:
 		ep.Drops.Add(1)
+		ep.node.drop(dropEndpointRing, 1, telemetry.DropDetail{
+			Tenant: ep.tenant, Scope: ep.name, Stage: "deliver",
+			Flow: core.FlowKey{Tenant: ep.tenant, Src: f.Src, Dst: f.Dst}.String(),
+		})
 	}
 }
 
@@ -282,6 +292,21 @@ type Node struct {
 	// STATS and /metrics read the same values.
 	metrics *nodeMetrics
 
+	// Introspection layer (ISSUE 10). ledger is the unified drop
+	// accounting every datapath drop site reports through; slis holds
+	// the per-tenant indicator families; topk maps tenant → heavy-
+	// hitter candidate set (uint32 → *core.TopFlows); started anchors
+	// the /diag bundle's uptime; anomalies counts watchdog alerts.
+	started time.Time
+	ledger  *telemetry.DropLedger
+	slis    *tenantSLIs
+	topk    sync.Map
+
+	// Anomaly-watchdog previous-sample totals (on the Node so a
+	// supervised restart of the loop resumes instead of re-alerting).
+	anomalyDrops  atomic.Uint64
+	anomalyStalls atomic.Uint64
+
 	// tracer records per-stage wall-clock spans for sampled frames; it
 	// always exists (disabled sampling costs one atomic load per
 	// frame). log is the node's structured logger (never nil after
@@ -348,8 +373,14 @@ func NewNodeWithConfig(name, bindAddr string, cfg NodeConfig) (*Node, error) {
 	if cfg.TraceSample > 0 {
 		n.tracer.Start(cfg.TraceSample)
 	}
+	n.started = time.Now()
 	reg := telemetry.NewRegistry()
 	n.metrics = newNodeMetrics(reg)
+	n.ledger = telemetry.NewDropLedger(reg, dropReasons...)
+	n.slis = newTenantSLIs(reg)
+	n.slis.get(core.DefaultTenant) // tenant 0 visible from the first scrape
+	n.metrics.anomalies.With(anomalyDropRate)
+	n.metrics.anomalies.With(anomalyWatchdogStall)
 	n.EncapSent = reg.Counter("vnetp_encap_sent_total", "Inner frames encapsulated and sent over links.")
 	n.EncapRecv = reg.Counter("vnetp_encap_recv_total", "Inner frames reassembled from links.")
 	n.Delivered = reg.Counter("vnetp_frames_delivered_total", "Frames delivered to local endpoints.")
@@ -389,6 +420,9 @@ func NewNodeWithConfig(name, bindAddr string, cfg NodeConfig) (*Node, error) {
 	}
 	if cfg.Adaptive.Enabled {
 		n.sup.Go("adaptive", func(i *supervise.Instance) { n.adaptLoop(i) })
+	}
+	if !cfg.Anomaly.Disabled {
+		n.sup.Go("anomaly", func(i *supervise.Instance) { n.anomalyLoop(i) })
 	}
 	n.log.Info("overlay node up",
 		"node", name, "addr", n.Addr(),
@@ -484,6 +518,7 @@ func (n *Node) AttachEndpointTenant(ifName string, mac ethernet.MAC, mtu int, te
 		node: n, name: ifName, mac: mac, mtu: mtu, tenant: tenant,
 		rx:    make(chan *ethernet.Frame, epQueueDepth),
 		Drops: n.metrics.epDrops.With(ifName),
+		sli:   n.slis.get(tenant),
 	}
 	n.eps[ifName] = ep
 	n.tenants.Ensure(tenant).AddRoute(core.Route{
@@ -704,8 +739,10 @@ func (n *Node) AddTenant(id uint32, key []byte) error {
 }
 
 // TenantSummary renders the configured tenants for LIST TENANTS: ID,
-// key fingerprint (never the key), remote origins heard, and the
-// tenant's route count.
+// key fingerprint (never the key), remote origins heard, the tenant's
+// route count, and the tenant's SLIs (frames in/out, ledger drops, and
+// seal rejects charged to the tenant). Fields are append-only within
+// each line, so parsers of the original prefix keep working.
 func (n *Node) TenantSummary() []string {
 	out := []string{}
 	for _, ti := range n.keyring.Tenants() {
@@ -713,8 +750,11 @@ func (n *Node) TenantSummary() []string {
 		if tbl := n.tenants.Table(ti.ID); tbl != nil {
 			routes = len(tbl.Routes())
 		}
-		out = append(out, fmt.Sprintf("TENANT %d KEY %s ORIGINS %d ROUTES %d",
-			ti.ID, ti.Fingerprint, ti.Origins, routes))
+		sli := n.slis.get(ti.ID)
+		out = append(out, fmt.Sprintf("TENANT %d KEY %s ORIGINS %d ROUTES %d IN %d OUT %d DROPS %d REJECTS %d",
+			ti.ID, ti.Fingerprint, ti.Origins, routes,
+			sli.framesIn.Load(), sli.framesOut.Load(),
+			sli.drops.Load(), sli.sealRejects.Load()))
 	}
 	return out
 }
@@ -842,6 +882,15 @@ func (n *Node) Stats() []string {
 		statLine("flow_cache_evictions", fcEvictions),
 		statLine("flow_cache_entries", uint64(fcEntries)),
 	)
+	// Unified drop ledger (append-only, after the flow-cache lines):
+	// the cross-reason total, then one line per ledger reason, read
+	// from the same vnetp_drops_total children /metrics scrapes, plus
+	// the anomaly watchdog's alert count.
+	out = append(out, statLine("drops_total", n.ledger.Total()))
+	for _, r := range dropReasons {
+		out = append(out, statLine("drops_"+r, n.ledger.Count(r)))
+	}
+	out = append(out, statLine("anomalies", n.metrics.anomalies.Sum()))
 	return out
 }
 
@@ -915,24 +964,37 @@ func (n *Node) routeTenantAt(f *ethernet.Frame, from *Endpoint, at time.Time, te
 		}
 		fc = n.fcache
 	}
+	sli := n.slis.get(tenant)
 	if from != nil {
+		sli.framesOut.Add(1)
+		sli.bytesOut.Add(uint64(f.Len()))
 		n.flows.Record(f.Src, f.Dst, f.Len())
-		if fc != nil {
-			// Locally originated and cacheable: resolve the accounting
-			// entry once so hits can add to it without touching the
-			// stats table. Forwarded frames (from == nil) are not flow-
-			// accounted, so their entries carry no pointer.
-			fl = n.flows.Acquire(f.Src, f.Dst)
-		}
+		// Locally originated: resolve the accounting entry once so
+		// cache hits can add to it without touching the stats table,
+		// and offer it to the tenant's heavy-hitter candidate set
+		// (every flow's first frame takes this miss path, so candidacy
+		// needs no work on the hit path). Forwarded frames (from ==
+		// nil) are not flow-accounted, so their entries carry no
+		// pointer.
+		fl = n.flows.Acquire(f.Src, f.Dst)
+		n.offerTopFlow(tenant, core.FlowKey{Tenant: tenant, Src: f.Src, Dst: f.Dst}, fl)
 	}
 	tbl := n.tenants.Table(tenant)
 	if tbl == nil {
 		n.NoRouteDrop.Add(1)
+		n.drop(dropNoRoute, 1, telemetry.DropDetail{
+			Tenant: tenant, Stage: "route",
+			Flow: core.FlowKey{Tenant: tenant, Src: f.Src, Dst: f.Dst}.String(),
+		})
 		return fmt.Errorf("overlay: unknown tenant %d", tenant)
 	}
 	dests, _, err := tbl.Lookup(f.Src, f.Dst)
 	if err != nil {
 		n.NoRouteDrop.Add(1)
+		n.drop(dropNoRoute, 1, telemetry.DropDetail{
+			Tenant: tenant, Stage: "route",
+			Flow: core.FlowKey{Tenant: tenant, Src: f.Src, Dst: f.Dst}.String(),
+		})
 		return err
 	}
 	if f.Tag != 0 {
@@ -952,10 +1014,14 @@ func (n *Node) routeTenantAt(f *ethernet.Frame, from *Endpoint, at time.Time, te
 			}
 			if ep.tenant != tenant {
 				n.metrics.crossTenantDrops.Add(1)
+				n.drop(dropCrossTenant, 1, telemetry.DropDetail{
+					Tenant: tenant, Scope: d.ID, Stage: "route",
+					Flow: core.FlowKey{Tenant: tenant, Src: f.Src, Dst: f.Dst}.String(),
+				})
 				continue
 			}
 			if cacheable {
-				fc.store(key, &flowEntry{epoch: fillEpoch, tenant: tenant, ep: ep, fl: fl})
+				fc.store(key, &flowEntry{epoch: fillEpoch, tenant: tenant, ep: ep, fl: fl, sli: sli})
 			}
 			if ep == from {
 				continue
@@ -976,7 +1042,7 @@ func (n *Node) routeTenantAt(f *ethernet.Frame, from *Endpoint, at time.Time, te
 				// same n.mu hold that resolved the link, so the entry is
 				// consistent with one instant of link state.
 				ent = &flowEntry{
-					epoch: fillEpoch, tenant: tenant, lk: lk, fl: fl,
+					epoch: fillEpoch, tenant: tenant, lk: lk, fl: fl, sli: sli,
 					budget:  maxDatagram,
 					fastUDP: lk.proto == "udp" && lk.fault == nil && lk.txq == nil,
 					addr:    lk.addr,
@@ -988,10 +1054,18 @@ func (n *Node) routeTenantAt(f *ethernet.Frame, from *Endpoint, at time.Time, te
 			n.mu.Unlock()
 			if lk == nil {
 				n.NoRouteDrop.Add(1)
+				n.drop(dropNoRoute, 1, telemetry.DropDetail{
+					Tenant: tenant, Scope: d.ID, Stage: "route",
+					Flow: core.FlowKey{Tenant: tenant, Src: f.Src, Dst: f.Dst}.String(),
+				})
 				continue
 			}
 			if lk.tenant != tenant {
 				n.metrics.crossTenantDrops.Add(1)
+				n.drop(dropCrossTenant, 1, telemetry.DropDetail{
+					Tenant: tenant, Scope: d.ID, Stage: "route",
+					Flow: core.FlowKey{Tenant: tenant, Src: f.Src, Dst: f.Dst}.String(),
+				})
 				continue
 			}
 			if ent != nil {
@@ -1204,7 +1278,13 @@ func (n *Node) handleDatagram(pkt []byte, from *net.UDPAddr, at time.Time, attr 
 		case n.probeCh <- probeEvent{pkt: pkt, from: from}:
 		default:
 			// Control ring full: the dropped probe surfaces as a lost
-			// heartbeat at its sender, which is the correct signal.
+			// heartbeat at its sender — but the ledger still records
+			// that this node shed it (this site was silent before the
+			// unified ledger, so an overloaded probe ring looked like
+			// network loss).
+			n.drop(dropProbeRing, 1, telemetry.DropDetail{
+				Scope: from.String(), Stage: "control",
+			})
 		}
 		return
 	}
@@ -1228,6 +1308,9 @@ func (n *Node) probeLoop(inst *supervise.Instance) {
 			h, payload, err := bridge.ParseEncap(ev.pkt)
 			if err != nil {
 				n.BadPackets.Add(1)
+				n.drop(dropBadPacket, 1, telemetry.DropDetail{
+					Scope: ev.from.String(), Stage: "control",
+				})
 				inst.Idle()
 				continue
 			}
@@ -1265,6 +1348,9 @@ func (n *Node) evictLoop(inst *supervise.Instance) {
 				s.mu.Unlock()
 				if evicted > 0 {
 					n.metrics.reasmEvictions.Add(uint64(evicted))
+					n.drop(dropReassemblyEvict, uint64(evicted), telemetry.DropDetail{
+						Scope: fmt.Sprint(s.idx), Stage: "reassembly",
+					})
 				}
 			}
 			inst.Idle()

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"vnetp/internal/bridge"
+	"vnetp/internal/telemetry"
 )
 
 // TCP encapsulation (paper Sect. 4.2: "The overlay carries Ethernet
@@ -147,6 +148,7 @@ func (n *Node) readTCP(c *tcpConn, lk *link) {
 		size := binary.BigEndian.Uint32(hdr[:])
 		if size == 0 || size > tcpMaxDatagram+bridge.EncapHeaderLen {
 			n.BadPackets.Add(1)
+			n.drop(dropBadPacket, 1, telemetry.DropDetail{Scope: key, Stage: "tcp_frame"})
 			return
 		}
 		pkt := make([]byte, size)
@@ -160,6 +162,7 @@ func (n *Node) readTCP(c *tcpConn, lk *link) {
 		h, payload, err := bridge.ParseEncap(pkt)
 		if err != nil {
 			n.BadPackets.Add(1)
+			n.drop(dropBadPacket, 1, telemetry.DropDetail{Scope: key, Stage: "tcp_parse"})
 			continue
 		}
 		switch {

@@ -70,6 +70,11 @@ type nodeMetrics struct {
 	panicsRecovered   *telemetry.CounterVec // component
 	componentRestarts *telemetry.CounterVec
 	watchdogStalls    *telemetry.CounterVec
+
+	// Introspection layer (ISSUE 10): anomaly-watchdog alerts by kind
+	// ("drop_rate", "watchdog_stall") and /diag bundle renders.
+	anomalies   *telemetry.CounterVec // kind
+	diagRenders *telemetry.Counter
 }
 
 func newNodeMetrics(reg *telemetry.Registry) *nodeMetrics {
@@ -155,6 +160,11 @@ func newNodeMetrics(reg *telemetry.Registry) *nodeMetrics {
 			"Supervised component relaunches (panic recoveries and watchdog supersessions).", "component"),
 		watchdogStalls: reg.CounterVec("vnetp_watchdog_stalls_total",
 			"Stalled supervised components detected and superseded by the watchdog.", "component"),
+
+		anomalies: reg.CounterVec("vnetp_anomalies_total",
+			"Anomaly-watchdog alerts (drop-rate or stall thresholds crossed), by kind.", "kind"),
+		diagRenders: reg.Counter("vnetp_diag_renders_total",
+			"Diagnostic snapshot bundles rendered (/diag and vnetctl diag)."),
 	}
 }
 

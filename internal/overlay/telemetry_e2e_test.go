@@ -210,6 +210,8 @@ func TestTelemetryEndToEnd(t *testing.T) {
 		"flow_cache_misses":    func() float64 { return series["vnetp_flow_cache_misses_total"] },
 		"flow_cache_evictions": func() float64 { return series["vnetp_flow_cache_evictions_total"] },
 		"flow_cache_entries":   func() float64 { return series["vnetp_flow_cache_entries"] },
+		"drops_total":          func() float64 { return sumFamily(series, "vnetp_drops_total") },
+		"anomalies":            func() float64 { return sumFamily(series, "vnetp_anomalies_total") },
 	}
 	checked := 0
 	for _, line := range lines {
@@ -225,6 +227,10 @@ func TestTelemetryEndToEnd(t *testing.T) {
 		switch {
 		case expect[f[0]] != nil:
 			want = expect[f[0]]()
+		case strings.HasPrefix(f[0], "drops_"):
+			// Per-reason ledger lines map onto the unified family's
+			// labeled children.
+			want = series[fmt.Sprintf(`vnetp_drops_total{reason="%s"}`, strings.TrimPrefix(f[0], "drops_"))]
 		case strings.HasPrefix(f[0], "dispatcher_"):
 			var idx int
 			var kind string
@@ -268,6 +274,15 @@ func TestListStatsBackcompat(t *testing.T) {
 		"cross_tenant_drops", "tenants",
 		"flow_cache_hits", "flow_cache_misses", "flow_cache_evictions",
 		"flow_cache_entries",
+		// Unified drop ledger and anomaly watchdog (ISSUE 10): the
+		// cross-reason total, one line per ledger reason in datapath
+		// order, then the anomaly alert count.
+		"drops_total",
+		"drops_bad_packet", "drops_dispatcher_ring", "drops_probe_ring",
+		"drops_seal_reject", "drops_reassembly_evict", "drops_no_route",
+		"drops_cross_tenant", "drops_endpoint_ring",
+		"drops_tx_ring", "drops_tx_teardown",
+		"anomalies",
 	}
 	stats := n.Stats()
 	if len(stats) != len(want) {

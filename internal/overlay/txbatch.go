@@ -14,8 +14,10 @@ import (
 	"time"
 
 	"vnetp/internal/bridge"
+	"vnetp/internal/core"
 	"vnetp/internal/ethernet"
 	"vnetp/internal/supervise"
+	"vnetp/internal/telemetry"
 	"vnetp/internal/trace"
 	"vnetp/internal/virtio"
 )
@@ -38,6 +40,10 @@ func (n *Node) enqueueTx(lk *link, tf txFrame) {
 		lk.txFrames.Inc() // the adaptive controller's rate sensor
 	default:
 		lk.txDrops.Add(1)
+		n.drop(dropTxRing, 1, telemetry.DropDetail{
+			Tenant: lk.tenant, Scope: lk.id, Stage: "tx_ring",
+			Flow: core.FlowKey{Tenant: lk.tenant, Src: tf.f.Src, Dst: tf.f.Dst}.String(),
+		})
 	}
 }
 
@@ -73,6 +79,9 @@ func (n *Node) txLoop(inst *supervise.Instance, lk *link) {
 	defer func() {
 		if len(batch) > 0 {
 			lk.txDrops.Add(uint64(len(batch)))
+			n.drop(dropTxTeardown, uint64(len(batch)), telemetry.DropDetail{
+				Tenant: lk.tenant, Scope: lk.id, Stage: "tx_teardown",
+			})
 		}
 	}()
 	var scratch txScratch

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDropLedgerCounts(t *testing.T) {
+	reg := NewRegistry()
+	l := NewDropLedger(reg, "no_route", "tx_ring")
+
+	// Declared vocabulary is visible at zero before any drop.
+	if got := l.Count("no_route"); got != 0 {
+		t.Fatalf("pre-drop count = %d, want 0", got)
+	}
+	if rs := l.Reasons(); len(rs) != 2 || rs[0] != "no_route" || rs[1] != "tx_ring" {
+		t.Fatalf("reasons = %v", rs)
+	}
+
+	l.Drop("no_route", 1, DropDetail{Tenant: 7, Flow: "t7 a->b", Stage: "route"})
+	l.Drop("tx_ring", 3, DropDetail{Scope: "to-b"})
+	l.Drop("no_route", 0, DropDetail{}) // zero drops must not count or record
+
+	if got := l.Count("no_route"); got != 1 {
+		t.Fatalf("no_route = %d, want 1", got)
+	}
+	if got := l.Count("tx_ring"); got != 3 {
+		t.Fatalf("tx_ring = %d, want 3", got)
+	}
+	if got := l.Total(); got != 4 {
+		t.Fatalf("total = %d, want 4", got)
+	}
+
+	tail := l.Tail("no_route")
+	if len(tail) != 1 {
+		t.Fatalf("tail len = %d, want 1", len(tail))
+	}
+	rec := tail[0]
+	if rec.Reason != "no_route" || rec.Count != 1 || rec.Tenant != 7 ||
+		rec.Flow != "t7 a->b" || rec.Stage != "route" || rec.At.IsZero() {
+		t.Fatalf("tail record = %+v", rec)
+	}
+	if batch := l.Tail("tx_ring"); len(batch) != 1 || batch[0].Count != 3 {
+		t.Fatalf("tx_ring tail = %+v", batch)
+	}
+}
+
+func TestDropLedgerUndeclaredReason(t *testing.T) {
+	reg := NewRegistry()
+	l := NewDropLedger(reg, "no_route")
+	l.Drop("surprise", 2, DropDetail{})
+	if got := l.Count("surprise"); got != 2 {
+		t.Fatalf("surprise = %d, want 2", got)
+	}
+	if tail := l.Tail("surprise"); len(tail) != 1 {
+		t.Fatalf("surprise tail = %+v", tail)
+	}
+}
+
+func TestDropLedgerTailBounded(t *testing.T) {
+	reg := NewRegistry()
+	l := NewDropLedger(reg, "endpoint_ring")
+	for i := 0; i < dropTailDepth*3; i++ {
+		l.Drop("endpoint_ring", 1, DropDetail{Tenant: uint32(i)})
+	}
+	tail := l.Tail("endpoint_ring")
+	if len(tail) != dropTailDepth {
+		t.Fatalf("tail len = %d, want %d", len(tail), dropTailDepth)
+	}
+	// Oldest-first: the surviving records are the last dropTailDepth drops.
+	for i, rec := range tail {
+		want := uint32(dropTailDepth*3 - dropTailDepth + i)
+		if rec.Tenant != want {
+			t.Fatalf("tail[%d].Tenant = %d, want %d", i, rec.Tenant, want)
+		}
+	}
+	snap := l.Snapshot()
+	if len(snap) != 1 || len(snap["endpoint_ring"]) != dropTailDepth {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if got := l.Count("endpoint_ring"); got != dropTailDepth*3 {
+		t.Fatalf("count = %d, want %d", got, dropTailDepth*3)
+	}
+}
+
+func TestDropLedgerConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	l := NewDropLedger(reg, "a", "b")
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			reason := "a"
+			if w%2 == 1 {
+				reason = "b"
+			}
+			for i := 0; i < per; i++ {
+				l.Drop(reason, 1, DropDetail{Scope: reason})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := l.Total(); got != workers*per {
+		t.Fatalf("total = %d, want %d", got, workers*per)
+	}
+	if l.Count("a")+l.Count("b") != workers*per {
+		t.Fatalf("per-reason sums disagree with total")
+	}
+}

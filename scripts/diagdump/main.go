@@ -1,0 +1,65 @@
+// Command diagdump boots an in-process overlay node, drives a small
+// amount of representative traffic through it (deliveries, drops, a
+// sealed-tenant reject), and writes the node's diagnostic snapshot
+// bundle (overlay.Diag, the same document GET /diag serves) as indented
+// JSON to stdout.
+//
+// CI's chaos job runs it when the suite fails and uploads the output as
+// an artifact: the bundle captures the toolchain, platform, effective
+// datapath defaults, and a live render of every metric family on the
+// runner — enough to tell an environment-shaped failure (weird loopback
+// behavior, starved runner) from a real datapath regression without
+// re-running anything.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"vnetp/internal/ethernet"
+	"vnetp/internal/overlay"
+	"vnetp/internal/seal"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "diagdump:", err)
+	os.Exit(1)
+}
+
+func main() {
+	n, err := overlay.NewNodeWithConfig("diagdump", "127.0.0.1:0", overlay.NodeConfig{})
+	if err != nil {
+		fail(err)
+	}
+	defer n.Close()
+	src, err := n.AttachEndpoint("src", ethernet.LocalMAC(1), 1500)
+	if err != nil {
+		fail(err)
+	}
+	dst, err := n.AttachEndpoint("dst", ethernet.LocalMAC(2), 1500)
+	if err != nil {
+		fail(err)
+	}
+	// Deliveries, flow accounting, heavy hitters.
+	for i := 0; i < 32; i++ {
+		if err := src.Send(&ethernet.Frame{Dst: dst.MAC(), Src: src.MAC(),
+			Type: ethernet.TypeTest, Payload: []byte("diagdump")}); err != nil {
+			fail(err)
+		}
+		dst.TryRecv()
+	}
+	// A ledger entry and a keyed tenant so those sections render
+	// populated.
+	src.Send(&ethernet.Frame{Dst: ethernet.LocalMAC(9), Src: src.MAC(),
+		Type: ethernet.TypeTest, Payload: []byte("unrouted")})
+	if key, err := seal.NewKey(); err == nil {
+		n.AddTenant(7, key)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(n.Diag()); err != nil {
+		fail(err)
+	}
+}
